@@ -1,0 +1,228 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure. They run at the scaled problem sizes so `go test -bench=.`
+// finishes quickly; cmd/paperbench runs the same experiments at larger
+// sizes with formatted output. b.ReportMetric attaches the simulated-
+// machine quantities (virtual milliseconds, misses, messages) that the
+// tables and figures are made of.
+package hpfdsm_test
+
+import (
+	"testing"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/bench"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/runtime"
+)
+
+func runApp(b *testing.B, name string, v bench.Variant) *runtime.Result {
+	b.Helper()
+	a, err := apps.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := bench.RunApp(a, a.ScaledParams, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func report(b *testing.B, res *runtime.Result) {
+	b.ReportMetric(float64(res.Elapsed)/1e6, "sim-ms")
+	b.ReportMetric(res.Stats.AvgMissesPerNode(), "misses/node")
+	b.ReportMetric(float64(res.Stats.TotalMessages()), "msgs")
+}
+
+// BenchmarkTable1ReadMiss measures the remote read-miss latency that
+// Table 1 reports as 93 us.
+func BenchmarkTable1ReadMiss(b *testing.B) {
+	var stall int64
+	for i := 0; i < b.N; i++ {
+		stall = bench.MeasureReadMiss()
+	}
+	b.ReportMetric(float64(stall)/1e3, "us/miss")
+}
+
+// BenchmarkFig1DefaultVsDirect reports the message counts of Figure 1.
+func BenchmarkFig1DefaultVsDirect(b *testing.B) {
+	out := ""
+	for i := 0; i < b.N; i++ {
+		out = bench.Fig1()
+	}
+	_ = out
+}
+
+// BenchmarkTable2Suite compiles all six applications at paper sizes
+// (Table 2's inventory) and reports their aggregate footprint.
+func BenchmarkTable2Suite(b *testing.B) {
+	var mb float64
+	for i := 0; i < b.N; i++ {
+		mb = 0
+		for _, a := range apps.All() {
+			mb += a.MemMB(a.PaperParams)
+		}
+	}
+	b.ReportMetric(mb, "suite-MB")
+}
+
+// Figure 3: speedups. One benchmark per application, reporting the
+// optimized dual-CPU speedup over the 1-node run.
+func benchFig3(b *testing.B, name string) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		uni := runApp(b, name, bench.Variant{Key: "uni", Nodes: 1, CPUMode: config.DualCPU, Opt: compiler.OptNone})
+		opt := runApp(b, name, bench.Variant{Key: "opt", Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptRTElim})
+		speedup = float64(uni.Elapsed) / float64(opt.Elapsed)
+		report(b, opt)
+	}
+	b.ReportMetric(speedup, "speedup-8n")
+}
+
+func BenchmarkFig3SpeedupPDE(b *testing.B)     { benchFig3(b, "pde") }
+func BenchmarkFig3SpeedupShallow(b *testing.B) { benchFig3(b, "shallow") }
+func BenchmarkFig3SpeedupGrav(b *testing.B)    { benchFig3(b, "grav") }
+func BenchmarkFig3SpeedupLU(b *testing.B)      { benchFig3(b, "lu") }
+func BenchmarkFig3SpeedupCG(b *testing.B)      { benchFig3(b, "cg") }
+func BenchmarkFig3SpeedupJacobi(b *testing.B)  { benchFig3(b, "jacobi") }
+
+// Table 3: miss-count and communication-time reductions.
+func benchTable3(b *testing.B, name string) {
+	var missRed, commRed float64
+	for i := 0; i < b.N; i++ {
+		un := runApp(b, name, bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptNone})
+		op := runApp(b, name, bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptRTElim})
+		missRed = 100 * (1 - op.Stats.AvgMissesPerNode()/un.Stats.AvgMissesPerNode())
+		commRed = 100 * (1 - float64(op.Stats.AvgCommTime())/float64(un.Stats.AvgCommTime()))
+	}
+	b.ReportMetric(missRed, "miss-red-%")
+	b.ReportMetric(commRed, "comm-red-%")
+}
+
+func BenchmarkTable3PDE(b *testing.B)     { benchTable3(b, "pde") }
+func BenchmarkTable3Shallow(b *testing.B) { benchTable3(b, "shallow") }
+func BenchmarkTable3Grav(b *testing.B)    { benchTable3(b, "grav") }
+func BenchmarkTable3LU(b *testing.B)      { benchTable3(b, "lu") }
+func BenchmarkTable3CG(b *testing.B)      { benchTable3(b, "cg") }
+func BenchmarkTable3Jacobi(b *testing.B)  { benchTable3(b, "jacobi") }
+
+// Figure 4: the ablation of base transfers vs bulk transfer vs
+// run-time overhead elimination (dual CPU), reported as percent
+// execution-time reduction vs unoptimized.
+func benchFig4(b *testing.B, name string) {
+	var base, bulk, rte float64
+	for i := 0; i < b.N; i++ {
+		un := runApp(b, name, bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptNone})
+		u := float64(un.Elapsed)
+		base = 100 * (1 - float64(runApp(b, name, bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptBase}).Elapsed)/u)
+		bulk = 100 * (1 - float64(runApp(b, name, bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptBulk}).Elapsed)/u)
+		rte = 100 * (1 - float64(runApp(b, name, bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptRTElim}).Elapsed)/u)
+	}
+	b.ReportMetric(base, "base-%")
+	b.ReportMetric(bulk, "bulk-%")
+	b.ReportMetric(rte, "rtelim-%")
+}
+
+func BenchmarkFig4AblationPDE(b *testing.B)     { benchFig4(b, "pde") }
+func BenchmarkFig4AblationShallow(b *testing.B) { benchFig4(b, "shallow") }
+func BenchmarkFig4AblationGrav(b *testing.B)    { benchFig4(b, "grav") }
+func BenchmarkFig4AblationLU(b *testing.B)      { benchFig4(b, "lu") }
+func BenchmarkFig4AblationCG(b *testing.B)      { benchFig4(b, "cg") }
+func BenchmarkFig4AblationJacobi(b *testing.B)  { benchFig4(b, "jacobi") }
+
+// BenchmarkMessagePassingBaseline compares the PGI-style backend
+// (Figure 3's mp bars) against optimized shared memory on jacobi.
+func BenchmarkMessagePassingBaseline(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		mp := runApp(b, "jacobi", bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Backend: runtime.MessagePassing})
+		sm := runApp(b, "jacobi", bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptRTElim})
+		ratio = float64(mp.Elapsed) / float64(sm.Elapsed)
+		report(b, mp)
+	}
+	b.ReportMetric(ratio, "mp/sm-opt")
+}
+
+// BenchmarkPREAblation measures the redundant-communication
+// elimination extension on shallow (which the paper singles out).
+func BenchmarkPREAblation(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		rte := runApp(b, "shallow", bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptRTElim})
+		pre := runApp(b, "shallow", bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptPRE})
+		saved = float64(rte.Stats.TotalMessages() - pre.Stats.TotalMessages())
+	}
+	b.ReportMetric(saved, "msgs-saved")
+}
+
+// BenchmarkBlockSizeAblation sweeps the coherence unit (the paper's
+// 32-128 byte fine-grain range) on jacobi, unoptimized.
+func BenchmarkBlockSizeAblation(b *testing.B) {
+	for _, bs := range []int{32, 64, 128} {
+		bs := bs
+		b.Run(string(rune('0'+bs/32))+"x32B", func(b *testing.B) {
+			var misses float64
+			for i := 0; i < b.N; i++ {
+				a, _ := apps.ByName("jacobi")
+				prog, err := a.Program(a.ScaledParams)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mc := config.Default().WithBlockSize(bs)
+				res, err := runtime.Run(prog, runtime.Options{Machine: mc, Opt: compiler.OptNone})
+				if err != nil {
+					b.Fatal(err)
+				}
+				misses = res.Stats.AvgMissesPerNode()
+			}
+			b.ReportMetric(misses, "misses/node")
+		})
+	}
+}
+
+// BenchmarkIrregularExtension runs the paper's future-work benchmark
+// class (affine + indirect mix) on the shared-memory backend.
+func BenchmarkIrregularExtension(b *testing.B) {
+	a := apps.Irregular()
+	var red float64
+	for i := 0; i < b.N; i++ {
+		un, err := bench.RunApp(a, a.ScaledParams, bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		op, err := bench.RunApp(a, a.ScaledParams, bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptRTElim})
+		if err != nil {
+			b.Fatal(err)
+		}
+		red = 100 * (1 - float64(op.Elapsed)/float64(un.Elapsed))
+		report(b, op)
+	}
+	b.ReportMetric(red, "affine-opt-%")
+}
+
+// BenchmarkConsistencyAblation reports the write-latency hiding of the
+// eager release-consistent protocol (the paper's footnote 1).
+func BenchmarkConsistencyAblation(b *testing.B) {
+	a, _ := apps.ByName("jacobi")
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		rc, err := bench.RunApp(a, a.ScaledParams, bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := a.Program(a.ScaledParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc, err := runtime.Run(prog, runtime.Options{
+			Machine: config.Default().WithConsistency(config.SequentiallyConsistent),
+			Opt:     compiler.OptNone,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		saved = 100 * (1 - float64(rc.Elapsed)/float64(sc.Elapsed))
+	}
+	b.ReportMetric(saved, "rc-saves-%")
+}

@@ -1,0 +1,245 @@
+// Command hpfc is the compiler driver: it parses a mini-HPF program
+// (or one of the built-in applications), runs the communication
+// analysis, and dumps what the paper's Section 4 computes — the work
+// partition, the non-owner read/write rules per parallel loop, and the
+// instantiated communication schedules with their block-aligned
+// (shmem_limits) interiors and leftover edge bytes.
+//
+// Examples:
+//
+//	hpfc -app jacobi -nodes 8
+//	hpfc -file prog.hpf -sched
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/bench"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/lang"
+	"hpfdsm/internal/sections"
+)
+
+func main() {
+	app := flag.String("app", "", "application name")
+	file := flag.String("file", "", "mini-HPF source file")
+	nodes := flag.Int("nodes", 8, "processor count")
+	blockSize := flag.Int("block", 128, "coherence block size")
+	sched := flag.Bool("sched", true, "print instantiated schedules")
+	calls := flag.Bool("calls", false, "print the run-time call sequence (Figure 2) each node executes per loop")
+	printSrc := flag.Bool("print", false, "pretty-print the program as canonical mini-HPF source and exit")
+	node := flag.Int("node", 0, "node whose calls to print with -calls")
+	flag.Parse()
+
+	var prog *ir.Program
+	var err error
+	switch {
+	case *app != "":
+		a, err2 := apps.ByName(*app)
+		if err2 != nil {
+			fail(err2)
+		}
+		prog, err = a.Program(bench.ParamsFor(a, bench.Scaled))
+	case *file != "":
+		src, err2 := os.ReadFile(*file)
+		if err2 != nil {
+			fail(err2)
+		}
+		prog, err = lang.Parse(string(src))
+	default:
+		fail(fmt.Errorf("one of -app or -file is required"))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *printSrc {
+		fmt.Print(lang.Print(prog))
+		return
+	}
+	mc := config.Default().WithNodes(*nodes).WithBlockSize(*blockSize)
+	layouts := map[*ir.Array]sections.Layout{}
+	base := 0
+	for _, arr := range prog.Arrays {
+		layouts[arr] = sections.Layout{Base: base, Extents: arr.Extents, ElemSize: 8}
+		sz := arr.Elems() * 8
+		base += (sz + mc.PageSize - 1) / mc.PageSize * mc.PageSize
+	}
+	an, err := compiler.New(prog, *nodes, layouts, *blockSize)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("program %s on %d processors, %dB blocks\n\n", prog.Name, *nodes, *blockSize)
+	fmt.Println("arrays:")
+	for _, arr := range prog.Arrays {
+		d := an.Dist(arr)
+		fmt.Printf("  %-10s %v  (chunk %d, %d bytes)\n", arr.Name, arr, d.ChunkSize(), arr.Elems()*8)
+	}
+	fmt.Println()
+
+	env := map[string]int{}
+	for k, v := range prog.Params {
+		env[k] = v
+	}
+	if *calls {
+		fmt.Printf("run-time calls executed by node %d (optimization level: bulk):\n\n", *node)
+		dumpCalls(an, prog.Body, env, *node, 0)
+		return
+	}
+	dumpStmts(an, prog.Body, env, *sched, 0)
+}
+
+// dumpCalls prints the Section 4.2 call sequence a node would execute
+// around each loop at the bulk optimization level (the full sequence,
+// before run-time elimination prunes it).
+func dumpCalls(an *compiler.Analysis, body []ir.Stmt, env map[string]int, node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ir.Block:
+			dumpCalls(an, st.Body, env, node, depth)
+		case *ir.SeqLoop:
+			lo := st.Lo.Eval(env)
+			fmt.Printf("%sDO %s = %v, %v  (calls shown for %s=%d)\n", ind, st.Var, st.Lo, st.Hi, st.Var, lo)
+			env[st.Var] = lo
+			dumpCalls(an, st.Body, env, node, depth+1)
+			delete(env, st.Var)
+		case *ir.ParLoop:
+			rule := an.LoopRuleOf(st)
+			sched := an.Schedule(st, rule, env)
+			fmt.Printf("%s%s:\n", ind, st.Label)
+			emitted := false
+			say := func(format string, args ...any) {
+				fmt.Printf(ind+"  "+format+"\n", args...)
+				emitted = true
+			}
+			var out, in, take, flushIn int
+			for _, t := range sched.Reads {
+				if t.Sender == node {
+					out += t.NumBlocks
+				}
+				if t.Receiver == node {
+					in += t.NumBlocks
+				}
+			}
+			for _, t := range sched.Writes {
+				if t.Sender == node {
+					take += t.NumBlocks
+				}
+				if t.Receiver == node {
+					flushIn += t.NumBlocks
+				}
+			}
+			if out > 0 {
+				say("shmem_limits + mk_writable     (%d outgoing blocks)", out)
+			}
+			if take > 0 {
+				say("mk_writable                    (%d non-owner-write blocks)", take)
+			}
+			if len(sched.Reads)+len(sched.Writes) > 0 {
+				say("barrier                        (order step 1 before step 2)")
+			}
+			if in > 0 {
+				say("implicit_writable + expect     (%d incoming blocks)", in)
+			}
+			if flushIn > 0 {
+				say("implicit_writable              (%d flush-target blocks)", flushIn)
+			}
+			if len(sched.Reads)+len(sched.Writes) > 0 {
+				say("barrier                        (both sides ready)")
+			}
+			for _, t := range sched.Reads {
+				if t.Sender == node {
+					say("send -> node %-2d                (%s%v, %d blocks)", t.Receiver, t.Array.Name, t.Sec, t.NumBlocks)
+				}
+			}
+			if in > 0 {
+				say("ready_to_recv                  (until %d blocks arrive)", in)
+			}
+			say("<loop body>")
+			for _, t := range sched.Writes {
+				if t.Sender == node {
+					say("flush -> node %-2d               (%s%v, %d blocks)", t.Receiver, t.Array.Name, t.Sec, t.NumBlocks)
+				}
+			}
+			say("barrier                        (loop complete)")
+			if flushIn > 0 {
+				say("ready_to_recv                  (flushed data)")
+			}
+			if in > 0 {
+				say("implicit_invalidate            (%d reader frames)", in)
+				say("barrier                        (directory consistent)")
+			}
+			if !emitted {
+				fmt.Printf("%s  (no communication)\n", ind)
+			}
+		case *ir.Reduce:
+			fmt.Printf("%s%s: <reduce via low-level messages>\n", ind, st.Label)
+		}
+	}
+}
+
+func dumpStmts(an *compiler.Analysis, body []ir.Stmt, env map[string]int, sched bool, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ir.ParLoop:
+			dumpRule(an, st, an.LoopRuleOf(st), env, sched, ind, st.Label)
+		case *ir.Reduce:
+			dumpRule(an, st, an.ReduceRuleOf(st), env, sched, ind, st.Label)
+		case *ir.Block:
+			dumpStmts(an, st.Body, env, sched, depth)
+		case *ir.SeqLoop:
+			lo := st.Lo.Eval(env)
+			fmt.Printf("%sDO %s = %v, %v (schedules shown for %s=%d)\n", ind, st.Var, st.Lo, st.Hi, st.Var, lo)
+			env[st.Var] = lo
+			dumpStmts(an, st.Body, env, sched, depth+1)
+			delete(env, st.Var)
+		}
+	}
+}
+
+func dumpRule(an *compiler.Analysis, key any, rule *compiler.LoopRule, env map[string]int, sched bool, ind, label string) {
+	fmt.Printf("%sloop %s: anchor %v", ind, label, rule.Anchor)
+	if rule.DistVar != "" {
+		fmt.Printf(", owner-computes on %s", rule.DistVar)
+	} else {
+		fmt.Printf(", single-processor")
+	}
+	if len(rule.UsedSym) > 0 {
+		fmt.Printf(", parametric in %v", rule.UsedSym)
+	}
+	fmt.Println()
+	for _, rr := range rule.Reads {
+		red := ""
+		if rr.Redundant {
+			red = "  [PRE: redundant]"
+		}
+		fmt.Printf("%s  non-owner read  %v (%v)%s\n", ind, rr.Ref, rr.Kind, red)
+	}
+	for _, rr := range rule.Writes {
+		fmt.Printf("%s  non-owner write %v (%v)\n", ind, rr.Ref, rr.Kind)
+	}
+	if !sched {
+		return
+	}
+	s := an.Schedule(key, rule, env)
+	for _, t := range s.Reads {
+		fmt.Printf("%s    send %v\n", ind, t)
+	}
+	for _, t := range s.Writes {
+		fmt.Printf("%s    flush %v\n", ind, t)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hpfc:", err)
+	os.Exit(1)
+}

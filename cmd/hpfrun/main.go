@@ -1,0 +1,186 @@
+// Command hpfrun runs one application (or a mini-HPF source file) on
+// the simulated fine-grain DSM cluster and reports timing and
+// communication statistics.
+//
+// Examples:
+//
+//	hpfrun -app jacobi -opt rtelim
+//	hpfrun -app lu -nodes 4 -cpus 1 -size paper
+//	hpfrun -app cg -backend mp
+//	hpfrun -file prog.hpf -param N=512 -param ITERS=10 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/bench"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/lang"
+	"hpfdsm/internal/runtime"
+)
+
+type paramFlags map[string]int
+
+func (p paramFlags) String() string { return fmt.Sprint(map[string]int(p)) }
+func (p paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected NAME=VALUE, got %q", s)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return err
+	}
+	p[strings.ToUpper(k)] = n
+	return nil
+}
+
+func main() {
+	app := flag.String("app", "", "application: pde, shallow, grav, lu, cg, jacobi")
+	file := flag.String("file", "", "mini-HPF source file (alternative to -app)")
+	size := flag.String("size", "bench", "problem sizes for -app: bench, paper, scaled")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	cpus := flag.Int("cpus", 2, "CPUs per node: 2 = dedicated protocol processor, 1 = interleaved")
+	optName := flag.String("opt", "rtelim", "optimization level: none, base, bulk, rtelim, pre")
+	backend := flag.String("backend", "sm", "backend: sm (shared memory) or mp (message passing)")
+	blockSize := flag.Int("block", 128, "coherence block size in bytes")
+	machineFile := flag.String("machine", "", "JSON file overriding the machine configuration (fields of config.Machine)")
+	showStats := flag.Bool("stats", false, "print per-node statistics")
+	profile := flag.Bool("profile", false, "print a per-loop time profile")
+	gantt := flag.Int("gantt", 0, "print an ASCII timeline this many characters wide (implies -profile)")
+	profileJSON := flag.String("profile-json", "", "write the per-loop profile as JSON to this file (implies -profile)")
+	params := paramFlags{}
+	flag.Var(params, "param", "override a PARAM (NAME=VALUE, repeatable)")
+	flag.Parse()
+
+	var prog *ir.Program
+	var err error
+	switch {
+	case *app != "":
+		a, err2 := apps.ByName(*app)
+		if err2 != nil {
+			fail(err2)
+		}
+		var sizing bench.Sizing
+		switch *size {
+		case "bench":
+			sizing = bench.Bench
+		case "paper":
+			sizing = bench.Paper
+		case "scaled":
+			sizing = bench.Scaled
+		default:
+			fail(fmt.Errorf("unknown -size %q", *size))
+		}
+		base := bench.ParamsFor(a, sizing)
+		merged := map[string]int{}
+		for k, v := range base {
+			merged[k] = v
+		}
+		for k, v := range params {
+			merged[k] = v
+		}
+		prog, err = a.Program(merged)
+	case *file != "":
+		src, err2 := os.ReadFile(*file)
+		if err2 != nil {
+			fail(err2)
+		}
+		prog, err = lang.ParseWithOverrides(string(src), params)
+	default:
+		fail(fmt.Errorf("one of -app or -file is required"))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	opt, err := compiler.ParseLevel(*optName)
+	if err != nil {
+		fail(err)
+	}
+	mc := config.Default()
+	if *machineFile != "" {
+		f, err := os.Open(*machineFile)
+		if err != nil {
+			fail(err)
+		}
+		mc, err = config.FromJSON(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+	mc = mc.WithNodes(*nodes).WithBlockSize(*blockSize)
+	switch *cpus {
+	case 1:
+		mc = mc.WithCPUMode(config.SingleCPU)
+	case 2:
+		mc = mc.WithCPUMode(config.DualCPU)
+	default:
+		fail(fmt.Errorf("-cpus must be 1 or 2"))
+	}
+	opts := runtime.Options{Machine: mc, Opt: opt,
+		Profile: *profile || *gantt > 0 || *profileJSON != ""}
+	if *backend == "mp" {
+		opts.Backend = runtime.MessagePassing
+	} else if *backend != "sm" {
+		fail(fmt.Errorf("unknown -backend %q", *backend))
+	}
+
+	res, err := runtime.Run(prog, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("program   %s\n", prog.Name)
+	fmt.Printf("machine   %d node(s), %s, %dB blocks, backend %v, opt %v\n",
+		mc.Nodes, mc.CPUMode, mc.BlockSize, opts.Backend, opt)
+	fmt.Printf("elapsed   %.3f ms (simulated)\n", float64(res.Elapsed)/1e6)
+	fmt.Printf("misses    %d total (%.1f per node)\n", res.Stats.TotalMisses(), res.Stats.AvgMissesPerNode())
+	fmt.Printf("messages  %d (%.1f KB)\n", res.Stats.TotalMessages(), float64(res.Stats.TotalBytes())/1024)
+	fmt.Printf("compute   %.3f ms avg/node\n", float64(res.Stats.AvgComputeTime())/1e6)
+	fmt.Printf("comm+sync %.3f ms avg/node\n", float64(res.Stats.AvgCommTime())/1e6)
+	if p50 := res.Stats.MissLatencyPercentile(0.5); p50 > 0 {
+		fmt.Printf("miss lat  p50 < %.0f us, p95 < %.0f us\n",
+			p50, res.Stats.MissLatencyPercentile(0.95))
+	}
+	if len(res.Scalars) > 0 {
+		fmt.Printf("scalars   %v\n", res.Scalars)
+	}
+	if *showStats {
+		fmt.Println()
+		fmt.Print(res.Stats.String())
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(res.Profile.String())
+	}
+	if *gantt > 0 {
+		fmt.Println()
+		fmt.Print(res.Profile.Timeline.Gantt(*gantt))
+	}
+	if *profileJSON != "" {
+		f, err := os.Create(*profileJSON)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Profile.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hpfrun:", err)
+	os.Exit(1)
+}

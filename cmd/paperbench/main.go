@@ -1,0 +1,134 @@
+// Command paperbench regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	paperbench [-exp all|fig1|table1|table2|fig3|table3|fig4|pre|blocksize]
+//	           [-size bench|paper|scaled] [-nodes 8] [-v]
+//
+// Absolute times come from the simulation's 1996-class machine model;
+// the paper's *shapes* (who wins, by what factor, where the weak cases
+// are) are the reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hpfdsm/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig1, table1, table2, fig3, table3, fig4, pre, blocksize, prefetch, consistency, distribution, irregular, network")
+	size := flag.String("size", "bench", "problem sizes: bench, paper, scaled")
+	nodes := flag.Int("nodes", 8, "cluster size for suite experiments")
+	verbose := flag.Bool("v", false, "log each run")
+	flag.Parse()
+
+	var sizing bench.Sizing
+	switch *size {
+	case "bench":
+		sizing = bench.Bench
+	case "paper":
+		sizing = bench.Paper
+		fmt.Fprintln(os.Stderr, "note: paper sizes simulate the full Table 2 problems; expect long runs")
+	case "scaled":
+		sizing = bench.Scaled
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -size %q\n", *size)
+		os.Exit(2)
+	}
+
+	var log io.Writer
+	if *verbose {
+		log = os.Stderr
+	}
+
+	needSuite := map[string]bool{"all": true, "fig3": true, "table3": true, "fig4": true, "pre": true}
+	var suite *bench.SuiteResults
+	if needSuite[*exp] {
+		var err error
+		suite, err = bench.RunSuite(sizing, *nodes, log)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+
+	show := func(name, out string) {
+		fmt.Println(out)
+	}
+	run := func(name string) {
+		switch name {
+		case "fig1":
+			show(name, bench.Fig1())
+		case "table1":
+			show(name, bench.Table1())
+		case "table2":
+			show(name, bench.Table2(sizing))
+		case "fig3":
+			show(name, bench.Fig3(suite))
+		case "table3":
+			show(name, bench.Table3(suite))
+		case "fig4":
+			show(name, bench.Fig4(suite))
+		case "pre":
+			show(name, bench.PRE(suite))
+		case "blocksize":
+			out, err := bench.BlockSize(sizing)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			show(name, out)
+		case "prefetch":
+			out, err := bench.Prefetch(sizing)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			show(name, out)
+		case "consistency":
+			out, err := bench.Consistency(sizing)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			show(name, out)
+		case "distribution":
+			out, err := bench.Distribution(sizing)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			show(name, out)
+		case "network":
+			out, err := bench.Network(sizing)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			show(name, out)
+		case "irregular":
+			out, err := bench.Irregular(sizing)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			show(name, out)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range []string{"table1", "fig1", "table2", "fig3", "table3", "fig4", "pre", "blocksize", "prefetch", "consistency", "distribution", "irregular", "network"} {
+			run(e)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,52 @@
+// Stencil: run the paper's shallow-water benchmark across all
+// optimization levels and both CPU configurations, printing the
+// Figure 3 / Figure 4-style comparison for one application.
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpfdsm"
+)
+
+func main() {
+	app, err := hpfdsm.AppByName("shallow")
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := app.ScaledParams
+
+	run := func(mode hpfdsm.CPUMode, opt hpfdsm.OptLevel) *hpfdsm.Result {
+		prog, err := app.Program(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mc := hpfdsm.DefaultMachine().WithCPUMode(mode)
+		res, err := hpfdsm.Run(prog, hpfdsm.Options{Machine: mc, Opt: opt})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("shallow water %dx%d, %d iterations, 8 nodes\n\n",
+		params["N1"], params["N2"], params["ITERS"])
+	fmt.Printf("%-12s %-10s %12s %14s %12s\n", "cpu mode", "opt", "elapsed", "misses/node", "comm avg")
+	for _, mode := range []hpfdsm.CPUMode{hpfdsm.SingleCPU, hpfdsm.DualCPU} {
+		for _, opt := range []hpfdsm.OptLevel{hpfdsm.OptNone, hpfdsm.OptBase, hpfdsm.OptBulk, hpfdsm.OptRTElim} {
+			res := run(mode, opt)
+			fmt.Printf("%-12v %-10v %10.2fms %14.1f %10.2fms\n",
+				mode, opt, float64(res.Elapsed)/1e6,
+				res.Stats.AvgMissesPerNode(), float64(res.Stats.AvgCommTime())/1e6)
+		}
+	}
+
+	unopt := run(hpfdsm.DualCPU, hpfdsm.OptNone)
+	opt := run(hpfdsm.DualCPU, hpfdsm.OptRTElim)
+	fmt.Printf("\ncompiler-directed coherence cut execution time by %.1f%% and misses by %.1f%%\n",
+		100*(1-float64(opt.Elapsed)/float64(unopt.Elapsed)),
+		100*(1-opt.Stats.AvgMissesPerNode()/unopt.Stats.AvgMissesPerNode()))
+}

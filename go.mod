@@ -1,0 +1,3 @@
+module hpfdsm
+
+go 1.24

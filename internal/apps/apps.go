@@ -1,0 +1,87 @@
+// Package apps provides the paper's six-application suite (Table 2) as
+// mini-HPF programs, with paper-scale and test-scale parameter sets and
+// sequential Go reference implementations for correctness checking.
+//
+// Where the original source is unavailable the program reproduces the
+// published communication structure (array shapes, distributions,
+// stencil patterns, broadcast/gather/reduction mix); DESIGN.md records
+// each substitution.
+package apps
+
+import (
+	"fmt"
+
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/lang"
+)
+
+// App is one benchmark application.
+type App struct {
+	Name   string
+	Source string // mini-HPF program text
+
+	// PaperParams reproduce Table 2's problem sizes; ScaledParams are
+	// small enough for tests; BenchParams are the default for the
+	// experiment harness (big enough for the paper's effects, small
+	// enough to sweep configurations quickly).
+	PaperParams  map[string]int
+	ScaledParams map[string]int
+	BenchParams  map[string]int
+
+	// PaperProblem is Table 2's "Problem Size" text; PaperMemMB its
+	// reported memory footprint.
+	PaperProblem string
+	PaperMemMB   float64
+
+	// Reference computes the expected final contents of CheckArrays
+	// sequentially (column-major flattened, matching
+	// runtime.Result.ArrayData). Tol is the comparison tolerance
+	// (parallel reductions reassociate floating-point sums).
+	Reference   func(params map[string]int) map[string][]float64
+	CheckArrays []string
+	Tol         float64
+}
+
+// Program parses the app with the given parameter overrides.
+func (a *App) Program(params map[string]int) (*ir.Program, error) {
+	p, err := lang.ParseWithOverrides(a.Source, params)
+	if err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", a.Name, err)
+	}
+	return p, nil
+}
+
+// MemMB returns the shared-data footprint (in MiB) of the app at the
+// given parameters.
+func (a *App) MemMB(params map[string]int) float64 {
+	p, err := a.Program(params)
+	if err != nil {
+		panic(err)
+	}
+	bytes := 0
+	for _, arr := range p.Arrays {
+		bytes += arr.Elems() * 8
+	}
+	return float64(bytes) / (1 << 20)
+}
+
+// All returns the suite in the paper's Table 2 order.
+func All() []*App {
+	return []*App{PDE(), Shallow(), Grav(), LU(), CG(), Jacobi()}
+}
+
+// ByName returns the named app or an error.
+func ByName(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// idx2 flattens a column-major 2-D index (1-based).
+func idx2(n1 int, i, j int) int { return (j-1)*n1 + (i - 1) }
+
+// idx3 flattens a column-major 3-D index (1-based).
+func idx3(n1, n2 int, i, j, k int) int { return ((k-1)*n2+(j-1))*n1 + (i - 1) }

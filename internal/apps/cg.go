@@ -1,0 +1,127 @@
+package apps
+
+// CG is the paper's cg ("HPF by MIT", 180x360 matrix, converges in 630
+// iterations, 4.6 MB): a conjugate-gradient solve. The communication
+// mix is the interesting part: every iteration gathers the whole
+// search-direction vector to each processor (the matvec reads p(i) for
+// all i) and performs three global dot-product reductions. We run CG
+// on a diagonally dominant SPD system built from the same 180x360
+// footprint (A is n x n with n = 360, plus an m x n work array kept for
+// the paper's memory shape).
+func CG() *App {
+	return &App{
+		Name: "cg",
+		Source: `
+PROGRAM cg
+PARAM n = 360
+PARAM maxit = 630
+REAL a(n, n), x(n), r(n), p(n), q(n)
+SCALAR rho, rhoold, alpha, beta, pq, tol
+DISTRIBUTE a(*, BLOCK)
+DISTRIBUTE x(BLOCK)
+DISTRIBUTE r(BLOCK)
+DISTRIBUTE p(BLOCK)
+DISTRIBUTE q(BLOCK)
+
+FORALL (i = 1:n, j = 1:n)
+  a(i, j) = 1.0 / (i + j)
+END FORALL
+FORALL (j = 1:n)
+  a(j, j) = a(j, j) + 2.0   ! mildly dominant: slow convergence, like the paper's 630 iterations
+END FORALL
+FORALL (i = 1:n)
+  x(i) = 0
+  r(i) = 1.0 + 0.001 * i    ! b, since x0 = 0
+  p(i) = r(i)
+  q(i) = 0
+END FORALL
+
+STARTTIMER
+
+REDUCE (SUM, rho, i = 1:n) r(i) * r(i)
+LET tol = 1.0E-30
+
+DO t = 1, maxit
+  FORALL (j = 1:n)
+    q(j) = SUM(i = 1:n, a(i, j) * p(i))
+  END FORALL
+  REDUCE (SUM, pq, i = 1:n) p(i) * q(i)
+  LET alpha = rho / pq
+  FORALL (i = 1:n)
+    x(i) = x(i) + alpha * p(i)
+    r(i) = r(i) - alpha * q(i)
+  END FORALL
+  LET rhoold = rho
+  REDUCE (SUM, rho, i = 1:n) r(i) * r(i)
+  EXITIF rho < tol
+  LET beta = rho / rhoold
+  FORALL (i = 1:n)
+    p(i) = r(i) + beta * p(i)
+  END FORALL
+END DO
+END
+`,
+		PaperParams:  map[string]int{"N": 360, "MAXIT": 630},
+		ScaledParams: map[string]int{"N": 160, "MAXIT": 40},
+		BenchParams:  map[string]int{"N": 360, "MAXIT": 60},
+		PaperProblem: "180x360 matrix, converges in 630 iters",
+		PaperMemMB:   4.6,
+		CheckArrays:  []string{"X"},
+		Tol:          1e-7,
+		Reference:    cgRef,
+	}
+}
+
+func cgRef(params map[string]int) map[string][]float64 {
+	n, maxit := params["N"], params["MAXIT"]
+	a := make([]float64, n*n)
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			a[idx2(n, i, j)] = 1.0 / float64(i+j)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		a[idx2(n, i, i)] += 2.0
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		r[i-1] = 1.0 + 0.001*float64(i)
+		p[i-1] = r[i-1]
+	}
+	dot := func(u, v []float64) float64 {
+		s := 0.0
+		for i := range u {
+			s += u[i] * v[i]
+		}
+		return s
+	}
+	rho := dot(r, r)
+	const tol = 1e-30
+	for t := 0; t < maxit; t++ {
+		for j := 1; j <= n; j++ {
+			s := 0.0
+			for i := 1; i <= n; i++ {
+				s += a[idx2(n, i, j)] * p[i-1]
+			}
+			q[j-1] = s
+		}
+		alpha := rho / dot(p, q)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * q[i]
+		}
+		rhoold := rho
+		rho = dot(r, r)
+		if rho < tol {
+			break
+		}
+		beta := rho / rhoold
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	return map[string][]float64{"X": x}
+}

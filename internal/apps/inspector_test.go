@@ -1,0 +1,50 @@
+package apps
+
+import (
+	"testing"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/runtime"
+)
+
+// TestInspectorPrefetchOnIrregular: the inspector/executor-style
+// prefetch must preserve answers and reduce demand misses on the
+// irregular application. At realistic sizes it is a clear win; at toy
+// sizes the prefetch burst can congest the network, so the win is
+// asserted at bench size.
+func TestInspectorPrefetchOnIrregular(t *testing.T) {
+	a := Irregular()
+	run := func(insp bool) *runtime.Result {
+		prog, err := a.Program(a.BenchParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runtime.Run(prog, runtime.Options{
+			Machine: config.Default(), Opt: compiler.OptRTElim, InspectIndirect: insp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	insp := run(true)
+	// Same answers.
+	w, g := plain.ArrayData("V"), insp.ArrayData("V")
+	for k := range w {
+		if w[k] != g[k] {
+			t.Fatalf("inspector changed results at %d: %v vs %v", k, g[k], w[k])
+		}
+	}
+	pm, im := plain.Stats.TotalMisses(), insp.Stats.TotalMisses()
+	if im >= pm/2 {
+		t.Fatalf("inspector did not halve demand misses: %d -> %d", pm, im)
+	}
+	if insp.Elapsed >= plain.Elapsed {
+		t.Fatalf("inspector slower at bench size: %.2fms vs %.2fms",
+			float64(insp.Elapsed)/1e6, float64(plain.Elapsed)/1e6)
+	}
+	t.Logf("inspector: misses %d -> %d, time %.2fms -> %.2fms",
+		pm, im, float64(plain.Elapsed)/1e6, float64(insp.Elapsed)/1e6)
+}

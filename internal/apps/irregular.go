@@ -1,0 +1,116 @@
+package apps
+
+import "math"
+
+// Irregular is the benchmark class the paper's conclusion announces as
+// future work: "a mix of simple affine array subscript and indirect
+// array subscripts ... not amenable to purely message-passing
+// approaches". It is not part of Table 2; it demonstrates the
+// shared-memory versatility argument: the affine references still get
+// compiler-directed transfers, the indirect gather transparently rides
+// the default coherence protocol, and the message-passing backend must
+// reject the program outright.
+//
+// The kernel couples a structured 2-D field (pure affine stencil,
+// fully optimizable) with an unstructured 1-D smoothing operator whose
+// scattered partners come from a static index map (an
+// unstructured-mesh edge list in miniature): the mix the paper
+// describes.
+func Irregular() *App {
+	return &App{
+		Name: "irregular",
+		Source: `
+PROGRAM irregular
+PARAM n = 4096
+PARAM m = 128
+PARAM iters = 20
+REAL v(n), x(n), map1(n), map2(n)
+REAL w(m, m), wnew(m, m)
+DISTRIBUTE v(BLOCK)
+DISTRIBUTE x(BLOCK)
+DISTRIBUTE map1(BLOCK)
+DISTRIBUTE map2(BLOCK)
+DISTRIBUTE w(*, BLOCK)
+DISTRIBUTE wnew(*, BLOCK)
+
+FORALL (i = 1:n)
+  map1(i) = 1 + MOD(97 * i, n)    ! scattered partners
+  map2(i) = 1 + MOD(389 * i + 7, n)
+  v(i) = 0.001 * i
+  x(i) = 0
+END FORALL
+FORALL (i = 1:m, j = 1:m)
+  w(i, j) = 0.01 * i + 0.02 * j
+  wnew(i, j) = 0
+END FORALL
+
+STARTTIMER
+
+DO t = 1, iters
+  ! Structured part: plain affine stencil, fully under compiler control.
+  FORALL (i = 2:m-1, j = 2:m-1)
+    wnew(i, j) = 0.25 * (w(i-1, j) + w(i+1, j) + w(i, j-1) + w(i, j+1))
+  END FORALL
+  FORALL (i = 2:m-1, j = 2:m-1)
+    w(i, j) = wnew(i, j)
+  END FORALL
+  ! Unstructured part: indirect gathers ride the default protocol.
+  FORALL (i = 2:n-1)
+    x(i) = 0.4 * v(i) + 0.2 * (v(i-1) + v(i+1)) + 0.1 * (v(map1(i)) + v(map2(i)))
+  END FORALL
+  FORALL (i = 2:n-1)
+    v(i) = x(i)
+  END FORALL
+END DO
+END
+`,
+		PaperParams:  map[string]int{"N": 65536, "M": 512, "ITERS": 50},
+		ScaledParams: map[string]int{"N": 1024, "M": 64, "ITERS": 6},
+		BenchParams:  map[string]int{"N": 4096, "M": 128, "ITERS": 20},
+		PaperProblem: "future work (paper §7): affine + indirect subscripts",
+		PaperMemMB:   2,
+		CheckArrays:  []string{"V", "W"},
+		Tol:          1e-12,
+		Reference:    irregularRef,
+	}
+}
+
+func irregularRef(params map[string]int) map[string][]float64 {
+	n, m, iters := params["N"], params["M"], params["ITERS"]
+	v := make([]float64, n+1)
+	x := make([]float64, n+1)
+	m1 := make([]int, n+1)
+	m2 := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		m1[i] = 1 + int(math.Mod(float64(97*i), float64(n)))
+		m2[i] = 1 + int(math.Mod(float64(389*i+7), float64(n)))
+		v[i] = 0.001 * float64(i)
+	}
+	w := make([]float64, m*m)
+	wn := make([]float64, m*m)
+	at := func(a []float64, i, j int) *float64 { return &a[(j-1)*m+(i-1)] }
+	for j := 1; j <= m; j++ {
+		for i := 1; i <= m; i++ {
+			*at(w, i, j) = 0.01*float64(i) + 0.02*float64(j)
+		}
+	}
+	for t := 0; t < iters; t++ {
+		for j := 2; j <= m-1; j++ {
+			for i := 2; i <= m-1; i++ {
+				*at(wn, i, j) = 0.25 * (*at(w, i-1, j) + *at(w, i+1, j) + *at(w, i, j-1) + *at(w, i, j+1))
+			}
+		}
+		for j := 2; j <= m-1; j++ {
+			for i := 2; i <= m-1; i++ {
+				*at(w, i, j) = *at(wn, i, j)
+			}
+		}
+		for i := 2; i <= n-1; i++ {
+			x[i] = 0.4*v[i] + 0.2*(v[i-1]+v[i+1]) + 0.1*(v[m1[i]]+v[m2[i]])
+		}
+		for i := 2; i <= n-1; i++ {
+			v[i] = x[i]
+		}
+	}
+	return map[string][]float64{"V": v[1:], "W": w}
+}

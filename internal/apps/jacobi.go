@@ -1,0 +1,75 @@
+package apps
+
+// Jacobi is the paper's jacobi: a 2048x2048 four-point relaxation,
+// 100 iterations ("HPF by authors", 32 MB). Communication: one
+// boundary column to each neighbour per sweep.
+func Jacobi() *App {
+	return &App{
+		Name: "jacobi",
+		Source: `
+PROGRAM jacobi
+PARAM n = 2048
+PARAM iters = 100
+REAL a(n, n), b(n, n)
+DISTRIBUTE a(*, BLOCK)
+DISTRIBUTE b(*, BLOCK)
+
+FORALL (i = 1:n, j = 1:n)
+  a(i, j) = 0
+  b(i, j) = 0
+END FORALL
+FORALL (i = 1:n, j = 1:1)
+  a(i, j) = 1          ! hot west boundary
+END FORALL
+FORALL (i = 1:1, j = 1:n)
+  a(i, j) = 2          ! hot north boundary
+END FORALL
+
+STARTTIMER
+
+DO t = 1, iters
+  FORALL (i = 2:n-1, j = 2:n-1)
+    b(i, j) = 0.25 * (a(i-1, j) + a(i+1, j) + a(i, j-1) + a(i, j+1))
+  END FORALL
+  FORALL (i = 2:n-1, j = 2:n-1)
+    a(i, j) = b(i, j)
+  END FORALL
+END DO
+END
+`,
+		PaperParams:  map[string]int{"N": 2048, "ITERS": 100},
+		ScaledParams: map[string]int{"N": 128, "ITERS": 8},
+		BenchParams:  map[string]int{"N": 512, "ITERS": 12},
+		PaperProblem: "2048x2048 matrix, 100 iters",
+		PaperMemMB:   32,
+		CheckArrays:  []string{"A"},
+		Tol:          1e-12,
+		Reference:    jacobiRef,
+	}
+}
+
+func jacobiRef(params map[string]int) map[string][]float64 {
+	n, iters := params["N"], params["ITERS"]
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := 1; i <= n; i++ {
+		a[idx2(n, i, 1)] = 1
+	}
+	for j := 1; j <= n; j++ {
+		a[idx2(n, 1, j)] = 2
+	}
+	for t := 0; t < iters; t++ {
+		for j := 2; j <= n-1; j++ {
+			for i := 2; i <= n-1; i++ {
+				b[idx2(n, i, j)] = 0.25 * (a[idx2(n, i-1, j)] + a[idx2(n, i+1, j)] +
+					a[idx2(n, i, j-1)] + a[idx2(n, i, j+1)])
+			}
+		}
+		for j := 2; j <= n-1; j++ {
+			for i := 2; i <= n-1; i++ {
+				a[idx2(n, i, j)] = b[idx2(n, i, j)]
+			}
+		}
+	}
+	return map[string][]float64{"A": a}
+}

@@ -1,0 +1,67 @@
+package apps
+
+import "math"
+
+// LU is the paper's lu: LU decomposition (no pivoting) of a 1024x1024
+// matrix ("Stanford, HPF by authors", 4 MB later refitted as 8 MB with
+// one array). Columns are dealt cyclically for load balance; each
+// elimination step broadcasts the pivot column to every processor, and
+// the triangular iteration space shrinks the transfers — the edge
+// effects the paper discusses.
+func LU() *App {
+	return &App{
+		Name: "lu",
+		Source: `
+PROGRAM lu
+PARAM n = 1024
+REAL a(n, n)
+DISTRIBUTE a(*, CYCLIC)
+
+FORALL (i = 1:n, j = 1:n)
+  a(i, j) = MIN(i, j) + 0.01*i + 0.02*j
+END FORALL
+
+STARTTIMER
+
+DO k = 1, n-1
+  FORALL (i = k+1:n)
+    a(i, k) = a(i, k) / a(k, k)
+  END FORALL
+  FORALL (i = k+1:n, j = k+1:n)
+    a(i, j) = a(i, j) - a(i, k) * a(k, j)
+  END FORALL
+END DO
+END
+`,
+		PaperParams:  map[string]int{"N": 1024},
+		ScaledParams: map[string]int{"N": 96},
+		BenchParams:  map[string]int{"N": 192},
+		PaperProblem: "1024x1024 matrix (5 runs)",
+		PaperMemMB:   4,
+		CheckArrays:  []string{"A"},
+		Tol:          1e-8,
+		Reference:    luRef,
+	}
+}
+
+func luRef(params map[string]int) map[string][]float64 {
+	n := params["N"]
+	a := make([]float64, n*n)
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			a[idx2(n, i, j)] = math.Min(float64(i), float64(j)) + 0.01*float64(i) + 0.02*float64(j)
+		}
+	}
+	for k := 1; k <= n-1; k++ {
+		for i := k + 1; i <= n; i++ {
+			a[idx2(n, i, k)] /= a[idx2(n, k, k)]
+		}
+		for j := k + 1; j <= n; j++ {
+			akj := a[idx2(n, k, j)]
+			for i := k + 1; i <= n; i++ {
+				a[idx2(n, i, j)] -= a[idx2(n, i, k)] * akj
+			}
+		}
+	}
+	return map[string][]float64{"A": a}
+}

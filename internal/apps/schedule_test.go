@@ -1,0 +1,203 @@
+package apps
+
+import (
+	"testing"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/runtime"
+)
+
+// analysisOf compiles an app at scaled size and returns its program and
+// analysis (via a completed run, which binds layouts).
+func analysisOf(t *testing.T, name string) (*ir.Program, *runtime.Result) {
+	t.Helper()
+	a, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.Program(a.ScaledParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.Run(prog, runtime.Options{Machine: config.Default(), Opt: compiler.OptBulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, res
+}
+
+// loops returns the parallel loops of the main sequential loop, in
+// order, flattening inlined subroutine blocks.
+func timeLoops(prog *ir.Program) []*ir.ParLoop {
+	var out []*ir.ParLoop
+	var walk func(ss []ir.Stmt)
+	walk = func(ss []ir.Stmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case *ir.ParLoop:
+				out = append(out, st)
+			case *ir.Block:
+				walk(st.Body)
+			case *ir.SeqLoop:
+				walk(st.Body)
+			}
+		}
+	}
+	for _, s := range prog.Body {
+		if sl, ok := s.(*ir.SeqLoop); ok {
+			walk(sl.Body)
+		}
+	}
+	return out
+}
+
+func TestJacobiScheduleShape(t *testing.T) {
+	prog, res := analysisOf(t, "jacobi")
+	an := res.Analysis()
+	env := map[string]int{}
+	for k, v := range prog.Params {
+		env[k] = v
+	}
+	env["T"] = 1
+	sweep := timeLoops(prog)[0]
+	rule := an.LoopRuleOf(sweep)
+	sched := an.Schedule(sweep, rule, env)
+	// Boundary exchange: 2*(np-1) transfers, nearest neighbours only.
+	if len(sched.Reads) != 14 {
+		t.Fatalf("jacobi sweep transfers = %d, want 14", len(sched.Reads))
+	}
+	for _, tr := range sched.Reads {
+		d := tr.Sender - tr.Receiver
+		if d != 1 && d != -1 {
+			t.Fatalf("non-neighbour transfer %v", tr)
+		}
+		if tr.Sec.Dims[1].Count() != 1 {
+			t.Fatalf("transfer spans %d columns", tr.Sec.Dims[1].Count())
+		}
+	}
+	if len(sched.Writes) != 0 {
+		t.Fatal("jacobi has no non-owner writes")
+	}
+}
+
+func TestLUBroadcastShrinksWithK(t *testing.T) {
+	prog, res := analysisOf(t, "lu")
+	an := res.Analysis()
+	var update *ir.ParLoop
+	for _, pl := range timeLoops(prog) {
+		if len(pl.Indexes) == 2 {
+			update = pl
+		}
+	}
+	rule := an.LoopRuleOf(update)
+	env := map[string]int{"N": 96}
+	env["K"] = 10
+	early := an.Schedule(update, rule, env)
+	env2 := map[string]int{"N": 96, "K": 90}
+	late := an.Schedule(update, rule, env2)
+	// The pivot column broadcast: one sender, multiple receivers.
+	senders := map[int]bool{}
+	var earlyBlocks, lateBlocks int
+	for _, tr := range early.Reads {
+		senders[tr.Sender] = true
+		earlyBlocks += tr.NumBlocks
+	}
+	if len(senders) != 1 {
+		t.Fatalf("pivot broadcast has %d senders", len(senders))
+	}
+	for _, tr := range late.Reads {
+		lateBlocks += tr.NumBlocks
+	}
+	// Triangular shrink: the late broadcast moves fewer whole blocks
+	// (the paper's edge-effects discussion for lu).
+	if lateBlocks >= earlyBlocks {
+		t.Fatalf("late broadcast (%d blocks) not smaller than early (%d)", lateBlocks, earlyBlocks)
+	}
+}
+
+func TestCGGatherCoversVector(t *testing.T) {
+	prog, res := analysisOf(t, "cg")
+	an := res.Analysis()
+	var matvec *ir.ParLoop
+	for _, pl := range timeLoops(prog) {
+		for _, as := range pl.Body {
+			if as.LHS.Array.Name == "Q" {
+				matvec = pl
+			}
+		}
+	}
+	if matvec == nil {
+		t.Fatal("matvec loop not found")
+	}
+	rule := an.LoopRuleOf(matvec)
+	env := map[string]int{}
+	for k, v := range prog.Params {
+		env[k] = v
+	}
+	env["T"] = 1
+	sched := an.Schedule(matvec, rule, env)
+	// Every processor gathers the rest of p: total gathered elements
+	// = np * (n - n/np).
+	n := prog.Param("N")
+	np := 8
+	total := 0
+	for _, tr := range sched.Reads {
+		if tr.Array.Name != "P" {
+			t.Fatalf("unexpected transfer array %s", tr.Array.Name)
+		}
+		total += tr.Sec.Count()
+	}
+	if want := np * (n - n/np); total != want {
+		t.Fatalf("gathered %d elements, want %d", total, want)
+	}
+}
+
+func TestPDETransfersPlanes(t *testing.T) {
+	prog, res := analysisOf(t, "pde")
+	an := res.Analysis()
+	sweep := timeLoops(prog)[0]
+	rule := an.LoopRuleOf(sweep)
+	env := map[string]int{}
+	for k, v := range prog.Params {
+		env[k] = v
+	}
+	env["T"] = 1
+	sched := an.Schedule(sweep, rule, env)
+	// Reads: u's k±1 boundary planes and f's k±1 static source planes.
+	arrays := map[string]int{}
+	for _, tr := range sched.Reads {
+		arrays[tr.Array.Name]++
+		if tr.Sec.Dims[2].Count() != 1 {
+			t.Fatalf("plane transfer spans %d planes", tr.Sec.Dims[2].Count())
+		}
+	}
+	if arrays["U"] != 14 || arrays["F"] != 14 {
+		t.Fatalf("plane transfer counts = %v, want U:14 F:14", arrays)
+	}
+	// f's transfers are the PRE opportunity.
+	for _, rr := range rule.Reads {
+		if rr.Ref.Array.Name == "F" && !rr.Redundant {
+			t.Fatalf("f transfer not marked redundant: %v", rr.Ref)
+		}
+	}
+}
+
+func TestShallowWrapIsFixedTransfer(t *testing.T) {
+	prog, res := analysisOf(t, "shallow")
+	an := res.Analysis()
+	var wrap *ir.ParLoop
+	for _, pl := range timeLoops(prog) {
+		if len(pl.Indexes) == 1 && len(pl.Body) == 1 && pl.Body[0].LHS.Array.Name == "PNEW" {
+			wrap = pl
+		}
+	}
+	if wrap == nil {
+		t.Fatal("pnew wrap loop not found")
+	}
+	rule := an.LoopRuleOf(wrap)
+	if len(rule.Reads) != 1 || rule.Reads[0].Kind != compiler.KindFixed {
+		t.Fatalf("wrap read rules = %+v", rule.Reads)
+	}
+}

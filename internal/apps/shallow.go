@@ -1,0 +1,229 @@
+package apps
+
+// Shallow is the paper's shallow ("NCAR, HPF by PGI": 1025x513 grid,
+// 100 iterations, 28 MB): the classic shallow-water-equations
+// benchmark. Thirteen state arrays are updated by three stencil loop
+// groups per time step (flux/vorticity, advance, time smoothing), plus
+// periodic column-wrap copies; communication is boundary columns
+// between neighbours, the pattern the paper's optimization targets
+// best. The paper's 28 MB footprint implies 32-bit reals; our arrays
+// are float64, so the measured footprint is about twice that.
+func Shallow() *App {
+	return &App{
+		Name: "shallow",
+		Source: `
+PROGRAM shallow
+PARAM n1 = 1025
+PARAM n2 = 513
+PARAM iters = 100
+REAL u(n1, n2), v(n1, n2), p(n1, n2)
+REAL unew(n1, n2), vnew(n1, n2), pnew(n1, n2)
+REAL uold(n1, n2), vold(n1, n2), pold(n1, n2)
+REAL cu(n1, n2), cv(n1, n2), z(n1, n2), h(n1, n2)
+REAL cor(n1, n2)   ! static metric/Coriolis factors
+SCALAR fsdx, fsdy, tdts8, tdtsdx, tdtsdy, alpha
+DISTRIBUTE u(*, BLOCK)
+DISTRIBUTE v(*, BLOCK)
+DISTRIBUTE p(*, BLOCK)
+DISTRIBUTE unew(*, BLOCK)
+DISTRIBUTE vnew(*, BLOCK)
+DISTRIBUTE pnew(*, BLOCK)
+DISTRIBUTE uold(*, BLOCK)
+DISTRIBUTE vold(*, BLOCK)
+DISTRIBUTE pold(*, BLOCK)
+DISTRIBUTE cu(*, BLOCK)
+DISTRIBUTE cv(*, BLOCK)
+DISTRIBUTE z(*, BLOCK)
+DISTRIBUTE h(*, BLOCK)
+DISTRIBUTE cor(*, BLOCK)
+
+LET fsdx = 0.00004
+LET fsdy = 0.00004
+LET tdts8 = 0.0000002
+LET tdtsdx = 0.0000005
+LET tdtsdy = 0.0000005
+LET alpha = 0.001
+
+FORALL (i = 1:n1, j = 1:n2)
+  p(i, j) = 50000.0 + i + 2*j
+  u(i, j) = 10.0 + 0.01 * i
+  v(i, j) = -5.0 + 0.01 * j
+  uold(i, j) = u(i, j)
+  vold(i, j) = v(i, j)
+  pold(i, j) = p(i, j)
+  unew(i, j) = 0
+  vnew(i, j) = 0
+  pnew(i, j) = 0
+  cu(i, j) = 0
+  cv(i, j) = 0
+  z(i, j) = 0
+  h(i, j) = 0
+  cor(i, j) = 0.0001 * i + 0.0002 * j
+END FORALL
+
+STARTTIMER
+
+! The original is structured as subroutines (the paper: codes are
+! "justifiably written in terms of subroutines"); CALL inlines them.
+SUB fluxes
+  ! Loop 100: fluxes, vorticity, height.
+  FORALL (i = 2:n1, j = 1:n2-1)
+    cu(i, j) = 0.5 * (p(i, j) + p(i-1, j)) * u(i, j)
+  END FORALL
+  FORALL (i = 1:n1-1, j = 2:n2)
+    cv(i, j) = 0.5 * (p(i, j) + p(i, j-1)) * v(i, j)
+  END FORALL
+  FORALL (i = 2:n1, j = 2:n2)
+    z(i, j) = (fsdx * (v(i, j) - v(i-1, j)) - fsdy * (u(i, j) - u(i, j-1))) / (p(i-1, j-1) + p(i, j-1) + p(i, j) + p(i-1, j))
+  END FORALL
+  FORALL (i = 1:n1-1, j = 1:n2-1)
+    h(i, j) = p(i, j) + 0.25 * (u(i+1, j) * u(i+1, j) + u(i, j) * u(i, j) + v(i, j+1) * v(i, j+1) + v(i, j) * v(i, j))
+  END FORALL
+END SUB
+
+SUB advance
+  ! Loop 200: advance the solution.
+  FORALL (i = 2:n1, j = 1:n2-1)
+    unew(i, j) = uold(i, j) + tdts8 * (z(i, j+1) + z(i, j)) * (cv(i, j+1) + cv(i-1, j+1) + cv(i-1, j) + cv(i, j)) - tdtsdx * (h(i, j) - h(i-1, j)) + 0.00001 * (cor(i, j+1) + cor(i, j))
+  END FORALL
+  FORALL (i = 1:n1-1, j = 2:n2)
+    vnew(i, j) = vold(i, j) - tdts8 * (z(i+1, j) + z(i, j)) * (cu(i+1, j) + cu(i, j) + cu(i, j-1) + cu(i+1, j-1)) - tdtsdy * (h(i, j) - h(i, j-1)) - 0.00001 * (cor(i, j-1) + cor(i, j))
+  END FORALL
+  FORALL (i = 1:n1-1, j = 1:n2-1)
+    pnew(i, j) = pold(i, j) - tdtsdx * (cu(i+1, j) - cu(i, j)) - tdtsdy * (cv(i, j+1) - cv(i, j))
+  END FORALL
+
+  ! Periodic wrap of the new pressure's first/last columns.
+  FORALL (i = 1:n1)
+    pnew(i, n2) = pnew(i, 1)
+  END FORALL
+  FORALL (i = 1:n1)
+    unew(i, n2) = unew(i, 1)
+  END FORALL
+END SUB
+
+SUB smooth
+  ! Loop 300: time smoothing and rotation.
+  FORALL (i = 1:n1, j = 1:n2)
+    uold(i, j) = u(i, j) + alpha * (unew(i, j) - 2.0 * u(i, j) + uold(i, j))
+    vold(i, j) = v(i, j) + alpha * (vnew(i, j) - 2.0 * v(i, j) + vold(i, j))
+    pold(i, j) = p(i, j) + alpha * (pnew(i, j) - 2.0 * p(i, j) + pold(i, j))
+  END FORALL
+  FORALL (i = 1:n1, j = 1:n2)
+    u(i, j) = unew(i, j)
+    v(i, j) = vnew(i, j)
+    p(i, j) = pnew(i, j)
+  END FORALL
+END SUB
+
+DO t = 1, iters
+  CALL fluxes
+  CALL advance
+  CALL smooth
+END DO
+END
+`,
+		PaperParams:  map[string]int{"N1": 1025, "N2": 513, "ITERS": 100},
+		ScaledParams: map[string]int{"N1": 129, "N2": 65, "ITERS": 6},
+		BenchParams:  map[string]int{"N1": 257, "N2": 129, "ITERS": 10},
+		PaperProblem: "1025x513 grid, 100 iters",
+		PaperMemMB:   28,
+		CheckArrays:  []string{"P", "U"},
+		Tol:          1e-9,
+		Reference:    shallowRef,
+	}
+}
+
+func shallowRef(params map[string]int) map[string][]float64 {
+	n1, n2, iters := params["N1"], params["N2"], params["ITERS"]
+	sz := n1 * n2
+	mk := func() []float64 { return make([]float64, sz) }
+	u, v, p := mk(), mk(), mk()
+	unew, vnew, pnew := mk(), mk(), mk()
+	uold, vold, pold := mk(), mk(), mk()
+	cu, cv, z, h, cor := mk(), mk(), mk(), mk(), mk()
+	at := func(m []float64, i, j int) *float64 { return &m[idx2(n1, i, j)] }
+
+	const (
+		fsdx   = 0.00004
+		fsdy   = 0.00004
+		tdts8  = 0.0000002
+		tdtsdx = 0.0000005
+		tdtsdy = 0.0000005
+		alpha  = 0.001
+	)
+	for j := 1; j <= n2; j++ {
+		for i := 1; i <= n1; i++ {
+			*at(p, i, j) = 50000.0 + float64(i) + 2*float64(j)
+			*at(u, i, j) = 10.0 + 0.01*float64(i)
+			*at(v, i, j) = -5.0 + 0.01*float64(j)
+			*at(uold, i, j) = *at(u, i, j)
+			*at(vold, i, j) = *at(v, i, j)
+			*at(pold, i, j) = *at(p, i, j)
+			*at(cor, i, j) = 0.0001*float64(i) + 0.0002*float64(j)
+		}
+	}
+	for t := 0; t < iters; t++ {
+		for j := 1; j <= n2-1; j++ {
+			for i := 2; i <= n1; i++ {
+				*at(cu, i, j) = 0.5 * (*at(p, i, j) + *at(p, i-1, j)) * *at(u, i, j)
+			}
+		}
+		for j := 2; j <= n2; j++ {
+			for i := 1; i <= n1-1; i++ {
+				*at(cv, i, j) = 0.5 * (*at(p, i, j) + *at(p, i, j-1)) * *at(v, i, j)
+			}
+		}
+		for j := 2; j <= n2; j++ {
+			for i := 2; i <= n1; i++ {
+				*at(z, i, j) = (fsdx*(*at(v, i, j)-*at(v, i-1, j)) - fsdy*(*at(u, i, j)-*at(u, i, j-1))) /
+					(*at(p, i-1, j-1) + *at(p, i, j-1) + *at(p, i, j) + *at(p, i-1, j))
+			}
+		}
+		for j := 1; j <= n2-1; j++ {
+			for i := 1; i <= n1-1; i++ {
+				*at(h, i, j) = *at(p, i, j) + 0.25*(*at(u, i+1, j)**at(u, i+1, j)+*at(u, i, j)**at(u, i, j)+
+					*at(v, i, j+1)**at(v, i, j+1)+*at(v, i, j)**at(v, i, j))
+			}
+		}
+		for j := 1; j <= n2-1; j++ {
+			for i := 2; i <= n1; i++ {
+				*at(unew, i, j) = *at(uold, i, j) + tdts8*(*at(z, i, j+1)+*at(z, i, j))*
+					(*at(cv, i, j+1)+*at(cv, i-1, j+1)+*at(cv, i-1, j)+*at(cv, i, j)) -
+					tdtsdx*(*at(h, i, j)-*at(h, i-1, j)) + 0.00001*(*at(cor, i, j+1)+*at(cor, i, j))
+			}
+		}
+		for j := 2; j <= n2; j++ {
+			for i := 1; i <= n1-1; i++ {
+				*at(vnew, i, j) = *at(vold, i, j) - tdts8*(*at(z, i+1, j)+*at(z, i, j))*
+					(*at(cu, i+1, j)+*at(cu, i, j)+*at(cu, i, j-1)+*at(cu, i+1, j-1)) -
+					tdtsdy*(*at(h, i, j)-*at(h, i, j-1)) - 0.00001*(*at(cor, i, j-1)+*at(cor, i, j))
+			}
+		}
+		for j := 1; j <= n2-1; j++ {
+			for i := 1; i <= n1-1; i++ {
+				*at(pnew, i, j) = *at(pold, i, j) - tdtsdx*(*at(cu, i+1, j)-*at(cu, i, j)) -
+					tdtsdy*(*at(cv, i, j+1)-*at(cv, i, j))
+			}
+		}
+		for i := 1; i <= n1; i++ {
+			*at(pnew, i, n2) = *at(pnew, i, 1)
+			*at(unew, i, n2) = *at(unew, i, 1)
+		}
+		for j := 1; j <= n2; j++ {
+			for i := 1; i <= n1; i++ {
+				*at(uold, i, j) = *at(u, i, j) + alpha*(*at(unew, i, j)-2.0**at(u, i, j)+*at(uold, i, j))
+				*at(vold, i, j) = *at(v, i, j) + alpha*(*at(vnew, i, j)-2.0**at(v, i, j)+*at(vold, i, j))
+				*at(pold, i, j) = *at(p, i, j) + alpha*(*at(pnew, i, j)-2.0**at(p, i, j)+*at(pold, i, j))
+			}
+		}
+		for j := 1; j <= n2; j++ {
+			for i := 1; i <= n1; i++ {
+				*at(u, i, j) = *at(unew, i, j)
+				*at(v, i, j) = *at(vnew, i, j)
+				*at(p, i, j) = *at(pnew, i, j)
+			}
+		}
+	}
+	return map[string][]float64{"P": p, "U": u}
+}

@@ -1,0 +1,135 @@
+// Package bench is the experiment harness: it reruns the paper's
+// evaluation — Figure 1, Tables 1-3, Figure 4, plus the PRE and
+// block-size ablations — on the simulated cluster and formats the same
+// rows and series the paper reports. cmd/paperbench drives it from the
+// command line; the repository's benchmarks reuse it.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/runtime"
+	"hpfdsm/internal/sim"
+)
+
+// Sizing selects the problem sizes for suite experiments.
+type Sizing int
+
+// Sizings.
+const (
+	// Bench sizes run the full sweep in minutes.
+	Bench Sizing = iota
+	// Paper sizes match Table 2 (slow: tens of minutes).
+	Paper
+	// Scaled sizes are the small test configurations.
+	Scaled
+)
+
+// ParamsFor returns an app's parameters under a sizing.
+func ParamsFor(a *apps.App, s Sizing) map[string]int {
+	switch s {
+	case Paper:
+		return a.PaperParams
+	case Scaled:
+		return a.ScaledParams
+	default:
+		return a.BenchParams
+	}
+}
+
+// Variant is one machine/optimization configuration of the sweep.
+type Variant struct {
+	Key     string
+	Nodes   int
+	CPUMode config.CPUMode
+	Opt     compiler.Level
+	Backend runtime.Backend
+}
+
+// Variants returns the full paper sweep: a uniprocessor baseline,
+// unoptimized and optimized shared memory on both CPU configurations,
+// the intermediate optimization levels (for Figure 4), PRE, and the
+// message-passing baseline.
+func Variants(nodes int) []Variant {
+	return []Variant{
+		{Key: "uni", Nodes: 1, CPUMode: config.DualCPU, Opt: compiler.OptNone},
+		{Key: "unopt-single", Nodes: nodes, CPUMode: config.SingleCPU, Opt: compiler.OptNone},
+		{Key: "unopt-dual", Nodes: nodes, CPUMode: config.DualCPU, Opt: compiler.OptNone},
+		{Key: "base-dual", Nodes: nodes, CPUMode: config.DualCPU, Opt: compiler.OptBase},
+		{Key: "bulk-dual", Nodes: nodes, CPUMode: config.DualCPU, Opt: compiler.OptBulk},
+		{Key: "opt-single", Nodes: nodes, CPUMode: config.SingleCPU, Opt: compiler.OptRTElim},
+		{Key: "opt-dual", Nodes: nodes, CPUMode: config.DualCPU, Opt: compiler.OptRTElim},
+		{Key: "pre-dual", Nodes: nodes, CPUMode: config.DualCPU, Opt: compiler.OptPRE},
+		{Key: "mp", Nodes: nodes, CPUMode: config.DualCPU, Backend: runtime.MessagePassing},
+	}
+}
+
+// RunApp executes one app under one variant.
+func RunApp(a *apps.App, params map[string]int, v Variant) (*runtime.Result, error) {
+	prog, err := a.Program(params)
+	if err != nil {
+		return nil, err
+	}
+	mc := config.Default().WithNodes(v.Nodes).WithCPUMode(v.CPUMode)
+	return runtime.Run(prog, runtime.Options{Machine: mc, Opt: v.Opt, Backend: v.Backend})
+}
+
+// SuiteResults holds one result per (app, variant key).
+type SuiteResults struct {
+	Sizing  Sizing
+	Results map[string]map[string]*runtime.Result
+}
+
+// Get returns the result for an app/variant pair.
+func (s *SuiteResults) Get(app, key string) *runtime.Result {
+	return s.Results[app][key]
+}
+
+// RunSuite runs every app under every variant, logging progress to w
+// (which may be nil).
+func RunSuite(sizing Sizing, nodes int, w io.Writer) (*SuiteResults, error) {
+	out := &SuiteResults{Sizing: sizing, Results: map[string]map[string]*runtime.Result{}}
+	for _, a := range apps.All() {
+		out.Results[a.Name] = map[string]*runtime.Result{}
+		params := ParamsFor(a, sizing)
+		for _, v := range Variants(nodes) {
+			if w != nil {
+				fmt.Fprintf(w, "running %-8s %-13s ... ", a.Name, v.Key)
+			}
+			res, err := RunApp(a, params, v)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", a.Name, v.Key, err)
+			}
+			out.Results[a.Name][v.Key] = res
+			if w != nil {
+				fmt.Fprintf(w, "%8.2f ms, %7d misses\n", ms(res.Elapsed), res.Stats.TotalMisses())
+			}
+		}
+	}
+	return out, nil
+}
+
+// AppNames returns the suite's app names in Table 2 order.
+func AppNames() []string {
+	var names []string
+	for _, a := range apps.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+func ms(t sim.Time) float64 { return float64(t) / 1e6 }
+
+func sortedKeys[V any](m map[string]V) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

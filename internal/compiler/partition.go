@@ -1,0 +1,117 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"hpfdsm/internal/ir"
+)
+
+// Partition is the owner-computes work assignment of one loop for one
+// symbol valuation: per processor, the inclusive ranges of the
+// distributed loop variable it executes. When the loop has no
+// distributed variable (the anchor's last subscript is fixed), a single
+// processor executes the whole nest.
+type Partition struct {
+	DistVar string
+	Ranges  [][][2]int // per processor
+	Single  bool
+	Exec    int // executing processor when Single
+}
+
+// Executes reports whether processor p runs any iterations.
+func (pt *Partition) Executes(p int) bool {
+	if pt.Single {
+		return p == pt.Exec
+	}
+	return len(pt.Ranges[p]) > 0
+}
+
+// envSig builds the memoization signature from the used symbols.
+func envSig(used []string, env map[string]int) string {
+	if len(used) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range used {
+		val, ok := env[v]
+		if !ok {
+			panic(fmt.Sprintf("compiler: symbol %q unbound at schedule instantiation", v))
+		}
+		fmt.Fprintf(&b, "%s=%d;", v, val)
+	}
+	return b.String()
+}
+
+// Partition computes (and memoizes) the work partition for a loop rule
+// under the given symbol environment. key identifies the loop (the
+// *ir.ParLoop or *ir.Reduce pointer).
+func (a *Analysis) Partition(key any, rule *LoopRule, env map[string]int) *Partition {
+	ck := schedKey{loop: key, sig: "part|" + envSig(rule.UsedSym, env)}
+	if pt, ok := a.partCache[ck]; ok {
+		return pt
+	}
+	pt := a.buildPartition(rule, env)
+	a.partCache[ck] = pt
+	return pt
+}
+
+func (a *Analysis) buildPartition(rule *LoopRule, env map[string]int) *Partition {
+	anchor := rule.Anchor
+	d := a.dists[anchor.Array]
+	last := anchor.Subs[len(anchor.Subs)-1]
+
+	if rule.DistVar == "" {
+		t := last.Eval(env)
+		clampIndex(&t, d.Extent)
+		return &Partition{Single: true, Exec: d.Owner(t)}
+	}
+
+	// Range of the distributed variable.
+	var ix *ir.Index
+	for i := range rule.Indexes {
+		if rule.Indexes[i].Var == rule.DistVar {
+			ix = &rule.Indexes[i]
+		}
+	}
+	if ix == nil {
+		panic("compiler: distributed variable not among loop indexes")
+	}
+	lo, hi := ix.Lo.Eval(env), ix.Hi.Eval(env)
+	// Constant part of the anchor subscript: t = j + c.
+	c := last.Sub(ir.V(rule.DistVar)).Eval(env)
+
+	pt := &Partition{DistVar: rule.DistVar, Ranges: make([][][2]int, a.NP)}
+	if lo > hi {
+		return pt // empty loop
+	}
+	tlo, thi := lo+c, hi+c
+	if tlo < 1 || thi > d.Extent {
+		panic(fmt.Sprintf("compiler: loop over %s drives %s's distributed subscript out of range: %d..%d not in 1..%d",
+			rule.DistVar, anchor.Array.Name, tlo, thi, d.Extent))
+	}
+	for p := 0; p < a.NP; p++ {
+		for _, r := range d.OwnedRanges(p) {
+			l, h := r[0], r[1]
+			if l < tlo {
+				l = tlo
+			}
+			if h > thi {
+				h = thi
+			}
+			if l <= h {
+				pt.Ranges[p] = append(pt.Ranges[p], [2]int{l - c, h - c})
+			}
+		}
+	}
+	return pt
+}
+
+func clampIndex(t *int, extent int) {
+	if *t < 1 {
+		*t = 1
+	}
+	if *t > extent {
+		*t = extent
+	}
+}

@@ -1,0 +1,230 @@
+package compiler
+
+import (
+	"hpfdsm/internal/ir"
+)
+
+// markRedundant is the partial-redundancy-elimination pass sketched in
+// Section 4.3 (and planned as future work in the paper): a read
+// transfer is redundant if an identical transfer — same array, same
+// access pattern, same bounds — happened earlier with no intervening
+// write to the array, in which case the data is still valid in the
+// readers' compiler-controlled frames (which, under run-time overhead
+// elimination, were never invalidated).
+//
+// The pass works on each statement sequence (the program body and each
+// sequential loop body) treated as a cycle: a transfer may be made
+// redundant by the same-iteration past or, when nothing in the whole
+// cycle writes the array, by the previous iteration. Rules whose
+// schedules depend on sequential loop variables (UsedSym non-empty)
+// are never marked across iterations, since their sections change.
+func (a *Analysis) markRedundant() {
+	// A subroutine called from several sites shares its loop rules
+	// between those sites (inline expansion reuses statement pointers);
+	// a redundancy fact proven at one site need not hold at another, so
+	// multiply-occurring rules are never marked.
+	occurrences := map[*LoopRule]int{}
+	var count func(stmts []ir.Stmt)
+	count = func(stmts []ir.Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *ir.ParLoop:
+				occurrences[a.loops[st]]++
+			case *ir.Reduce:
+				occurrences[a.reds[st]]++
+			case *ir.SeqLoop:
+				count(st.Body)
+			case *ir.Block:
+				count(st.Body)
+			}
+		}
+	}
+	count(a.Prog.Body)
+	a.shared = map[*LoopRule]bool{}
+	for r, n := range occurrences {
+		if n > 1 {
+			a.shared[r] = true
+		}
+	}
+	a.markSeq(a.Prog.Body, false)
+}
+
+// markSeq processes one statement list; cyclic indicates the list is a
+// loop body re-executed each iteration.
+func (a *Analysis) markSeq(stmts []ir.Stmt, cyclic bool) {
+	type unit struct {
+		rule   *LoopRule
+		writes map[string]bool // array names written (including flushes)
+	}
+	var units []unit
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.ParLoop:
+			w := map[string]bool{}
+			for _, as := range st.Body {
+				w[as.LHS.Array.Name] = true
+			}
+			units = append(units, unit{rule: a.loops[st], writes: w})
+		case *ir.Reduce:
+			units = append(units, unit{rule: a.reds[st], writes: map[string]bool{}})
+		case *ir.SeqLoop:
+			a.markSeq(st.Body, true)
+			// Conservatively treat the nested loop as writing
+			// everything it writes anywhere.
+			w := map[string]bool{}
+			collectWrites(st.Body, w)
+			units = append(units, unit{writes: w})
+		case *ir.Block:
+			// Inlined subroutine: splice its units into this sequence.
+			for _, inner := range flattenBlock(st) {
+				switch is := inner.(type) {
+				case *ir.ParLoop:
+					w := map[string]bool{}
+					for _, as := range is.Body {
+						w[as.LHS.Array.Name] = true
+					}
+					units = append(units, unit{rule: a.loops[is], writes: w})
+				case *ir.Reduce:
+					units = append(units, unit{rule: a.reds[is], writes: map[string]bool{}})
+				case *ir.SeqLoop:
+					a.markSeq(is.Body, true)
+					w := map[string]bool{}
+					collectWrites(is.Body, w)
+					units = append(units, unit{writes: w})
+				}
+			}
+		case *ir.ScalarAssign, *ir.ExitIf:
+			// No array effects.
+		}
+	}
+
+	for i, u := range units {
+		if u.rule == nil || a.shared[u.rule] {
+			continue
+		}
+		for _, rr := range u.rule.Reads {
+			if rr.IsWrite {
+				continue
+			}
+			limit := i // same-iteration lookback
+			if cyclic && len(u.rule.UsedSym) == 0 {
+				limit = i + len(units) // full cycle
+			}
+			for back := 1; back <= limit; back++ {
+				j := i - back
+				if j < 0 {
+					j += len(units)
+				}
+				prev := units[j]
+				if prev.writes[rr.Ref.Array.Name] {
+					break // killed: the array was rewritten
+				}
+				if prev.rule == nil {
+					continue
+				}
+				if matchRule(prev.rule, u.rule, rr) {
+					rr.Redundant = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// matchRule reports whether prev contains a read rule identical to rr
+// (same signature and same iteration bounds for the swept variables),
+// so its transfer delivered a superset of rr's data.
+func matchRule(prev, cur *LoopRule, rr *RefRule) bool {
+	if len(prev.UsedSym) != 0 || len(cur.UsedSym) != 0 {
+		return false // symbol-dependent sections; play safe
+	}
+	for _, pr := range prev.Reads {
+		if pr.IsWrite || pr.Signature() != rr.Signature() {
+			continue
+		}
+		if boundsEqual(prev, cur, pr, rr) {
+			return true
+		}
+	}
+	return false
+}
+
+// boundsEqual checks that the variables steering both rules' sections
+// have identical ranges in their loops.
+func boundsEqual(pl, cl *LoopRule, pr, cr *RefRule) bool {
+	pv := indexBounds(pl)
+	cv := indexBounds(cl)
+	// Every variable used by the current reference's subscripts must
+	// have the same range in both loops.
+	for _, sub := range cr.Ref.Subs {
+		for _, v := range sub.Vars() {
+			pb, okP := pv[v]
+			cb, okC := cv[v]
+			if okP != okC {
+				return false
+			}
+			if okP && pb != cb {
+				return false
+			}
+		}
+	}
+	// The work partitions must match: same distributed variable range
+	// and same anchor alignment.
+	if pl.DistVar != "" || cl.DistVar != "" {
+		pb, okP := pv[pl.DistVar]
+		cb, okC := cv[cl.DistVar]
+		if !okP || !okC || pb != cb {
+			return false
+		}
+		pa := pl.Anchor.Subs[len(pl.Anchor.Subs)-1].String() + "|" + pl.Anchor.Array.Name
+		ca := cl.Anchor.Subs[len(cl.Anchor.Subs)-1].String() + "|" + cl.Anchor.Array.Name
+		// Anchors may differ in array but must partition identically:
+		// compare subscript form and distribution via array extents.
+		if pa != ca && (pl.Anchor.Array.LastExtent() != cl.Anchor.Array.LastExtent() ||
+			pl.Anchor.Array.Dist != cl.Anchor.Array.Dist ||
+			pl.Anchor.Subs[len(pl.Anchor.Subs)-1].String() != cl.Anchor.Subs[len(cl.Anchor.Subs)-1].String()) {
+			return false
+		}
+	}
+	return true
+}
+
+func indexBounds(r *LoopRule) map[string]string {
+	out := map[string]string{}
+	for _, ix := range r.Indexes {
+		out[ix.Var] = ix.Lo.String() + ":" + ix.Hi.String()
+	}
+	for v, rg := range r.inner {
+		out[v] = rg.lo.String() + ":" + rg.hi.String()
+	}
+	return out
+}
+
+func collectWrites(stmts []ir.Stmt, w map[string]bool) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.ParLoop:
+			for _, as := range st.Body {
+				w[as.LHS.Array.Name] = true
+			}
+		case *ir.SeqLoop:
+			collectWrites(st.Body, w)
+		case *ir.Block:
+			collectWrites(st.Body, w)
+		}
+	}
+}
+
+// flattenBlock expands nested inlined-subroutine blocks into a flat
+// statement list.
+func flattenBlock(b *ir.Block) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range b.Body {
+		if inner, ok := s.(*ir.Block); ok {
+			out = append(out, flattenBlock(inner)...)
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package compiler
+
+import (
+	"fmt"
+
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/protocol"
+	"hpfdsm/internal/sections"
+)
+
+// Transfer is one producer->consumer data movement: an array section
+// whose block-aligned interior goes under compiler control. Elements
+// outside Blocks (the section's edges within partially covered
+// coherence blocks) remain with the default protocol.
+type Transfer struct {
+	Array     *ir.Array
+	Sender    int
+	Receiver  int
+	Sec       sections.Section
+	Blocks    []protocol.BlockRun
+	NumBlocks int
+	EdgeBytes int // section bytes left to the default protocol
+	// EdgeBlocks are the coherence blocks the section touches but does
+	// not fully cover: they stay with the default protocol, and are
+	// the targets of the advisory edge-prefetch extension.
+	EdgeBlocks []protocol.BlockRun
+	Redundant  bool
+}
+
+func (t Transfer) String() string {
+	return fmt.Sprintf("%s%v %d->%d (%d blocks, %dB edge)",
+		t.Array.Name, t.Sec, t.Sender, t.Receiver, t.NumBlocks, t.EdgeBytes)
+}
+
+// Schedule is a loop's instantiated communication: Reads execute
+// before the loop (owner sends to readers), Writes after it (writers
+// flush to owners).
+type Schedule struct {
+	Reads  []Transfer
+	Writes []Transfer
+}
+
+// ReadsBySender returns the read transfers originating at node p.
+func (s *Schedule) ReadsBySender(p int) []Transfer { return filterBy(s.Reads, p, true) }
+
+// ReadsByReceiver returns the read transfers destined for node p.
+func (s *Schedule) ReadsByReceiver(p int) []Transfer { return filterBy(s.Reads, p, false) }
+
+// WritesBySender returns the flush transfers originating at node p.
+func (s *Schedule) WritesBySender(p int) []Transfer { return filterBy(s.Writes, p, true) }
+
+// WritesByReceiver returns the flush transfers destined for node p.
+func (s *Schedule) WritesByReceiver(p int) []Transfer { return filterBy(s.Writes, p, false) }
+
+func filterBy(ts []Transfer, p int, sender bool) []Transfer {
+	var out []Transfer
+	for _, t := range ts {
+		if sender && t.Sender == p || !sender && t.Receiver == p {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Schedule instantiates (and memoizes) the communication schedule of a
+// loop rule under a symbol environment. key identifies the loop.
+func (a *Analysis) Schedule(key any, rule *LoopRule, env map[string]int) *Schedule {
+	ck := schedKey{loop: key, sig: "sched|" + envSig(rule.UsedSym, env)}
+	if s, ok := a.schedCache[ck]; ok {
+		return s
+	}
+	s := a.buildSchedule(key, rule, env)
+	a.schedCache[ck] = s
+	return s
+}
+
+func (a *Analysis) buildSchedule(key any, rule *LoopRule, env map[string]int) *Schedule {
+	pt := a.Partition(key, rule, env)
+	s := &Schedule{}
+	for _, rr := range rule.Reads {
+		s.Reads = append(s.Reads, a.refTransfers(rule, rr, pt, env)...)
+	}
+	for _, rr := range rule.Writes {
+		s.Writes = append(s.Writes, a.refTransfers(rule, rr, pt, env)...)
+	}
+	return s
+}
+
+// varRanges builds the value ranges of all loop and inner-reduction
+// variables for row-section bounding.
+func (a *Analysis) varRanges(rule *LoopRule, env map[string]int) map[string][2]int {
+	ranges := map[string][2]int{}
+	for _, ix := range rule.Indexes {
+		ranges[ix.Var] = [2]int{ix.Lo.Eval(env), ix.Hi.Eval(env)}
+	}
+	for v, rg := range rule.inner {
+		lo, _ := evalRange(rg.lo, ranges, env)
+		_, hi := evalRange(rg.hi, ranges, env)
+		ranges[v] = [2]int{lo, hi}
+	}
+	return ranges
+}
+
+// evalRange bounds an affine expression over variable ranges: variables
+// in ranges contribute their interval, others are looked up in env.
+func evalRange(e ir.AffExpr, ranges map[string][2]int, env map[string]int) (int, int) {
+	lo, hi := e.Const, e.Const
+	for _, t := range e.Terms {
+		if r, ok := ranges[t.Var]; ok {
+			if t.Coef > 0 {
+				lo += t.Coef * r[0]
+				hi += t.Coef * r[1]
+			} else {
+				lo += t.Coef * r[1]
+				hi += t.Coef * r[0]
+			}
+			continue
+		}
+		v, ok := env[t.Var]
+		if !ok {
+			panic(fmt.Sprintf("compiler: unbound variable %q in %v", t.Var, e))
+		}
+		lo += t.Coef * v
+		hi += t.Coef * v
+	}
+	return lo, hi
+}
+
+// refTransfers instantiates one reference rule into concrete transfers.
+func (a *Analysis) refTransfers(rule *LoopRule, rr *RefRule, pt *Partition, env map[string]int) []Transfer {
+	arr := rr.Ref.Array
+	d := a.dists[arr]
+	ranges := a.varRanges(rule, env)
+
+	// Row section: dimensions 0..rank-2 bounded over the iteration
+	// space and clipped to the array extents.
+	rows := make([]sections.Dim, arr.Rank()-1)
+	for dim := 0; dim < arr.Rank()-1; dim++ {
+		lo, hi := evalRange(rr.Ref.Subs[dim], ranges, env)
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > arr.Extents[dim] {
+			hi = arr.Extents[dim]
+		}
+		if lo > hi {
+			return nil
+		}
+		rows[dim] = sections.Dim{Lo: lo, Hi: hi}
+	}
+
+	emit := func(out []Transfer, from, to, t0, t1 int) []Transfer {
+		sec := sections.Section{Dims: append(append([]sections.Dim{}, rows...), sections.Dim{Lo: t0, Hi: t1})}
+		return append(out, a.makeTransfer(arr, from, to, sec, rr.Redundant))
+	}
+
+	// groupByOwner walks columns [t0,t1], grouping runs with the same
+	// owner, and emits a transfer for each run not owned by p.
+	groupByOwner := func(out []Transfer, p, t0, t1 int, pIsReader bool) []Transfer {
+		if t0 < 1 {
+			t0 = 1
+		}
+		if t1 > d.Extent {
+			t1 = d.Extent
+		}
+		for t := t0; t <= t1; {
+			o := d.Owner(t)
+			end := t
+			for end+1 <= t1 && d.Owner(end+1) == o {
+				end++
+			}
+			if o != p {
+				if pIsReader {
+					out = emit(out, o, p, t, end)
+				} else {
+					out = emit(out, p, o, t, end)
+				}
+			}
+			t = end + 1
+		}
+		return out
+	}
+
+	var out []Transfer
+	switch rr.Kind {
+	case KindShift:
+		// A shift reference implies a distributed loop variable, so the
+		// partition is never single-processor here.
+		c := rr.Rest.Eval(env)
+		for p := 0; p < a.NP; p++ {
+			for _, jr := range pt.Ranges[p] {
+				out = groupByOwner(out, p, jr[0]+c, jr[1]+c, !rr.IsWrite)
+			}
+		}
+	case KindFixed:
+		t := rr.Rest.Eval(env)
+		if t < 1 || t > d.Extent {
+			return nil
+		}
+		owner := d.Owner(t)
+		for p := 0; p < a.NP; p++ {
+			if !pt.Executes(p) || p == owner {
+				continue
+			}
+			if rr.IsWrite {
+				out = emit(out, p, owner, t, t)
+			} else {
+				out = emit(out, owner, p, t, t)
+			}
+		}
+	case KindGather:
+		rg, ok := ranges[rr.SweepVar]
+		if !ok {
+			panic(fmt.Sprintf("compiler: gather variable %q has no range", rr.SweepVar))
+		}
+		c := rr.Rest.Eval(env)
+		for p := 0; p < a.NP; p++ {
+			if !pt.Executes(p) {
+				continue
+			}
+			out = groupByOwner(out, p, rg[0]+c, rg[1]+c, true)
+		}
+	default:
+		panic("compiler: transfer for local reference")
+	}
+	return out
+}
+
+// makeTransfer linearizes a section and computes its block-aligned
+// interior (the shmem_limits shrink).
+func (a *Analysis) makeTransfer(arr *ir.Array, from, to int, sec sections.Section, redundant bool) Transfer {
+	layout := a.Layouts[arr]
+	runs := sections.CoalesceRuns(layout.Runs(sec))
+	total := 0
+	for _, r := range runs {
+		total += r.Bytes
+	}
+	aligned := sections.BlockAlign(runs, a.BlockSize)
+	alignedBytes := 0
+	var blocks []protocol.BlockRun
+	covered := map[int]bool{}
+	for _, br := range sections.RunsToBlocks(aligned, a.BlockSize) {
+		blocks = append(blocks, protocol.BlockRun{Start: br[0], N: br[1]})
+		alignedBytes += br[1] * a.BlockSize
+		for b := br[0]; b < br[0]+br[1]; b++ {
+			covered[b] = true
+		}
+	}
+	// Blocks touched but not fully covered: the edges.
+	var edges []protocol.BlockRun
+	for _, r := range runs {
+		for b := r.Addr / a.BlockSize; b*a.BlockSize < r.End(); b++ {
+			if covered[b] {
+				continue
+			}
+			covered[b] = true // dedupe across runs
+			if k := len(edges) - 1; k >= 0 && edges[k].Start+edges[k].N == b {
+				edges[k].N++
+			} else {
+				edges = append(edges, protocol.BlockRun{Start: b, N: 1})
+			}
+		}
+	}
+	return Transfer{
+		Array:      arr,
+		Sender:     from,
+		Receiver:   to,
+		Sec:        sec,
+		Blocks:     blocks,
+		NumBlocks:  alignedBytes / a.BlockSize,
+		EdgeBytes:  total - alignedBytes,
+		EdgeBlocks: edges,
+		Redundant:  redundant,
+	}
+}

@@ -1,0 +1,209 @@
+// Package config holds the simulated machine parameter sets.
+//
+// The default configuration reproduces Table 1 of Chandra & Larus:
+// an 8-node cluster of dual-processor 66 MHz HyperSPARC SparcStation-20s
+// on a Myrinet with a 40 µs minimum round-trip for short messages and
+// 20 MB/s of usable bandwidth, with fine-grain access control at 128-byte
+// blocks. Handler occupancies are calibrated so that the default
+// protocol's remote read miss of a 128-byte block takes ~93 µs in the
+// dual-CPU configuration, matching the paper's measured value.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hpfdsm/internal/sim"
+)
+
+// Consistency selects the default protocol's memory model.
+type Consistency int
+
+const (
+	// ReleaseConsistent is the paper's protocol: writes do not wait for
+	// ownership grants; pending transactions drain at synchronization
+	// points.
+	ReleaseConsistent Consistency = iota
+	// SequentiallyConsistent makes every write fault block until
+	// ownership is granted — the conservative design the paper's
+	// protocol improves on (its footnote 1: "we try to hide some of the
+	// write latency by implementing a release-consistent memory model").
+	SequentiallyConsistent
+)
+
+func (c Consistency) String() string {
+	if c == SequentiallyConsistent {
+		return "sequential"
+	}
+	return "release"
+}
+
+// CPUMode selects how protocol handlers share the node's processors.
+type CPUMode int
+
+const (
+	// DualCPU dedicates the node's second processor to protocol
+	// handling; computation never pays for handler execution directly.
+	DualCPU CPUMode = iota
+	// SingleCPU interleaves protocol handling with computation on one
+	// processor: handler time is stolen from the compute thread.
+	SingleCPU
+)
+
+func (m CPUMode) String() string {
+	switch m {
+	case DualCPU:
+		return "dual-cpu"
+	case SingleCPU:
+		return "single-cpu"
+	default:
+		return fmt.Sprintf("CPUMode(%d)", int(m))
+	}
+}
+
+// Machine describes one simulated cluster configuration.
+type Machine struct {
+	Nodes       int         // cluster size
+	CPUMode     CPUMode     // protocol processor placement
+	Consistency Consistency // default protocol memory model
+	BlockSize   int         // coherence unit in bytes (32-128 in Tempest)
+	PageSize    int         // home-assignment and mapping granularity
+
+	// Network (Myrinet in the paper).
+	WireLatency sim.Time // one-way message latency, excluding occupancy
+	NsPerByte   sim.Time // inverse bandwidth on a link
+	MsgHeader   int      // bytes of header per message
+	MaxPayload  int      // largest bulk-transfer payload in one message
+
+	// Processor.
+	NsPerFlop sim.Time // cost of one floating-point operation
+	LoopOver  sim.Time // per-loop-iteration fixed overhead
+
+	// Protocol software occupancies (per message / per event).
+	SendOver     sim.Time // CPU cost to compose+inject a message
+	RecvOver     sim.Time // CPU cost to receive+dispatch a message
+	HandlerCost  sim.Time // protocol state transition cost
+	FaultCost    sim.Time // detecting an access fault, entering handler
+	TagChange    sim.Time // changing one block's access tag
+	BlockCopy    sim.Time // copying one block to/from a message buffer
+	BulkPerBlock sim.Time // per-block cost inside pipelined/bulk operations
+	PageMapCost  sim.Time // mapping a remote page on first touch
+	BarrierEntry sim.Time // local cost of entering/leaving a barrier
+
+	// Message-passing runtime (the PGI-backend baseline): per-message
+	// software overheads and per-byte packing cost of the portable
+	// communication layer.
+	MPSendOver    sim.Time
+	MPRecvOver    sim.Time
+	MPPackPerByte sim.Time
+}
+
+// Default returns the paper's Table 1 cluster, dual-CPU, 8 nodes,
+// 128-byte blocks.
+//
+// Calibration. Two Table 1 numbers anchor the parameters:
+//
+//   - 40 µs minimum round trip for a 4-byte message:
+//     2*(SendOver + WireLatency + (hdr+4)*NsPerByte + RecvOver)
+//     = 2*(9 + 1 + 1 + 9) = 40 µs.
+//     (Myrinet's wire latency was ~1 µs; the bulk of the 40 µs was
+//     host software — which is why coalescing messages matters.)
+//
+//   - 93 µs read-miss processing for a 128-byte block (dual-CPU),
+//     measured for the common case (home memory holds the data):
+//     FaultCost + SendOver + wire(8B) + RecvOver + HandlerCost
+//
+//   - BlockCopy + SendOver + wire(128B) + RecvOver + BlockCopy
+//
+//   - 2*TagChange
+//     = 20 + 9 + 2.2 + 9 + 13 + 6 + 9 + 8.2 + 9 + 6 + 0.6 ≈ 92 µs.
+//
+// The large fault and handler costs reflect 1996 user-level protocol
+// software dispatched through the Vortex access-control device. A
+// producer-consumer miss (data exclusive at a third node, Figure 1a's
+// 4-message read) costs correspondingly more, ~140 µs.
+func Default() Machine {
+	return Machine{
+		Nodes:     8,
+		CPUMode:   DualCPU,
+		BlockSize: 128,
+		PageSize:  4096,
+
+		WireLatency: 1 * sim.Microsecond, // Myrinet hardware latency; the rest is host software
+		NsPerByte:   50,                  // 20 MB/s
+		MsgHeader:   16,
+		MaxPayload:  4096,
+
+		NsPerFlop: 60, // 66 MHz HyperSPARC, ~1 flop/4 cycles
+		LoopOver:  30,
+
+		SendOver:     9 * sim.Microsecond,
+		RecvOver:     9 * sim.Microsecond,
+		HandlerCost:  13 * sim.Microsecond,
+		FaultCost:    20 * sim.Microsecond,
+		TagChange:    300,
+		BlockCopy:    6 * sim.Microsecond,
+		BulkPerBlock: 800,
+		PageMapCost:  40 * sim.Microsecond,
+		BarrierEntry: 2 * sim.Microsecond,
+
+		MPSendOver:    30 * sim.Microsecond,
+		MPRecvOver:    30 * sim.Microsecond,
+		MPPackPerByte: 60,
+	}
+}
+
+// WithNodes returns a copy of m for an n-node cluster.
+func (m Machine) WithNodes(n int) Machine { m.Nodes = n; return m }
+
+// WithCPUMode returns a copy of m with the given CPU mode.
+func (m Machine) WithCPUMode(c CPUMode) Machine { m.CPUMode = c; return m }
+
+// WithConsistency returns a copy of m with the given memory model.
+func (m Machine) WithConsistency(c Consistency) Machine { m.Consistency = c; return m }
+
+// WithBlockSize returns a copy of m with the given coherence block size.
+func (m Machine) WithBlockSize(b int) Machine { m.BlockSize = b; return m }
+
+// Validate reports configuration errors.
+func (m Machine) Validate() error {
+	switch {
+	case m.Nodes < 1:
+		return fmt.Errorf("config: need at least 1 node, have %d", m.Nodes)
+	case m.Nodes > 64:
+		return fmt.Errorf("config: directory sharer sets are 64-bit; %d nodes unsupported", m.Nodes)
+	case m.BlockSize <= 0 || m.BlockSize%8 != 0:
+		return fmt.Errorf("config: block size %d must be a positive multiple of 8", m.BlockSize)
+	case m.PageSize <= 0 || m.PageSize%m.BlockSize != 0:
+		return fmt.Errorf("config: page size %d must be a multiple of block size %d", m.PageSize, m.BlockSize)
+	case m.MaxPayload < m.BlockSize:
+		return fmt.Errorf("config: max payload %d smaller than block size %d", m.MaxPayload, m.BlockSize)
+	case m.WireLatency < 0 || m.NsPerByte < 0:
+		return fmt.Errorf("config: negative network parameters")
+	}
+	return nil
+}
+
+// FromJSON reads a Machine from JSON, starting from the default
+// configuration so files only need to override what they change, and
+// validates the result. Field names match the struct (e.g.
+// {"Nodes": 16, "NsPerByte": 12, "WireLatency": 500}).
+func FromJSON(r io.Reader) (Machine, error) {
+	m := Default()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Machine{}, fmt.Errorf("config: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Machine{}, err
+	}
+	return m, nil
+}
+
+// MsgTime returns the wire time for a message with the given payload
+// size: latency plus serialization of header and payload.
+func (m Machine) MsgTime(payload int) sim.Time {
+	return m.WireLatency + sim.Time(m.MsgHeader+payload)*m.NsPerByte
+}

@@ -1,0 +1,103 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"hpfdsm/internal/sim"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestWithers(t *testing.T) {
+	m := Default().WithNodes(4).WithCPUMode(SingleCPU).WithBlockSize(64)
+	if m.Nodes != 4 || m.CPUMode != SingleCPU || m.BlockSize != 64 {
+		t.Fatalf("withers did not apply: %+v", m)
+	}
+	// Original untouched.
+	d := Default()
+	if d.Nodes != 8 || d.CPUMode != DualCPU || d.BlockSize != 128 {
+		t.Fatalf("Default mutated: %+v", d)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Machine)
+	}{
+		{"zero nodes", func(m *Machine) { m.Nodes = 0 }},
+		{"too many nodes", func(m *Machine) { m.Nodes = 65 }},
+		{"zero block", func(m *Machine) { m.BlockSize = 0 }},
+		{"odd block", func(m *Machine) { m.BlockSize = 100 }},
+		{"page not multiple", func(m *Machine) { m.PageSize = 1000 }},
+		{"payload under block", func(m *Machine) { m.MaxPayload = 64 }},
+		{"negative latency", func(m *Machine) { m.WireLatency = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := Default()
+			c.mut(&m)
+			if err := m.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", c.name)
+			}
+		})
+	}
+}
+
+func TestShortMessageRoundTrip(t *testing.T) {
+	// Table 1: minimum round trip for a 4-byte message is 40 µs.
+	// Round trip = 2 * (SendOver + MsgTime(4) + RecvOver).
+	m := Default()
+	rt := 2 * (m.SendOver + m.MsgTime(4) + m.RecvOver)
+	if rt < 38*sim.Microsecond || rt > 42*sim.Microsecond {
+		t.Fatalf("short-message round trip = %d ns, want ~40 µs", rt)
+	}
+}
+
+func TestMsgTimeScalesWithSize(t *testing.T) {
+	m := Default()
+	small := m.MsgTime(0)
+	big := m.MsgTime(1000)
+	if big-small != 1000*m.NsPerByte {
+		t.Fatalf("MsgTime delta = %d, want %d", big-small, 1000*m.NsPerByte)
+	}
+}
+
+func TestCPUModeString(t *testing.T) {
+	if DualCPU.String() != "dual-cpu" || SingleCPU.String() != "single-cpu" {
+		t.Fatal("CPUMode String broken")
+	}
+	if CPUMode(9).String() == "" {
+		t.Fatal("unknown CPUMode String empty")
+	}
+}
+
+func TestFromJSON(t *testing.T) {
+	m, err := FromJSON(strings.NewReader(`{"Nodes": 16, "NsPerByte": 12}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes != 16 || m.NsPerByte != 12 {
+		t.Fatalf("overrides not applied: %+v", m)
+	}
+	if m.BlockSize != 128 {
+		t.Fatal("defaults not preserved")
+	}
+	if _, err := FromJSON(strings.NewReader(`{"Nodes": 99}`)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := FromJSON(strings.NewReader(`{"Bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := FromJSON(strings.NewReader(`{`)); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}

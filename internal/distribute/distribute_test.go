@@ -1,0 +1,149 @@
+package distribute
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlockOwnership(t *testing.T) {
+	d := New(Spec{Kind: Block}, 16, 4)
+	if d.ChunkSize() != 4 {
+		t.Fatalf("chunk = %d", d.ChunkSize())
+	}
+	wants := map[int]int{1: 0, 4: 0, 5: 1, 8: 1, 9: 2, 13: 3, 16: 3}
+	for j, p := range wants {
+		if d.Owner(j) != p {
+			t.Fatalf("Owner(%d) = %d, want %d", j, d.Owner(j), p)
+		}
+	}
+	if r := d.OwnedRanges(2); len(r) != 1 || r[0] != [2]int{9, 12} {
+		t.Fatalf("ranges(2) = %v", r)
+	}
+}
+
+func TestBlockUneven(t *testing.T) {
+	// 10 indices over 4 procs: chunks of 3, last proc gets 1.
+	d := New(Spec{Kind: Block}, 10, 4)
+	if d.CountOwned(0) != 3 || d.CountOwned(3) != 1 {
+		t.Fatalf("counts: %d %d %d %d",
+			d.CountOwned(0), d.CountOwned(1), d.CountOwned(2), d.CountOwned(3))
+	}
+	// Degenerate: extent smaller than np; trailing procs own nothing.
+	d2 := New(Spec{Kind: Block}, 2, 4)
+	if d2.CountOwned(0) != 1 || d2.CountOwned(1) != 1 || d2.CountOwned(2) != 0 {
+		t.Fatal("degenerate block wrong")
+	}
+	// Owner clamps into range.
+	if d2.Owner(2) != 1 {
+		t.Fatalf("owner(2) = %d", d2.Owner(2))
+	}
+}
+
+func TestCyclicOwnership(t *testing.T) {
+	d := New(Spec{Kind: Cyclic}, 10, 3)
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0}
+	for j := 1; j <= 10; j++ {
+		if d.Owner(j) != want[j-1] {
+			t.Fatalf("Owner(%d) = %d, want %d", j, d.Owner(j), want[j-1])
+		}
+	}
+	r := d.OwnedRanges(1)
+	if len(r) != 3 || r[0] != [2]int{2, 2} || r[2] != [2]int{8, 8} {
+		t.Fatalf("cyclic ranges = %v", r)
+	}
+}
+
+func TestBlockCyclic(t *testing.T) {
+	d := New(Spec{Kind: BlockCyclic, K: 2}, 12, 3)
+	// chunks: [1,2]->0 [3,4]->1 [5,6]->2 [7,8]->0 ...
+	if d.Owner(2) != 0 || d.Owner(3) != 1 || d.Owner(7) != 0 {
+		t.Fatal("block-cyclic owners wrong")
+	}
+	r := d.OwnedRanges(0)
+	if len(r) != 2 || r[0] != [2]int{1, 2} || r[1] != [2]int{7, 8} {
+		t.Fatalf("ranges = %v", r)
+	}
+}
+
+func TestCollapsed(t *testing.T) {
+	d := New(Spec{Kind: Collapsed}, 7, 4)
+	for j := 1; j <= 7; j++ {
+		if d.Owner(j) != 0 {
+			t.Fatal("collapsed owner must be 0")
+		}
+	}
+	if len(d.OwnedRanges(1)) != 0 {
+		t.Fatal("collapsed non-root owns nothing")
+	}
+}
+
+// TestPropertyPartition verifies OwnedRanges partitions 1..Extent and
+// agrees with Owner, across random configurations and all kinds.
+func TestPropertyPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		extent := 1 + r.Intn(200)
+		np := 1 + r.Intn(9)
+		var spec Spec
+		switch r.Intn(4) {
+		case 0:
+			spec = Spec{Kind: Collapsed}
+		case 1:
+			spec = Spec{Kind: Block}
+		case 2:
+			spec = Spec{Kind: Cyclic}
+		default:
+			spec = Spec{Kind: BlockCyclic, K: 1 + r.Intn(5)}
+		}
+		d := New(spec, extent, np)
+		owner := make([]int, extent+1)
+		for j := range owner {
+			owner[j] = -1
+		}
+		total := 0
+		for p := 0; p < np; p++ {
+			for _, rg := range d.OwnedRanges(p) {
+				for j := rg[0]; j <= rg[1]; j++ {
+					if owner[j] != -1 {
+						t.Fatalf("%v: index %d owned twice", d, j)
+					}
+					owner[j] = p
+					total++
+					if d.Owner(j) != p {
+						t.Fatalf("%v: Owner(%d)=%d but ranges say %d", d, j, d.Owner(j), p)
+					}
+				}
+			}
+		}
+		if total != extent {
+			t.Fatalf("%v: covered %d of %d indices", d, total, extent)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	d := New(Spec{Kind: Block}, 10, 2)
+	for _, f := range []func(){
+		func() { d.Owner(0) },
+		func() { d.Owner(11) },
+		func() { d.OwnedRanges(2) },
+		func() { New(Spec{Kind: BlockCyclic}, 10, 2) },
+		func() { New(Spec{Kind: Block}, 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Block.String() != "BLOCK" || Cyclic.String() != "CYCLIC" || Collapsed.String() != "*" {
+		t.Fatal("kind strings wrong")
+	}
+	_ = New(Spec{Kind: Block}, 4, 2).String()
+}

@@ -1,0 +1,136 @@
+package ir
+
+// Construction helpers: the applications in internal/apps and tests
+// build IR directly with these; the mini-HPF front end produces the
+// same structures from source text.
+
+// N returns a numeric literal expression.
+func N(v float64) Expr { return Num{V: v} }
+
+// S returns a scalar reference expression.
+func S(name string) Expr { return ScalarRef{Name: name} }
+
+// Iv returns an index-value expression (loop index as float).
+func Iv(name string) Expr { return IdxVal{Name: name} }
+
+// Ref builds an array reference.
+func Ref(a *Array, subs ...AffExpr) ArrayRef {
+	if len(subs) != a.Rank() {
+		panic("ir: Ref rank mismatch for " + a.Name)
+	}
+	return ArrayRef{Array: a, Subs: subs}
+}
+
+// Plus returns l+r.
+func Plus(l, r Expr) Expr { return Bin{Op: Add, L: l, R: r} }
+
+// Minus returns l-r.
+func Minus(l, r Expr) Expr { return Bin{Op: Sub, L: l, R: r} }
+
+// Times returns l*r.
+func Times(l, r Expr) Expr { return Bin{Op: Mul, L: l, R: r} }
+
+// Over returns l/r.
+func Over(l, r Expr) Expr { return Bin{Op: Div, L: l, R: r} }
+
+// Sum3 returns a+b+c.
+func Sum3(a, b, c Expr) Expr { return Plus(Plus(a, b), c) }
+
+// Sum4 returns a+b+c+d.
+func Sum4(a, b, c, d Expr) Expr { return Plus(Plus(a, b), Plus(c, d)) }
+
+// Idx builds a unit-step loop index.
+func Idx(v string, lo, hi AffExpr) Index { return Index{Var: v, Lo: lo, Hi: hi} }
+
+// IdxStep builds a strided loop index.
+func IdxStep(v string, lo, hi AffExpr, step int) Index {
+	return Index{Var: v, Lo: lo, Hi: hi, Step: step}
+}
+
+// WalkExpr applies f to e and all its sub-expressions.
+func WalkExpr(e Expr, f func(Expr)) {
+	f(e)
+	switch x := e.(type) {
+	case Bin:
+		WalkExpr(x.L, f)
+		WalkExpr(x.R, f)
+	case Call:
+		for _, a := range x.Args {
+			WalkExpr(a, f)
+		}
+	case InnerRed:
+		WalkExpr(x.Body, f)
+	case Indirect:
+		for _, s := range x.Subs {
+			WalkExpr(s, f)
+		}
+	}
+}
+
+// Indirects collects every irregular reference in an expression.
+func Indirects(e Expr) []Indirect {
+	var out []Indirect
+	WalkExpr(e, func(x Expr) {
+		if r, ok := x.(Indirect); ok {
+			out = append(out, r)
+		}
+	})
+	return out
+}
+
+// Refs collects every array reference in an expression.
+func Refs(e Expr) []ArrayRef {
+	var out []ArrayRef
+	WalkExpr(e, func(x Expr) {
+		if r, ok := x.(ArrayRef); ok {
+			out = append(out, r)
+		}
+	})
+	return out
+}
+
+// HasIndirect reports whether the program contains any irregular
+// reference — such programs are outside the reach of a purely
+// message-passing compilation (no inspector-executor), which is the
+// paper's motivation for shared memory.
+func HasIndirect(p *Program) bool {
+	found := false
+	var walkExprs func(s Stmt)
+	walkExprs = func(s Stmt) {
+		switch st := s.(type) {
+		case *ParLoop:
+			for _, as := range st.Body {
+				if len(Indirects(as.RHS)) > 0 {
+					found = true
+				}
+			}
+		case *Reduce:
+			if len(Indirects(st.Expr)) > 0 {
+				found = true
+			}
+		case *SeqLoop:
+			for _, b := range st.Body {
+				walkExprs(b)
+			}
+		case *Block:
+			for _, b := range st.Body {
+				walkExprs(b)
+			}
+		}
+	}
+	for _, s := range p.Body {
+		walkExprs(s)
+	}
+	return found
+}
+
+// InnerVars collects the variables bound by inner reductions in e.
+func InnerVars(e Expr) map[string]bool {
+	out := map[string]bool{}
+	WalkExpr(e, func(x Expr) {
+		if r, ok := x.(InnerRed); ok {
+			out[r.Var] = true
+		}
+	})
+	return out
+}

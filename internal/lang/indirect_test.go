@@ -1,0 +1,134 @@
+package lang
+
+import (
+	"math"
+	"testing"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/runtime"
+)
+
+const irregularSrc = `
+PROGRAM irregular
+PARAM n = 64
+PARAM iters = 4
+REAL v(n), x(n), perm(n)
+DISTRIBUTE v(BLOCK)
+DISTRIBUTE x(BLOCK)
+DISTRIBUTE perm(BLOCK)
+
+FORALL (i = 1:n)
+  perm(i) = 1 + MOD(17 * i, n)   ! a scrambled permutation-ish index map
+  v(i) = 0.001 * i
+  x(i) = 0
+END FORALL
+
+STARTTIMER
+
+DO t = 1, iters
+  FORALL (i = 1:n)
+    x(i) = 0.5 * v(perm(i)) + 0.25 * v(i)   ! indirect gather
+  END FORALL
+  FORALL (i = 1:n)
+    v(i) = x(i)
+  END FORALL
+END DO
+END
+`
+
+func TestIndirectParsesToIndirect(t *testing.T) {
+	prog, err := Parse(irregularSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.HasIndirect(prog) {
+		t.Fatal("indirect reference not detected")
+	}
+}
+
+func irregularRef(n, iters int) []float64 {
+	v := make([]float64, n+1)
+	x := make([]float64, n+1)
+	perm := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		perm[i] = 1 + int(math.Mod(float64(17*i), float64(n)))
+		v[i] = 0.001 * float64(i)
+	}
+	for t := 0; t < iters; t++ {
+		for i := 1; i <= n; i++ {
+			x[i] = 0.5*v[perm[i]] + 0.25*v[i]
+		}
+		for i := 1; i <= n; i++ {
+			v[i] = x[i]
+		}
+	}
+	return v[1:]
+}
+
+func TestIndirectRunsOnSharedMemory(t *testing.T) {
+	want := irregularRef(64, 4)
+	for _, opt := range []compiler.Level{compiler.OptNone, compiler.OptBulk, compiler.OptRTElim} {
+		prog, err := Parse(irregularSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runtime.Run(prog, runtime.Options{Machine: config.Default(), Opt: opt})
+		if err != nil {
+			t.Fatalf("opt %v: %v", opt, err)
+		}
+		got := res.ArrayData("V")
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("opt %v: v[%d] = %v, want %v", opt, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIndirectRejectedByMessagePassing(t *testing.T) {
+	prog, err := Parse(irregularSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runtime.Run(prog, runtime.Options{Machine: config.Default(), Backend: runtime.MessagePassing})
+	if err == nil {
+		t.Fatal("message-passing backend accepted an irregular program")
+	}
+}
+
+func TestIndirectLHSRejected(t *testing.T) {
+	src := `
+PROGRAM bad
+PARAM n = 8
+REAL v(n), ix(n)
+FORALL (i = 1:n)
+  v(ix(i)) = 1
+END FORALL
+END
+`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("indirect LHS accepted")
+	}
+}
+
+func TestNonAffineSubscriptBecomesIndirect(t *testing.T) {
+	src := `
+PROGRAM na
+PARAM n = 6
+REAL a(n, n), b(n)
+DISTRIBUTE a(*, BLOCK)
+FORALL (i = 1:n)
+  b(i) = a(i, 1 + MOD(i * i, n))
+END FORALL
+END
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.HasIndirect(prog) {
+		t.Fatal("non-affine subscript not classified as indirect")
+	}
+}

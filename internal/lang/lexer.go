@@ -1,0 +1,173 @@
+// Package lang is the mini-HPF front end: a lexer, a line-oriented
+// recursive-descent parser, and semantic analysis that lowers a small
+// Fortran-like data-parallel language to the compiler IR. It plays the
+// role of the modified pghpf front end in the paper: surface syntax
+// over the same abstractions (distributed arrays, FORALL, reductions,
+// DISTRIBUTE directives).
+//
+// Language summary (statements are line-oriented; '!' starts a comment):
+//
+//	PROGRAM name
+//	PARAM n = 2048
+//	REAL a(n, n), b(n, n)
+//	SCALAR s, err
+//	DISTRIBUTE a(*, BLOCK)          ! or CYCLIC, CYCLIC(4)
+//	FORALL (i = 2:n-1, j = 1:n:2)   ! lo:hi[:step]
+//	  a(i, j) = 0.25 * (b(i-1, j) + b(i+1, j))
+//	END FORALL
+//	DO k = 1, 100
+//	  ...
+//	END DO
+//	REDUCE (SUM, s, i = 1:n) a(i)*a(i)
+//	LET err = SQRT(s)
+//	EXITIF err < 1.0E-6
+//	END
+//
+// Expressions support + - * /, parentheses, numeric literals, scalar
+// and array references, the intrinsics SQRT ABS EXP SIN COS MIN MAX
+// MOD, loop indices as values, and inner reductions
+// SUM(i = 1:m, expr) / SMAX(...) / SMIN(...).
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tNL
+	tIdent
+	tInt
+	tFloat
+	tLParen
+	tRParen
+	tComma
+	tAssign // =
+	tColon
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tLt
+	tLe
+	tGt
+	tGe
+)
+
+func (k tokKind) String() string {
+	names := map[tokKind]string{
+		tEOF: "end of file", tNL: "end of line", tIdent: "identifier",
+		tInt: "integer", tFloat: "number", tLParen: "'('", tRParen: "')'",
+		tComma: "','", tAssign: "'='", tColon: "':'", tPlus: "'+'",
+		tMinus: "'-'", tStar: "'*'", tSlash: "'/'", tLt: "'<'",
+		tLe: "'<='", tGt: "'>'", tGe: "'>='",
+	}
+	return names[k]
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lex tokenizes the whole source. Keywords are case-insensitive and
+// normalized to upper case; identifiers keep their lower-cased form.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emit := func(k tokKind, text string) { toks = append(toks, token{k, text, line}) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			// Collapse repeated newlines.
+			if len(toks) > 0 && toks[len(toks)-1].kind != tNL {
+				emit(tNL, "")
+			}
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '!':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			isFloat := false
+			for j < len(src) {
+				d := src[j]
+				if d >= '0' && d <= '9' {
+					j++
+					continue
+				}
+				if d == '.' {
+					isFloat = true
+					j++
+					continue
+				}
+				if d == 'e' || d == 'E' {
+					if j+1 < len(src) && (src[j+1] == '+' || src[j+1] == '-') {
+						j += 2
+					} else {
+						j++
+					}
+					isFloat = true
+					continue
+				}
+				break
+			}
+			if isFloat {
+				emit(tFloat, src[i:j])
+			} else {
+				emit(tInt, src[i:j])
+			}
+			i = j
+		case isAlpha(c):
+			j := i
+			for j < len(src) && (isAlpha(src[j]) || src[j] >= '0' && src[j] <= '9' || src[j] == '_') {
+				j++
+			}
+			emit(tIdent, strings.ToUpper(src[i:j]))
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == "<=":
+				emit(tLe, two)
+				i += 2
+			case two == ">=":
+				emit(tGe, two)
+				i += 2
+			default:
+				kind, ok := map[byte]tokKind{
+					'(': tLParen, ')': tRParen, ',': tComma, '=': tAssign,
+					':': tColon, '+': tPlus, '-': tMinus, '*': tStar,
+					'/': tSlash, '<': tLt, '>': tGt,
+				}[c]
+				if !ok {
+					return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+				}
+				emit(kind, string(c))
+				i++
+			}
+		}
+	}
+	if len(toks) > 0 && toks[len(toks)-1].kind != tNL {
+		emit(tNL, "")
+	}
+	emit(tEOF, "")
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}

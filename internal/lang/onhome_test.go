@@ -1,0 +1,66 @@
+package lang
+
+import (
+	"testing"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/runtime"
+)
+
+// TestOnHomeDirective steers a loop writing an undistributed-aligned
+// array by a different array's home, as the paper's ON HOME permits.
+func TestOnHomeDirective(t *testing.T) {
+	src := `
+PROGRAM onhome
+PARAM n = 32
+REAL a(n, n), b(n, n)
+DISTRIBUTE a(*, BLOCK)
+DISTRIBUTE b(*, BLOCK)
+FORALL (i = 1:n, j = 1:n)
+  a(i, j) = i + j
+  b(i, j) = 0
+END FORALL
+FORALL (i = 1:n, j = 1:n-1) ON a(i, j+1)
+  b(i, j) = a(i, j+1) * 2
+END FORALL
+END
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *ir.ParLoop
+	for _, s := range prog.Body {
+		if pl, ok := s.(*ir.ParLoop); ok {
+			loop = pl // last one
+		}
+	}
+	if loop.OnHome == nil || loop.OnHome.Array.Name != "A" {
+		t.Fatalf("ON HOME not recorded: %+v", loop.OnHome)
+	}
+	res, err := runtime.Run(prog, runtime.Options{Machine: config.Default(), Opt: compiler.OptBulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bArr := res.ArrayData("B")
+	n := 32
+	for j := 1; j <= n-1; j++ {
+		for i := 1; i <= n; i++ {
+			want := float64(i+j+1) * 2
+			if got := bArr[(j-1)*n+(i-1)]; got != want {
+				t.Fatalf("b(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// Under ON a(i,j+1), reading a(i,j+1) is aligned (no transfers) and
+	// writing b(i,j) is a non-owner write.
+	rule := res.Analysis().LoopRuleOf(loop)
+	if len(rule.Reads) != 0 {
+		t.Fatalf("ON HOME should make the read aligned, got %v", rule.Reads)
+	}
+	if len(rule.Writes) != 1 {
+		t.Fatalf("expected one non-owner write rule, got %v", rule.Writes)
+	}
+}

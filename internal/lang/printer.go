@@ -1,0 +1,165 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"hpfdsm/internal/distribute"
+	"hpfdsm/internal/ir"
+)
+
+// Print renders a program back to mini-HPF source text. Printing a
+// parsed program and re-parsing it yields an equivalent program
+// (inlined subroutines are printed inline; parameter values are
+// printed as resolved constants).
+func Print(p *ir.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM %s\n", strings.ToLower(p.Name))
+	var params []string
+	for k := range p.Params {
+		params = append(params, k)
+	}
+	sortStrings(params)
+	for _, k := range params {
+		fmt.Fprintf(&b, "PARAM %s = %d\n", strings.ToLower(k), p.Params[k])
+	}
+	for _, a := range p.Arrays {
+		exts := make([]string, len(a.Extents))
+		for i, e := range a.Extents {
+			exts[i] = fmt.Sprint(e)
+		}
+		fmt.Fprintf(&b, "REAL %s(%s)\n", strings.ToLower(a.Name), strings.Join(exts, ", "))
+	}
+	if len(p.Scalars) > 0 {
+		lows := make([]string, len(p.Scalars))
+		for i, s := range p.Scalars {
+			lows[i] = strings.ToLower(s)
+		}
+		fmt.Fprintf(&b, "SCALAR %s\n", strings.Join(lows, ", "))
+	}
+	for _, a := range p.Arrays {
+		if a.Dist.Kind == distribute.Collapsed && a.Rank() > 0 {
+			continue // default; still print explicit BLOCK below
+		}
+		stars := make([]string, a.Rank())
+		for i := range stars {
+			stars[i] = "*"
+		}
+		switch a.Dist.Kind {
+		case distribute.Block:
+			stars[a.Rank()-1] = "BLOCK"
+		case distribute.Cyclic:
+			stars[a.Rank()-1] = "CYCLIC"
+		case distribute.BlockCyclic:
+			stars[a.Rank()-1] = fmt.Sprintf("CYCLIC(%d)", a.Dist.K)
+		}
+		fmt.Fprintf(&b, "DISTRIBUTE %s(%s)\n", strings.ToLower(a.Name), strings.Join(stars, ", "))
+	}
+	b.WriteByte('\n')
+	printStmts(&b, p.Body, 0)
+	b.WriteString("END\n")
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func printStmts(b *strings.Builder, stmts []ir.Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.ParLoop:
+			idxs := make([]string, len(st.Indexes))
+			for i, ix := range st.Indexes {
+				idxs[i] = printIndex(ix)
+			}
+			fmt.Fprintf(b, "%sFORALL (%s)", ind, strings.Join(idxs, ", "))
+			if st.OnHome != nil {
+				fmt.Fprintf(b, " ON %s", printRef(*st.OnHome))
+			}
+			b.WriteByte('\n')
+			for _, as := range st.Body {
+				fmt.Fprintf(b, "%s  %s = %s\n", ind, printRef(as.LHS), printExpr(as.RHS))
+			}
+			fmt.Fprintf(b, "%sEND FORALL\n", ind)
+		case *ir.SeqLoop:
+			fmt.Fprintf(b, "%sDO %s = %s, %s\n", ind, strings.ToLower(st.Var), printAff(st.Lo), printAff(st.Hi))
+			printStmts(b, st.Body, depth+1)
+			fmt.Fprintf(b, "%sEND DO\n", ind)
+		case *ir.Reduce:
+			idxs := make([]string, len(st.Indexes))
+			for i, ix := range st.Indexes {
+				idxs[i] = printIndex(ix)
+			}
+			fmt.Fprintf(b, "%sREDUCE (%v, %s, %s) %s\n", ind, st.Op, strings.ToLower(st.Target),
+				strings.Join(idxs, ", "), printExpr(st.Expr))
+		case *ir.ScalarAssign:
+			fmt.Fprintf(b, "%sLET %s = %s\n", ind, strings.ToLower(st.Name), printExpr(st.RHS))
+		case *ir.ExitIf:
+			fmt.Fprintf(b, "%sEXITIF %s %v %s\n", ind, printExpr(st.L), st.Op, printExpr(st.R))
+		case *ir.StartTimer:
+			fmt.Fprintf(b, "%sSTARTTIMER\n", ind)
+		case *ir.Block:
+			printStmts(b, st.Body, depth)
+		}
+	}
+}
+
+func printIndex(ix ir.Index) string {
+	s := fmt.Sprintf("%s = %s:%s", strings.ToLower(ix.Var), printAff(ix.Lo), printAff(ix.Hi))
+	if ix.StepOr1() != 1 {
+		s += fmt.Sprintf(":%d", ix.Step)
+	}
+	return s
+}
+
+func printAff(a ir.AffExpr) string { return strings.ToLower(a.String()) }
+
+func printRef(r ir.ArrayRef) string {
+	subs := make([]string, len(r.Subs))
+	for i, s := range r.Subs {
+		subs[i] = printAff(s)
+	}
+	return fmt.Sprintf("%s(%s)", strings.ToLower(r.Array.Name), strings.Join(subs, ", "))
+}
+
+func printExpr(e ir.Expr) string {
+	switch t := e.(type) {
+	case ir.Num:
+		if t.V == float64(int64(t.V)) && t.V >= -1e15 && t.V <= 1e15 {
+			return fmt.Sprintf("%.1f", t.V)
+		}
+		return fmt.Sprintf("%g", t.V)
+	case ir.ScalarRef:
+		return strings.ToLower(t.Name)
+	case ir.IdxVal:
+		return strings.ToLower(t.Name)
+	case ir.ArrayRef:
+		return printRef(t)
+	case ir.Indirect:
+		subs := make([]string, len(t.Subs))
+		for i, s := range t.Subs {
+			subs[i] = printExpr(s)
+		}
+		return fmt.Sprintf("%s(%s)", strings.ToLower(t.Array.Name), strings.Join(subs, ", "))
+	case ir.Bin:
+		return fmt.Sprintf("(%s %v %s)", printExpr(t.L), t.Op, printExpr(t.R))
+	case ir.Call:
+		args := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = printExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", t.Fn, strings.Join(args, ", "))
+	case ir.InnerRed:
+		name := map[ir.RedOp]string{ir.RedSum: "SUM", ir.RedMax: "SMAX", ir.RedMin: "SMIN"}[t.Op]
+		return fmt.Sprintf("%s(%s = %s:%s, %s)", name, strings.ToLower(t.Var),
+			printAff(t.Lo), printAff(t.Hi), printExpr(t.Body))
+	default:
+		panic(fmt.Sprintf("lang: cannot print %T", e))
+	}
+}

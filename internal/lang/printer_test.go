@@ -1,0 +1,93 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/lang"
+	"hpfdsm/internal/runtime"
+)
+
+// TestPrintParseRoundTripApps round-trips every application through
+// Print and re-parses the result; the reprinted program must run to
+// the same answers as the original (a strong semantic round-trip
+// check over the full language surface the apps use).
+func TestPrintParseRoundTripApps(t *testing.T) {
+	suite := append(apps.All(), apps.Irregular())
+	for _, a := range suite {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			orig, err := a.Program(a.ScaledParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := lang.Print(orig)
+			re, err := lang.Parse(text)
+			if err != nil {
+				t.Fatalf("reprint does not parse: %v\n%s", err, text)
+			}
+			orig2, err := a.Program(a.ScaledParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, err := runtime.Run(orig2, runtime.Options{Machine: config.Default().WithNodes(2), Opt: compiler.OptBulk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := runtime.Run(re, runtime.Options{Machine: config.Default().WithNodes(2), Opt: compiler.OptBulk})
+			if err != nil {
+				t.Fatalf("reprinted program fails to run: %v", err)
+			}
+			for _, name := range a.CheckArrays {
+				w, g := r1.ArrayData(name), r2.ArrayData(name)
+				for k := range w {
+					if w[k] != g[k] {
+						t.Fatalf("round trip diverges: %s[%d] = %v vs %v", name, k, g[k], w[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPrintContainsDirectives(t *testing.T) {
+	a, _ := apps.ByName("lu")
+	prog, err := a.Program(a.ScaledParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := lang.Print(prog)
+	for _, want := range []string{"PROGRAM lu", "DISTRIBUTE a(*, CYCLIC)", "STARTTIMER", "END DO"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("printed source missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPrintOnHomeAndStride(t *testing.T) {
+	src := `
+PROGRAM p
+PARAM n = 16
+REAL a(n, n), b(n, n)
+DISTRIBUTE a(*, BLOCK)
+DISTRIBUTE b(*, BLOCK)
+FORALL (i = 1:n, j = 1:n-1:2) ON a(i, j+1)
+  b(i, j) = a(i, j+1)
+END FORALL
+END
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := lang.Print(prog)
+	if !strings.Contains(text, "ON a(i, j+1)") || !strings.Contains(text, ":2)") {
+		t.Fatalf("printed source missing directives:\n%s", text)
+	}
+	if _, err := lang.Parse(text); err != nil {
+		t.Fatalf("reprint does not parse: %v\n%s", err, text)
+	}
+}

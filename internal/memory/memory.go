@@ -1,0 +1,251 @@
+// Package memory implements the shared global address space of the
+// fine-grain DSM and Tempest's fine-grain access control: every node
+// holds a local image of the (page-lazily populated) address space plus
+// a per-block access tag (invalid / readonly / readwrite). Tag checks
+// are performed by the executor on every shared load and store; tag
+// changes and data movement are performed by the coherence protocol.
+//
+// Addresses are byte offsets into the shared segment. Pages are assigned
+// round-robin to home nodes, so an array's owner (from its HPF
+// distribution) is generally not its home — exactly the situation the
+// paper's mk_writable step exists to handle.
+package memory
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hpfdsm/internal/config"
+)
+
+// Tag is a block's fine-grain access tag.
+type Tag uint8
+
+const (
+	Invalid Tag = iota
+	ReadOnly
+	ReadWrite
+)
+
+func (t Tag) String() string {
+	switch t {
+	case Invalid:
+		return "invalid"
+	case ReadOnly:
+		return "readonly"
+	case ReadWrite:
+		return "readwrite"
+	default:
+		return fmt.Sprintf("Tag(%d)", uint8(t))
+	}
+}
+
+// Alloc records one named allocation in the shared segment.
+type Alloc struct {
+	Name string
+	Base int
+	Size int
+}
+
+// Space is the shared segment layout: allocation map, block and page
+// geometry, and the home-node assignment.
+type Space struct {
+	mc     config.Machine
+	size   int // current segment size in bytes (page aligned)
+	allocs []Alloc
+}
+
+// NewSpace returns an empty shared segment for machine mc.
+func NewSpace(mc config.Machine) *Space {
+	if err := mc.Validate(); err != nil {
+		panic(err)
+	}
+	return &Space{mc: mc}
+}
+
+// Machine returns the machine configuration the space was built for.
+func (s *Space) Machine() config.Machine { return s.mc }
+
+// Size returns the segment size in bytes.
+func (s *Space) Size() int { return s.size }
+
+// BlockSize returns the coherence unit in bytes.
+func (s *Space) BlockSize() int { return s.mc.BlockSize }
+
+// NumBlocks returns the number of coherence blocks in the segment.
+func (s *Space) NumBlocks() int { return s.size / s.mc.BlockSize }
+
+// NumPages returns the number of pages in the segment.
+func (s *Space) NumPages() int { return s.size / s.mc.PageSize }
+
+// Alloc reserves bytes of shared memory, page aligned (so distinct
+// arrays never share a page, let alone a block), and returns the base
+// address.
+func (s *Space) Alloc(name string, bytes int) int {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("memory: bad allocation size %d for %q", bytes, name))
+	}
+	base := s.size
+	pg := s.mc.PageSize
+	s.size += (bytes + pg - 1) / pg * pg
+	s.allocs = append(s.allocs, Alloc{Name: name, Base: base, Size: bytes})
+	return base
+}
+
+// Allocs returns the allocation map.
+func (s *Space) Allocs() []Alloc { return s.allocs }
+
+// Block returns the block number containing addr.
+func (s *Space) Block(addr int) int { return addr / s.mc.BlockSize }
+
+// BlockBase returns the byte address of block b.
+func (s *Space) BlockBase(b int) int { return b * s.mc.BlockSize }
+
+// Page returns the page number containing addr.
+func (s *Space) Page(addr int) int { return addr / s.mc.PageSize }
+
+// Home returns the home node of addr's page (round-robin assignment).
+func (s *Space) Home(addr int) int { return (addr / s.mc.PageSize) % s.mc.Nodes }
+
+// HomeOfBlock returns the home node of block b.
+func (s *Space) HomeOfBlock(b int) int { return s.Home(b * s.mc.BlockSize) }
+
+// CheckAddr panics if addr is outside the segment or not 8-byte aligned.
+func (s *Space) CheckAddr(addr int) {
+	if addr < 0 || addr+8 > s.size || addr%8 != 0 {
+		panic(fmt.Sprintf("memory: bad shared address %#x (segment size %#x)", addr, s.size))
+	}
+}
+
+// NodeMem is one node's image of the shared segment: data, per-block
+// tags, per-block dirty-word masks (used by the multiple-writer
+// protocol), and the per-page mapped bits (remote pages pay a mapping
+// cost on first touch).
+type NodeMem struct {
+	sp     *Space
+	id     int
+	data   []byte
+	tags   []Tag
+	dirty  []uint16 // bit i set => word i of block modified locally
+	mapped []bool
+}
+
+// NewNodeMem creates node id's memory image. Blocks on pages homed at
+// this node start ReadWrite (home memory is the backing store and the
+// directory starts Idle); everything else starts Invalid and unmapped.
+func NewNodeMem(sp *Space, id int) *NodeMem {
+	nb := sp.NumBlocks()
+	np := sp.NumPages()
+	nm := &NodeMem{
+		sp:     sp,
+		id:     id,
+		data:   make([]byte, sp.size),
+		tags:   make([]Tag, nb),
+		dirty:  make([]uint16, nb),
+		mapped: make([]bool, np),
+	}
+	bpp := sp.mc.PageSize / sp.mc.BlockSize
+	for pg := 0; pg < np; pg++ {
+		if sp.Home(pg*sp.mc.PageSize) == id {
+			nm.mapped[pg] = true
+			for b := pg * bpp; b < (pg+1)*bpp; b++ {
+				nm.tags[b] = ReadWrite
+			}
+		}
+	}
+	return nm
+}
+
+// ID returns the owning node id.
+func (m *NodeMem) ID() int { return m.id }
+
+// Space returns the shared segment layout.
+func (m *NodeMem) Space() *Space { return m.sp }
+
+// Tag returns block b's access tag.
+func (m *NodeMem) Tag(b int) Tag { return m.tags[b] }
+
+// SetTag sets block b's access tag.
+func (m *NodeMem) SetTag(b int, t Tag) { m.tags[b] = t }
+
+// Mapped reports whether page pg has been mapped locally.
+func (m *NodeMem) Mapped(pg int) bool { return m.mapped[pg] }
+
+// SetMapped marks page pg mapped.
+func (m *NodeMem) SetMapped(pg int) { m.mapped[pg] = true }
+
+// Dirty returns block b's dirty-word mask.
+func (m *NodeMem) Dirty(b int) uint16 { return m.dirty[b] }
+
+// ClearDirty zeroes block b's dirty-word mask.
+func (m *NodeMem) ClearDirty(b int) { m.dirty[b] = 0 }
+
+// MarkAllDirty sets every word of block b dirty (used when a whole
+// block of modifications is installed at once).
+func (m *NodeMem) MarkAllDirty(b int) {
+	m.dirty[b] = uint16(1)<<uint(m.sp.mc.BlockSize/8) - 1
+}
+
+// ReadF64 reads the float64 at addr with no access check; the executor
+// checks tags before calling.
+func (m *NodeMem) ReadF64(addr int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(m.data[addr:]))
+}
+
+// WriteF64 writes the float64 at addr with no access check and records
+// the word in the containing block's dirty mask.
+func (m *NodeMem) WriteF64(addr int, v float64) {
+	binary.LittleEndian.PutUint64(m.data[addr:], math.Float64bits(v))
+	b := addr / m.sp.mc.BlockSize
+	m.dirty[b] |= 1 << uint((addr%m.sp.mc.BlockSize)/8)
+}
+
+// BlockData returns the live bytes of block b (aliasing the node image).
+func (m *NodeMem) BlockData(b int) []byte {
+	bs := m.sp.mc.BlockSize
+	return m.data[b*bs : (b+1)*bs]
+}
+
+// Bytes returns the live bytes of [addr, addr+n) (aliasing the image).
+func (m *NodeMem) Bytes(addr, n int) []byte { return m.data[addr : addr+n] }
+
+// InstallBlock copies a full block of incoming data into the node image.
+func (m *NodeMem) InstallBlock(b int, data []byte) {
+	copy(m.BlockData(b), data)
+}
+
+// InstallRange copies incoming data into [addr, addr+len(data)).
+func (m *NodeMem) InstallRange(addr int, data []byte) {
+	copy(m.data[addr:], data)
+}
+
+// MergeDirtyWords applies only the words selected by mask from data
+// into block b — the multiple-writer merge used when a writer flushes
+// its modifications to the home.
+func (m *NodeMem) MergeDirtyWords(b int, data []byte, mask uint16) {
+	base := b * m.sp.mc.BlockSize
+	for w := 0; w < m.sp.mc.BlockSize/8; w++ {
+		if mask&(1<<uint(w)) != 0 {
+			copy(m.data[base+8*w:base+8*w+8], data[8*w:8*w+8])
+		}
+	}
+}
+
+// InstallClean copies incoming block data into every word of b that is
+// NOT locally dirty — the arrival side of a non-blocking write miss:
+// words the processor wrote while the fetch was in flight win over the
+// fetched copy.
+func (m *NodeMem) InstallClean(b int, data []byte) {
+	m.MergeDirtyWords(b, data, ^m.dirty[b])
+}
+
+// CheckLoad reports whether a load of addr would fault (tag invalid).
+func (m *NodeMem) CheckLoad(addr int) bool {
+	return m.tags[addr/m.sp.mc.BlockSize] != Invalid
+}
+
+// CheckStore reports whether a store to addr would fault.
+func (m *NodeMem) CheckStore(addr int) bool {
+	return m.tags[addr/m.sp.mc.BlockSize] == ReadWrite
+}

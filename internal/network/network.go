@@ -1,0 +1,116 @@
+// Package network simulates the cluster interconnect (Myrinet in the
+// paper): point-to-point messages with a fixed one-way wire latency plus
+// per-byte serialization time on the sender's link. Messages between the
+// same pair of nodes are delivered in order; serialization occupancy on
+// the sending link naturally pipelines back-to-back sends.
+package network
+
+import (
+	"fmt"
+
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/stats"
+)
+
+// Kind distinguishes message types; values are defined by the protocol
+// layer. The network treats them opaquely.
+type Kind uint8
+
+// Message is one network message. Addr/Arg fields carry protocol
+// metadata; Data carries block payloads. Size is the payload size in
+// bytes used for timing and byte accounting (header accounted
+// separately); Data may be nil for control messages.
+type Message struct {
+	Src, Dst int
+	Kind     Kind
+	Addr     int   // address or range start
+	Arg      int64 // protocol-defined
+	Arg2     int64 // protocol-defined
+	Data     []byte
+	Size     int
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{%d->%d kind=%d addr=%#x size=%d}", m.Src, m.Dst, m.Kind, m.Addr, m.Size)
+}
+
+// Endpoint receives delivered messages; the protocol layer installs one
+// per node. The handler runs in scheduler context at the arrival time;
+// it is responsible for modeling receive-side CPU occupancy.
+type Endpoint func(m *Message)
+
+// Network connects n endpoints through the simulated wire.
+type Network struct {
+	env      *sim.Env
+	mc       config.Machine
+	eps      []Endpoint
+	linkFree []sim.Time // sender-link next-free time
+	st       *stats.Cluster
+}
+
+// New creates a network for mc.Nodes endpoints. Endpoints must be bound
+// with Bind before any Send.
+func New(env *sim.Env, mc config.Machine, st *stats.Cluster) *Network {
+	return &Network{
+		env:      env,
+		mc:       mc,
+		eps:      make([]Endpoint, mc.Nodes),
+		linkFree: make([]sim.Time, mc.Nodes),
+		st:       st,
+	}
+}
+
+// Bind installs the delivery endpoint for node id.
+func (n *Network) Bind(id int, ep Endpoint) { n.eps[id] = ep }
+
+// Send injects m into the network at the current virtual time. The
+// caller is responsible for the sender's CPU occupancy (SendOver); Send
+// models only link serialization and wire latency. Sending to self is a
+// local loopback with no wire cost.
+func (n *Network) Send(m *Message) {
+	if m.Src < 0 || m.Src >= len(n.eps) || m.Dst < 0 || m.Dst >= len(n.eps) {
+		panic(fmt.Sprintf("network: bad endpoints in %v", m))
+	}
+	if m.Data != nil && m.Size == 0 {
+		m.Size = len(m.Data)
+	}
+	bytes := int64(n.mc.MsgHeader + m.Size)
+	n.st.Nodes[m.Src].MsgsSent++
+	n.st.Nodes[m.Src].BytesSent += bytes
+	n.st.Nodes[m.Dst].MsgsRecv++
+	n.st.Nodes[m.Dst].BytesRecv += bytes
+
+	if m.Src == m.Dst {
+		// Loopback: deliver after local copy time only.
+		n.env.After(sim.Time(m.Size)*n.mc.NsPerByte/4+1, func() { n.deliver(m) })
+		return
+	}
+	now := n.env.Now()
+	depart := now
+	if n.linkFree[m.Src] > depart {
+		depart = n.linkFree[m.Src]
+	}
+	ser := sim.Time(n.mc.MsgHeader+m.Size) * n.mc.NsPerByte
+	n.linkFree[m.Src] = depart + ser
+	arrive := depart + ser + n.mc.WireLatency
+	n.env.Schedule(arrive, func() { n.deliver(m) })
+}
+
+func (n *Network) deliver(m *Message) {
+	ep := n.eps[m.Dst]
+	if ep == nil {
+		panic(fmt.Sprintf("network: no endpoint bound for node %d", m.Dst))
+	}
+	ep(m)
+}
+
+// Broadcast sends a copy of the message to every destination in dsts.
+// Copies share Data (which receivers must treat as read-only).
+func (n *Network) Broadcast(m *Message, dsts []int) {
+	for _, d := range dsts {
+		c := *m
+		c.Dst = d
+		n.Send(&c)
+	}
+}

@@ -1,0 +1,261 @@
+package protocol
+
+import (
+	"fmt"
+
+	"hpfdsm/internal/memory"
+	"hpfdsm/internal/network"
+	"hpfdsm/internal/sim"
+)
+
+// dirEntry is the home-side directory state for one block: which nodes
+// hold readonly copies (sharers) and which hold writable copies
+// (writers; more than one is legal under the multiple-writer protocol).
+// Requests against a block are serviced one at a time: while a request
+// is collecting flushes or invalidation acknowledgements the entry is
+// busy and later requests queue.
+type dirEntry struct {
+	sharers uint64
+	writers uint64
+
+	busy    bool
+	cur     *dirReq
+	pending int
+	waitQ   []*dirReq
+}
+
+// dirReq is one directory transaction. For remote requesters the reply
+// is a message; for the home node's own faults (and local mk_writable
+// work) the completion runs the local callback instead.
+type dirReq struct {
+	kind  network.Kind
+	block int
+	src   int
+	local func(withData bool) // non-nil for home-local requests
+
+	needData bool    // mk_writable: requester lacks the data
+	agg      *mkwAgg // mk_writable aggregation, nil otherwise
+}
+
+// entry returns (creating if needed) the directory entry for block b,
+// which must be homed at this node. A fresh entry reflects the initial
+// tag state: home pages start writable at home.
+func (np *nodeProto) entry(b int) *dirEntry {
+	sp := np.n.Mem.Space()
+	if sp.HomeOfBlock(b) != np.id {
+		panic(fmt.Sprintf("protocol: node %d asked for directory entry of block %d homed at %d",
+			np.id, b, sp.HomeOfBlock(b)))
+	}
+	e, ok := np.dir[b]
+	if !ok {
+		e = &dirEntry{}
+		switch np.n.Mem.Tag(b) {
+		case memory.ReadWrite:
+			e.writers = bit(np.id)
+		case memory.ReadOnly:
+			e.sharers = bit(np.id)
+		}
+		np.dir[b] = e
+	}
+	return e
+}
+
+// enqueue services r now, or queues it if the block's entry is busy.
+// Requests against a block whose just-granted store has not retired
+// (scHold, sequential consistency) are deferred briefly, except the
+// holder's own — progress is guaranteed because the held store retires
+// at the already-scheduled resume time.
+func (np *nodeProto) enqueue(r *dirReq) {
+	if np.scHold[r.block] && r.src != np.id {
+		np.n.Env.After(2*sim.Microsecond, func() { np.enqueue(r) })
+		return
+	}
+	e := np.entry(r.block)
+	if e.busy {
+		e.waitQ = append(e.waitQ, r)
+		return
+	}
+	np.start(e, r)
+}
+
+// start begins servicing r: it collects remote copies (flushes from
+// writers, invalidation acks from sharers) as the request type demands,
+// then finishes immediately if nothing remote is outstanding.
+func (np *nodeProto) start(e *dirEntry, r *dirReq) {
+	mem := np.n.Mem
+	mc := np.n.MC
+	need := 0
+
+	flushWriter := func(w int, invalidate bool) {
+		if w == np.id {
+			// Home's writes land directly in home memory; just
+			// downgrade the tag.
+			np.occupy(mc.TagChange)
+			mem.ClearDirty(r.block)
+			e.writers &^= bit(np.id)
+			if invalidate {
+				mem.SetTag(r.block, memory.Invalid)
+			} else {
+				mem.SetTag(r.block, memory.ReadOnly)
+				e.sharers |= bit(np.id)
+			}
+			return
+		}
+		arg := int64(0)
+		if invalidate {
+			arg = 1
+		}
+		np.send(&network.Message{Dst: w, Kind: KPutDataReq, Addr: r.block, Arg: arg, Size: ctrlSize})
+		need++
+	}
+	invalSharer := func(s int) {
+		if s == np.id {
+			np.occupy(mc.TagChange)
+			mem.SetTag(r.block, memory.Invalid)
+			e.sharers &^= bit(np.id)
+			return
+		}
+		np.send(&network.Message{Dst: s, Kind: KInval, Addr: r.block, Size: ctrlSize})
+		need++
+	}
+
+	switch r.kind {
+	case KReadReq:
+		for w := 0; w < len(np.p.nodes); w++ {
+			if e.writers&bit(w) != 0 && w != r.src {
+				flushWriter(w, false)
+			}
+		}
+	case KWriteReq, KUpgradeReq, KMkWritableReq:
+		for w := 0; w < len(np.p.nodes); w++ {
+			if e.writers&bit(w) != 0 && w != r.src {
+				flushWriter(w, true)
+			}
+		}
+		for s := 0; s < len(np.p.nodes); s++ {
+			if e.sharers&bit(s) != 0 && s != r.src {
+				invalSharer(s)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("protocol: directory cannot service kind %d", r.kind))
+	}
+
+	if need > 0 {
+		e.busy = true
+		e.cur = r
+		e.pending = need
+		return
+	}
+	np.finish(e, r)
+}
+
+// collectDone records one flush or invalidation acknowledgement for a
+// busy entry; keeps indicates the responder retained a readonly copy.
+func (np *nodeProto) collectDone(b, from int, keeps bool) {
+	e := np.dir[b]
+	if e == nil || !e.busy {
+		panic(fmt.Sprintf("protocol: node %d got a collection response for idle block %d", np.id, b))
+	}
+	e.writers &^= bit(from)
+	e.sharers &^= bit(from)
+	if keeps {
+		e.sharers |= bit(from)
+	}
+	e.pending--
+	if e.pending > 0 {
+		return
+	}
+	r := e.cur
+	e.cur = nil
+	e.busy = false
+	np.finish(e, r)
+	np.drain(b, e)
+}
+
+// drain services queued requests until the entry goes busy again.
+func (np *nodeProto) drain(b int, e *dirEntry) {
+	for !e.busy && len(e.waitQ) > 0 {
+		r := e.waitQ[0]
+		e.waitQ = e.waitQ[1:]
+		np.occupy(np.n.MC.HandlerCost)
+		np.start(e, r)
+	}
+}
+
+// finish completes a serviced request: updates the directory masks and
+// delivers the reply (message or local callback). Home memory is
+// current at this point: all remote writers' dirty words were merged
+// during collection.
+func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
+	mem := np.n.Mem
+	mc := np.n.MC
+	bs := mem.Space().BlockSize()
+
+	blockData := func() []byte {
+		d := make([]byte, bs)
+		copy(d, mem.BlockData(r.block))
+		return d
+	}
+
+	switch r.kind {
+	case KReadReq:
+		e.sharers |= bit(r.src)
+		if r.local != nil {
+			np.occupy(mc.TagChange)
+			mem.SetTag(r.block, memory.ReadOnly)
+			mem.ClearDirty(r.block)
+			r.local(true)
+			return
+		}
+		np.occupy(mc.BlockCopy)
+		np.send(&network.Message{Dst: r.src, Kind: KReadResp, Addr: r.block, Data: blockData()})
+
+	case KWriteReq:
+		e.writers = bit(r.src)
+		e.sharers = 0
+		if r.local != nil {
+			// Home-local write miss: home memory is the data and the
+			// fault already opened the frame; keep the dirty mask (the
+			// processor may have written during the transaction).
+			np.occupy(mc.TagChange)
+			mem.SetTag(r.block, memory.ReadWrite)
+			r.local(true)
+			return
+		}
+		np.occupy(mc.BlockCopy)
+		np.send(&network.Message{Dst: r.src, Kind: KWriteResp, Addr: r.block, Data: blockData()})
+
+	case KUpgradeReq:
+		hadCopy := e.sharers&bit(r.src) != 0 || e.writers&bit(r.src) != 0
+		e.sharers &^= bit(r.src)
+		e.writers |= bit(r.src)
+		if r.local != nil {
+			r.local(true)
+			return
+		}
+		var data []byte
+		if !hadCopy {
+			// The requester was invalidated while its upgrade was in
+			// flight; the grant must carry fresh data.
+			np.occupy(mc.BlockCopy)
+			data = blockData()
+		}
+		np.send(&network.Message{Dst: r.src, Kind: KWriteGrant, Addr: r.block, Data: data, Size: maxInt(len(data), ctrlSize)})
+
+	case KMkWritableReq:
+		e.writers = bit(r.src)
+		e.sharers = 0
+		r.agg.blockDone(np, r)
+
+	default:
+		panic(fmt.Sprintf("protocol: finish of unknown kind %d", r.kind))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,529 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hpfdsm/internal/memory"
+	"hpfdsm/internal/network"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/tempest"
+)
+
+// BlockRun is a contiguous range of coherence blocks [Start, Start+N).
+type BlockRun struct {
+	Start int
+	N     int
+}
+
+// Ext is the compiler-directed protocol interface for one node: the
+// run-time calls of the paper's Section 4.2. All methods must be called
+// from the node's compute process. Each call's elapsed time is charged
+// to the node's communication time (the paper includes protocol-call
+// time in the optimized communication time).
+type Ext struct {
+	np *nodeProto
+}
+
+// Node returns the underlying tempest node.
+func (x *Ext) Node() *tempest.Node { return x.np.n }
+
+func (x *Ext) begin(p *sim.Proc) sim.Time {
+	x.np.n.Sync(p)
+	return p.Now()
+}
+
+func (x *Ext) end(p *sim.Proc, t0 sim.Time) {
+	st := x.np.n.St
+	st.ProtoCalls++
+	d := p.Now() - t0
+	st.ProtoCallTime += d
+	st.CommTime += d
+}
+
+// MkWritable brings every block in runs to readwrite state in this
+// node's cache, as if a write fault had been incurred for each block
+// but pipelined: one request per home node, with the home shipping
+// data in bulk for blocks this node does not hold. On return the
+// directory records this node as the blocks' exclusive writer — which
+// also relieves the homes of the only-valid-copy burden (step 1 of the
+// paper's transfer preparation).
+func (x *Ext) MkWritable(p *sim.Proc, runs []BlockRun) {
+	np := x.np
+	n := np.n
+	mem := n.Mem
+	sp := mem.Space()
+	mc := n.MC
+	t0 := x.begin(p)
+	defer x.end(p, t0)
+
+	np.mkwCount.Reset()
+
+	// Classify each block by home and by what it needs.
+	type encRun struct {
+		start, n int
+		needData bool
+	}
+	perHome := make([][]encRun, len(np.p.nodes))
+	var total int64
+	for _, r := range runs {
+		for b := r.Start; b < r.Start+r.N; b++ {
+			if mem.Tag(b) == memory.ReadWrite {
+				continue // already writable; nothing to do
+			}
+			home := sp.HomeOfBlock(b)
+			needData := mem.Tag(b) == memory.Invalid
+			total++
+			l := perHome[home]
+			if k := len(l) - 1; k >= 0 && l[k].start+l[k].n == b && l[k].needData == needData {
+				perHome[home][k].n++
+			} else {
+				perHome[home] = append(perHome[home], encRun{b, 1, needData})
+			}
+		}
+	}
+	if total == 0 {
+		p.Sleep(mc.TagChange) // the call still tests its ranges
+		return
+	}
+
+	for home := 0; home < len(perHome); home++ {
+		list := perHome[home]
+		if len(list) == 0 {
+			continue
+		}
+		count := 0
+		for _, er := range list {
+			count += er.n
+		}
+		if home == np.id {
+			agg := &mkwAgg{src: np.id, remaining: count, local: true}
+			for _, er := range list {
+				if er.needData {
+					agg.dataRuns = append(agg.dataRuns, BlockRun{er.start, er.n})
+				} else {
+					agg.upRuns = append(agg.upRuns, BlockRun{er.start, er.n})
+					agg.upgraded += er.n
+				}
+			}
+			p.Sleep(sim.Time(count) * mc.BulkPerBlock)
+			for _, er := range list {
+				for b := er.start; b < er.start+er.n; b++ {
+					np.enqueue(&dirReq{kind: KMkWritableReq, block: b, src: np.id, needData: er.needData, agg: agg})
+				}
+			}
+			continue
+		}
+		// Remote home: one pipelined request. Upgrade-only blocks can
+		// take their tags now; the call blocks until all confirmed.
+		payload := make([]byte, 4+9*len(list))
+		binary.LittleEndian.PutUint32(payload, uint32(len(list)))
+		off := 4
+		for _, er := range list {
+			binary.LittleEndian.PutUint32(payload[off:], uint32(er.start))
+			binary.LittleEndian.PutUint32(payload[off+4:], uint32(er.n))
+			if er.needData {
+				payload[off+8] = 1
+			} else {
+				for b := er.start; b < er.start+er.n; b++ {
+					mem.SetTag(b, memory.ReadWrite)
+				}
+			}
+			off += 9
+		}
+		p.Sleep(mc.SendOver)
+		n.Net.Send(&network.Message{Src: np.id, Dst: home, Kind: KMkWritableReq, Data: payload})
+	}
+	np.mkwCount.WaitFor(p, total)
+}
+
+// mkwAgg aggregates the per-block directory transactions of one
+// mk_writable request at the home; when the last block completes it
+// ships the response (bulk data plus an acknowledgement for
+// upgrade-only blocks).
+type mkwAgg struct {
+	src       int
+	remaining int
+	dataRuns  []BlockRun
+	upRuns    []BlockRun // upgrade-only runs (kept for the local case)
+	upgraded  int
+	local     bool
+}
+
+func (a *mkwAgg) blockDone(np *nodeProto, r *dirReq) {
+	a.remaining--
+	if a.remaining > 0 {
+		return
+	}
+	mem := np.n.Mem
+	mc := np.n.MC
+	if a.local {
+		// Requester is the home: data is already in home memory;
+		// just take the tags.
+		n := 0
+		for _, runs := range [][]BlockRun{a.dataRuns, a.upRuns} {
+			for _, dr := range runs {
+				for b := dr.Start; b < dr.Start+dr.N; b++ {
+					mem.SetTag(b, memory.ReadWrite)
+					mem.ClearDirty(b)
+				}
+				n += dr.N
+			}
+		}
+		np.mkwCount.Add(int64(n))
+		return
+	}
+	bs := mem.Space().BlockSize()
+	maxBlocks := mc.MaxPayload / bs
+	for _, dr := range a.dataRuns {
+		for off := 0; off < dr.N; off += maxBlocks {
+			nb := dr.N - off
+			if nb > maxBlocks {
+				nb = maxBlocks
+			}
+			start := dr.Start + off
+			data := make([]byte, nb*bs)
+			copy(data, mem.Bytes(start*bs, nb*bs))
+			np.occupy(sim.Time(nb) * mc.BulkPerBlock)
+			np.send(&network.Message{
+				Dst: a.src, Kind: KMkWritableData,
+				Addr: start * bs, Arg: int64(nb), Data: data,
+			})
+		}
+	}
+	if a.upgraded > 0 {
+		np.send(&network.Message{Dst: a.src, Kind: KMkWritableAck, Arg: int64(a.upgraded), Size: ctrlSize})
+	}
+}
+
+func (np *nodeProto) hMkWritableReq(hc *tempest.HContext, m *network.Message) {
+	mc := np.n.MC
+	nruns := int(binary.LittleEndian.Uint32(m.Data))
+	agg := &mkwAgg{src: m.Src}
+	type encRun struct {
+		start, n int
+		needData bool
+	}
+	var runs []encRun
+	off := 4
+	for i := 0; i < nruns; i++ {
+		er := encRun{
+			start:    int(binary.LittleEndian.Uint32(m.Data[off:])),
+			n:        int(binary.LittleEndian.Uint32(m.Data[off+4:])),
+			needData: m.Data[off+8] == 1,
+		}
+		off += 9
+		agg.remaining += er.n
+		if er.needData {
+			agg.dataRuns = append(agg.dataRuns, BlockRun{er.start, er.n})
+		} else {
+			agg.upgraded += er.n
+		}
+		runs = append(runs, er)
+	}
+	np.occupy(sim.Time(agg.remaining) * mc.BulkPerBlock)
+	for _, er := range runs {
+		for b := er.start; b < er.start+er.n; b++ {
+			np.enqueue(&dirReq{kind: KMkWritableReq, block: b, src: m.Src, needData: er.needData, agg: agg})
+		}
+	}
+}
+
+func (np *nodeProto) hMkWritableData(hc *tempest.HContext, m *network.Message) {
+	mem := np.n.Mem
+	bs := mem.Space().BlockSize()
+	nb := int(m.Arg)
+	np.occupy(sim.Time(nb) * np.n.MC.BulkPerBlock)
+	mem.InstallRange(m.Addr, m.Data)
+	b0 := m.Addr / bs
+	for b := b0; b < b0+nb; b++ {
+		mem.SetTag(b, memory.ReadWrite)
+		mem.ClearDirty(b)
+	}
+	np.mkwCount.Add(int64(nb))
+}
+
+func (np *nodeProto) hMkWritableAck(hc *tempest.HContext, m *network.Message) {
+	np.occupy(np.n.MC.HandlerCost)
+	np.mkwCount.Add(m.Arg)
+}
+
+// ImplicitWritable sets every block in runs to readwrite locally with
+// no directory interaction (step 2 of the paper's preparation: readers
+// pre-open their frames for the incoming data). With firstTimeOnly
+// (the run-time overhead elimination of Section 4.3) a range already
+// processed costs only a lookup. Reports whether tag work was done.
+func (x *Ext) ImplicitWritable(p *sim.Proc, runs []BlockRun, firstTimeOnly bool) bool {
+	np := x.np
+	mem := np.n.Mem
+	mc := np.n.MC
+	t0 := x.begin(p)
+	defer x.end(p, t0)
+
+	did := false
+	for _, r := range runs {
+		for b := r.Start; b < r.Start+r.N; b++ {
+			np.ccFrames[b] = true
+		}
+		if firstTimeOnly {
+			if np.iwDone[[2]int{r.Start, r.N}] {
+				p.Sleep(mc.TagChange) // the test-only fast path
+				continue
+			}
+			np.iwDone[[2]int{r.Start, r.N}] = true
+		}
+		p.Sleep(sim.Time(r.N) * mc.TagChange)
+		for b := r.Start; b < r.Start+r.N; b++ {
+			mem.SetTag(b, memory.ReadWrite)
+		}
+		did = true
+	}
+	return did
+}
+
+// ImplicitInvalidate invalidates every block in runs locally, restoring
+// consistency with the directory (which believes the sender holds the
+// only copy). It enforces the contract: invalidating a block with
+// locally modified, unflushed words panics, because those updates would
+// be silently lost.
+func (x *Ext) ImplicitInvalidate(p *sim.Proc, runs []BlockRun) {
+	np := x.np
+	mem := np.n.Mem
+	mc := np.n.MC
+	t0 := x.begin(p)
+	defer x.end(p, t0)
+
+	for _, r := range runs {
+		p.Sleep(sim.Time(r.N) * mc.TagChange)
+		for b := r.Start; b < r.Start+r.N; b++ {
+			if mem.Dirty(b) != 0 {
+				panic(fmt.Sprintf("protocol: implicit_invalidate of block %d on node %d would lose dirty words; flush first", b, np.id))
+			}
+			mem.SetTag(b, memory.Invalid)
+		}
+	}
+}
+
+// SendBlocks ships the blocks in runs to dst as specially tagged data
+// messages (the paper's send primitive). With bulk, contiguous blocks
+// coalesce into payloads up to the machine's MaxPayload; without it
+// each block travels alone. The sender must hold every block readwrite
+// (guaranteed by mk_writable); a violation panics.
+func (x *Ext) SendBlocks(p *sim.Proc, dst int, runs []BlockRun, bulk bool) {
+	x.sendTagged(p, dst, runs, bulk, KCCData)
+}
+
+// FlushBlocks ships locally written blocks back to their owner (the
+// non-owner-write case) and invalidates them locally. Per the paper's
+// contract, the scenario at the end is that "the owner has the only
+// latest (writable) copy of the block, and directory correctly
+// reflects this information": each block's home is told to repoint its
+// writer set at the owner.
+func (x *Ext) FlushBlocks(p *sim.Proc, owner int, runs []BlockRun, bulk bool) {
+	x.sendTagged(p, owner, runs, bulk, KCCFlush)
+	np := x.np
+	n := np.n
+	mem := n.Mem
+	sp := mem.Space()
+	for _, r := range runs {
+		for b := r.Start; b < r.Start+r.N; b++ {
+			mem.ClearDirty(b)
+			mem.SetTag(b, memory.Invalid)
+		}
+	}
+	// Directory fix-up, one message per home-contiguous run.
+	type homeRun struct{ start, n int }
+	perHome := make([][]homeRun, len(np.p.nodes))
+	for _, r := range runs {
+		for b := r.Start; b < r.Start+r.N; b++ {
+			h := sp.HomeOfBlock(b)
+			l := perHome[h]
+			if k := len(l) - 1; k >= 0 && l[k].start+l[k].n == b {
+				perHome[h][k].n++
+			} else {
+				perHome[h] = append(perHome[h], homeRun{b, 1})
+			}
+		}
+	}
+	for h := 0; h < len(perHome); h++ {
+		for _, hr := range perHome[h] {
+			if h == np.id {
+				np.ccFlushDir(hr.start, hr.n, owner, np.id)
+				continue
+			}
+			p.Sleep(n.MC.SendOver)
+			n.Net.Send(&network.Message{
+				Src: np.id, Dst: h, Kind: KCCFlushDir,
+				Addr: hr.start, Arg: int64(hr.n), Arg2: int64(owner), Size: ctrlSize,
+			})
+		}
+	}
+}
+
+// ccFlushDir repoints the directory for [start, start+n) at the owner:
+// the flushed data now lives there. Busy entries retry shortly.
+func (np *nodeProto) ccFlushDir(start, n, owner, flusher int) {
+	for b := start; b < start+n; b++ {
+		e := np.entry(b)
+		if e.busy {
+			b := b
+			np.n.Env.After(2*sim.Microsecond, func() { np.ccFlushDir(b, 1, owner, flusher) })
+			continue
+		}
+		e.writers = bit(owner)
+		e.sharers = 0
+	}
+	np.occupy(sim.Time(n) * np.n.MC.TagChange)
+}
+
+func (np *nodeProto) hCCFlushDir(hc *tempest.HContext, m *network.Message) {
+	np.occupy(np.n.MC.HandlerCost)
+	np.ccFlushDir(m.Addr, int(m.Arg), int(m.Arg2), m.Src)
+}
+
+func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, bulk bool, kind network.Kind) {
+	np := x.np
+	n := np.n
+	mem := n.Mem
+	mc := n.MC
+	bs := mem.Space().BlockSize()
+	t0 := x.begin(p)
+	defer x.end(p, t0)
+
+	if dst == np.id {
+		panic("protocol: compiler-directed send to self")
+	}
+	maxBlocks := mc.MaxPayload / bs
+	if !bulk {
+		maxBlocks = 1
+	}
+	for _, r := range runs {
+		for b := r.Start; b < r.Start+r.N; b++ {
+			// The contract requires a valid local copy. ReadWrite is the
+			// usual state (mk_writable / steady ownership); ReadOnly can
+			// occur when an advisory prefetch or an edge read downgraded
+			// the sender — the copy is still current and write ownership
+			// is re-acquired lazily on the next store. Invalid means the
+			// compiler's preconditions were violated.
+			if mem.Tag(b) == memory.Invalid {
+				panic(fmt.Sprintf("protocol: send of block %d on node %d without a valid copy; mk_writable missing",
+					b, np.id))
+			}
+		}
+		for off := 0; off < r.N; off += maxBlocks {
+			nb := r.N - off
+			if nb > maxBlocks {
+				nb = maxBlocks
+			}
+			start := r.Start + off
+			data := make([]byte, nb*bs)
+			copy(data, mem.Bytes(start*bs, nb*bs))
+			p.Sleep(mc.SendOver + sim.Time(nb)*mc.BulkPerBlock)
+			n.Net.Send(&network.Message{
+				Src: np.id, Dst: dst, Kind: kind,
+				Addr: start * bs, Arg: int64(nb), Data: data,
+			})
+		}
+	}
+}
+
+func (np *nodeProto) installCC(m *network.Message, markDirty bool) {
+	mem := np.n.Mem
+	bs := mem.Space().BlockSize()
+	nb := int(m.Arg)
+	np.occupy(sim.Time(nb) * np.n.MC.BulkPerBlock)
+	b0 := m.Addr / bs
+	for b := b0; b < b0+nb; b++ {
+		if mem.Tag(b) != memory.ReadWrite {
+			// A frame the receiver once opened may have been torn down
+			// by an eager invalidation racing through an adjacent
+			// edge-block's default-protocol sharing; the specially
+			// tagged message carries the contract's permission to
+			// reopen it. Data for a frame never opened is a compiler
+			// bug and still trips the check.
+			if !np.ccFrames[b] {
+				panic(fmt.Sprintf("protocol: compiler-directed data for block %d arrived at node %d without readwrite frame (tag %v); implicit_writable missing",
+					b, np.id, mem.Tag(b)))
+			}
+			np.occupy(np.n.MC.TagChange)
+			mem.SetTag(b, memory.ReadWrite)
+		}
+	}
+	mem.InstallRange(m.Addr, m.Data)
+	for b := b0; b < b0+nb; b++ {
+		if markDirty {
+			// Flushed blocks are modifications relative to the home's
+			// memory copy: the owner must present them as dirty so a
+			// later default-protocol collection picks them up.
+			mem.MarkAllDirty(b)
+		} else {
+			mem.ClearDirty(b)
+		}
+	}
+	np.ccRecv.Add(int64(nb))
+}
+
+func (np *nodeProto) hCCData(hc *tempest.HContext, m *network.Message) {
+	np.installCC(m, false)
+}
+
+func (np *nodeProto) hCCFlush(hc *tempest.HContext, m *network.Message) {
+	// The owner holds its blocks writable in steady state; enforce it.
+	np.installCC(m, true)
+}
+
+// Prefetch issues advisory, non-binding read requests for blocks this
+// node will read through the default protocol (the paper's suggested
+// boundary-case optimization: "co-operative prefetch" for the edge
+// elements shmem_limits leaves behind). The compute process continues
+// immediately; arriving data installs as a readonly copy, turning the
+// later demand access into a hit. Blocks already readable are skipped.
+func (x *Ext) Prefetch(p *sim.Proc, runs []BlockRun) {
+	np := x.np
+	n := np.n
+	mem := n.Mem
+	sp := mem.Space()
+	mc := n.MC
+	t0 := x.begin(p)
+	defer x.end(p, t0)
+
+	// Advisory requests are composed by the protocol engine, off the
+	// compute processor's critical path; the call itself costs only its
+	// dispatch.
+	p.Sleep(mc.TagChange)
+	for _, r := range runs {
+		for b := r.Start; b < r.Start+r.N; b++ {
+			if mem.Tag(b) != memory.Invalid {
+				continue
+			}
+			home := sp.HomeOfBlock(b)
+			if home == np.id {
+				continue // local directory; a fault would be cheap anyway
+			}
+			if pg := sp.Page(b * sp.BlockSize()); !mem.Mapped(pg) {
+				p.Sleep(mc.PageMapCost)
+				mem.SetMapped(pg)
+			}
+			np.send(&network.Message{Dst: home, Kind: KReadReq, Addr: b, Size: ctrlSize})
+		}
+	}
+}
+
+// IsFrame reports whether this node ever opened block b as a
+// compiler-controlled frame.
+func (x *Ext) IsFrame(b int) bool { return x.np.ccFrames[b] }
+
+// ExpectBlocks announces n incoming compiler-controlled blocks for this
+// node's next ReadyToRecv (the schedule knows exactly what will
+// arrive). May be called multiple times before the wait.
+func (x *Ext) ExpectBlocks(n int) { x.np.ccExpected += int64(n) }
+
+// ReadyToRecv blocks the compute process until every announced block
+// has arrived — the counting-semaphore receive of the paper.
+func (x *Ext) ReadyToRecv(p *sim.Proc) {
+	np := x.np
+	t0 := x.begin(p)
+	defer x.end(p, t0)
+	p.Sleep(np.n.MC.TagChange)
+	np.ccRecv.WaitFor(p, np.ccExpected)
+}

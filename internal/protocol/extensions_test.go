@@ -1,0 +1,437 @@
+package protocol
+
+import (
+	"testing"
+
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/memory"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/tempest"
+)
+
+// blocksOf returns the run of blocks covering [addr, addr+nbytes).
+func (h *harness) blocksOf(addr, nbytes int) []BlockRun {
+	bs := h.space.BlockSize()
+	return []BlockRun{{Start: addr / bs, N: (nbytes + bs - 1) / bs}}
+}
+
+func TestMkWritableFetchesRemoteData(t *testing.T) {
+	// Owner (node 1) makes writable a range homed at node 0 that it
+	// has never touched: data must arrive and tags become readwrite.
+	h := newHarness(t, 2, 2, config.DualCPU)
+	addr := h.addrOnPage(0, 0)
+	nbytes := 4 * h.space.BlockSize()
+	h.run(0, "home", func(p *sim.Proc, n *tempest.Node) {
+		for i := 0; i < nbytes/8; i++ {
+			n.StoreF64(p, addr+8*i, float64(i))
+		}
+		h.c.Barrier(p, n)
+		h.c.Barrier(p, n)
+	})
+	h.run(1, "owner", func(p *sim.Proc, n *tempest.Node) {
+		h.c.Barrier(p, n)
+		x := h.p.Node(1)
+		x.MkWritable(p, h.blocksOf(addr, nbytes))
+		for _, r := range h.blocksOf(addr, nbytes) {
+			for b := r.Start; b < r.Start+r.N; b++ {
+				if n.Mem.Tag(b) != memory.ReadWrite {
+					t.Errorf("block %d tag %v after mk_writable", b, n.Mem.Tag(b))
+				}
+			}
+		}
+		for i := 0; i < nbytes/8; i++ {
+			if got := n.Mem.ReadF64(addr + 8*i); got != float64(i) {
+				t.Errorf("word %d = %v after mk_writable", i, got)
+			}
+		}
+		h.c.Barrier(p, n)
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Home must have been invalidated: directory now says owner is the
+	// exclusive writer.
+	home := h.c.Nodes[0]
+	if home.Mem.Tag(h.space.Block(addr)) != memory.Invalid {
+		t.Fatalf("home tag after mk_writable = %v, want invalid", home.Mem.Tag(h.space.Block(addr)))
+	}
+}
+
+func TestMkWritableUpgradeOnly(t *testing.T) {
+	// Owner already holds readonly copies: mk_writable should upgrade
+	// without shipping data.
+	h := newHarness(t, 2, 2, config.DualCPU)
+	addr := h.addrOnPage(0, 0)
+	nbytes := 2 * h.space.BlockSize()
+	h.run(1, "owner", func(p *sim.Proc, n *tempest.Node) {
+		n.LoadF64(p, addr)                     // readonly copy of block 0
+		n.LoadF64(p, addr+h.space.BlockSize()) // and block 1
+		bytesBefore := h.c.Stats.Nodes[0].BytesSent
+		x := h.p.Node(1)
+		x.MkWritable(p, h.blocksOf(addr, nbytes))
+		dataMoved := h.c.Stats.Nodes[0].BytesSent - bytesBefore
+		if dataMoved > 64 {
+			t.Errorf("upgrade-only mk_writable moved %d bytes from home", dataMoved)
+		}
+		if n.Mem.Tag(h.space.Block(addr)) != memory.ReadWrite {
+			t.Error("tag not upgraded")
+		}
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMkWritableLocalHome(t *testing.T) {
+	// Owner == home: no messages at all.
+	h := newHarness(t, 2, 2, config.DualCPU)
+	addr := h.addrOnPage(1, 0) // homed at node 1
+	h.run(1, "owner", func(p *sim.Proc, n *tempest.Node) {
+		x := h.p.Node(1)
+		x.MkWritable(p, h.blocksOf(addr, 2*h.space.BlockSize()))
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.c.Stats.TotalMessages() != 0 {
+		t.Fatalf("local mk_writable sent %d messages", h.c.Stats.TotalMessages())
+	}
+}
+
+func TestMkWritableSkipsWritableBlocks(t *testing.T) {
+	h := newHarness(t, 2, 2, config.DualCPU)
+	addr := h.addrOnPage(1, 0) // node 1's own page: already readwrite
+	var elapsed sim.Time
+	h.run(1, "owner", func(p *sim.Proc, n *tempest.Node) {
+		t0 := p.Now()
+		h.p.Node(1).MkWritable(p, h.blocksOf(addr, 8*h.space.BlockSize()))
+		elapsed = p.Now() - t0
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > sim.Microsecond {
+		t.Fatalf("all-writable mk_writable took %d ns", elapsed)
+	}
+}
+
+// ccCycle runs one full compiler-controlled transfer of nblocks from
+// node 0 (owner) to node 1 (reader) following the paper's Figure 2
+// call sequence, and returns the harness for inspection.
+func ccCycle(t *testing.T, bulk bool, nblocks int) *harness {
+	t.Helper()
+	h := newHarness(t, 3, 4, config.DualCPU)
+	addr := h.addrOnPage(2, 0) // homed at node 2 (neither sender nor receiver)
+	bs := h.space.BlockSize()
+	runs := []BlockRun{{Start: addr / bs, N: nblocks}}
+
+	h.run(0, "owner", func(p *sim.Proc, n *tempest.Node) {
+		x := h.p.Node(0)
+		x.MkWritable(p, runs) // step 1
+		for i := 0; i < nblocks*bs/8; i++ {
+			n.StoreF64(p, addr+8*i, float64(i)+0.5)
+		}
+		h.c.Barrier(p, n) // order step 1 before step 2
+		h.c.Barrier(p, n) // both sides ready
+		x.SendBlocks(p, 1, runs, bulk)
+		h.c.Barrier(p, n) // loop executed
+		h.c.Barrier(p, n) // directory consistent again
+	})
+	h.run(1, "reader", func(p *sim.Proc, n *tempest.Node) {
+		x := h.p.Node(1)
+		h.c.Barrier(p, n)
+		x.ImplicitWritable(p, runs, false) // step 2
+		x.ExpectBlocks(nblocks)
+		h.c.Barrier(p, n)
+		x.ReadyToRecv(p)
+		for i := 0; i < nblocks*bs/8; i++ {
+			if got := n.LoadF64(p, addr+8*i); got != float64(i)+0.5 {
+				t.Errorf("reader word %d = %v", i, got)
+			}
+		}
+		h.c.Barrier(p, n)
+		x.ImplicitInvalidate(p, runs)
+		h.c.Barrier(p, n)
+	})
+	h.run(2, "home", func(p *sim.Proc, n *tempest.Node) {
+		for i := 0; i < 4; i++ {
+			h.c.Barrier(p, n)
+		}
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCompilerControlledTransfer(t *testing.T) {
+	h := ccCycle(t, true, 8)
+	// The reader must have taken zero access faults: all data arrived
+	// before the loop.
+	if m := h.c.Stats.Nodes[1].Misses(); m != 0 {
+		t.Fatalf("reader took %d misses under compiler control", m)
+	}
+	// End state: owner writable, reader invalid, directory says owner
+	// is exclusive — consistent.
+	bs := h.space.BlockSize()
+	b := h.addrOnPage(2, 0) / bs
+	if h.c.Nodes[0].Mem.Tag(b) != memory.ReadWrite {
+		t.Fatal("owner lost write ownership")
+	}
+	if h.c.Nodes[1].Mem.Tag(b) != memory.Invalid {
+		t.Fatal("reader kept a copy after implicit_invalidate")
+	}
+}
+
+func TestBulkTransferUsesFewerMessages(t *testing.T) {
+	nb := 16
+	perBlock := ccCycle(t, false, nb)
+	bulk := ccCycle(t, true, nb)
+	pm := perBlock.c.Stats.Nodes[0].MsgsSent
+	bm := bulk.c.Stats.Nodes[0].MsgsSent
+	if bm >= pm {
+		t.Fatalf("bulk sender sent %d msgs, per-block %d; bulk should be fewer", bm, pm)
+	}
+	// 16 blocks of 128 B = 2048 B fits one 4 KiB payload.
+	if pm-bm != int64(nb-1) {
+		t.Fatalf("bulk saved %d messages, want %d", pm-bm, nb-1)
+	}
+}
+
+func TestDefaultProtocolWorksAfterCCPhase(t *testing.T) {
+	// After the CC cycle restored consistency, a third node's default
+	// read must fetch the owner's data through the directory.
+	h := ccCycle(t, true, 4)
+	addr := h.addrOnPage(2, 0)
+	var got float64
+	h.run(2, "late-reader", func(p *sim.Proc, n *tempest.Node) {
+		got = n.LoadF64(p, addr+16)
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 { // word 2 = 2 + 0.5
+		t.Fatalf("post-phase default read = %v, want 2.5", got)
+	}
+}
+
+func TestSendWithoutOwnershipPanics(t *testing.T) {
+	h := newHarness(t, 2, 2, config.DualCPU)
+	addr := h.addrOnPage(0, 0) // node 1 has no copy
+	panicked := false
+	h.run(1, "bad-sender", func(p *sim.Proc, n *tempest.Node) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		h.p.Node(1).SendBlocks(p, 0, h.blocksOf(addr, 128), true)
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !panicked {
+		t.Fatal("send without mk_writable did not panic")
+	}
+}
+
+func TestCCDataWithoutFramePanics(t *testing.T) {
+	// Receiver that skipped implicit_writable must trip the contract
+	// check when tagged data arrives.
+	h := newHarness(t, 2, 2, config.DualCPU)
+	addr := h.addrOnPage(0, 0)
+	h.run(0, "sender", func(p *sim.Proc, n *tempest.Node) {
+		h.p.Node(0).SendBlocks(p, 1, h.blocksOf(addr, 128), true)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CC data without readwrite frame did not panic")
+		}
+	}()
+	_ = h.c.Env.Run()
+}
+
+func TestImplicitInvalidateDirtyPanics(t *testing.T) {
+	h := newHarness(t, 2, 2, config.DualCPU)
+	addr := h.addrOnPage(1, 0) // node 1's page: writable
+	panicked := false
+	h.run(1, "writer", func(p *sim.Proc, n *tempest.Node) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		n.StoreF64(p, addr, 1)
+		h.p.Node(1).ImplicitInvalidate(p, h.blocksOf(addr, 128))
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !panicked {
+		t.Fatal("implicit_invalidate of dirty block did not panic")
+	}
+}
+
+func TestImplicitWritableFirstTimeOnly(t *testing.T) {
+	h := newHarness(t, 2, 2, config.DualCPU)
+	addr := h.addrOnPage(0, 0)
+	runs := []BlockRun{{Start: addr / h.space.BlockSize(), N: 64}}
+	var first, second sim.Time
+	var did1, did2 bool
+	h.run(1, "reader", func(p *sim.Proc, n *tempest.Node) {
+		x := h.p.Node(1)
+		t0 := p.Now()
+		did1 = x.ImplicitWritable(p, runs, true)
+		first = p.Now() - t0
+		t1 := p.Now()
+		did2 = x.ImplicitWritable(p, runs, true)
+		second = p.Now() - t1
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !did1 || did2 {
+		t.Fatalf("first-time flags: did1=%v did2=%v", did1, did2)
+	}
+	if second >= first {
+		t.Fatalf("cached implicit_writable (%d) not cheaper than first (%d)", second, first)
+	}
+}
+
+func TestNonOwnerWriteFlush(t *testing.T) {
+	// Node 1 (non-owner) writes a range owned by node 0, then flushes
+	// back: owner must see the values, writer must end invalid.
+	h := newHarness(t, 2, 2, config.DualCPU)
+	addr := h.addrOnPage(0, 0)
+	nblocks := 4
+	bs := h.space.BlockSize()
+	runs := []BlockRun{{Start: addr / bs, N: nblocks}}
+	var ownerSees float64
+	h.run(0, "owner", func(p *sim.Proc, n *tempest.Node) {
+		x := h.p.Node(0)
+		// Owner prepares to receive the flushed data.
+		x.ExpectBlocks(nblocks)
+		h.c.Barrier(p, n)
+		h.c.Barrier(p, n)
+		x.ReadyToRecv(p)
+		ownerSees = n.LoadF64(p, addr+8)
+	})
+	h.run(1, "writer", func(p *sim.Proc, n *tempest.Node) {
+		x := h.p.Node(1)
+		h.c.Barrier(p, n)
+		x.ImplicitWritable(p, runs, false)
+		for i := 0; i < nblocks*bs/8; i++ {
+			n.StoreF64(p, addr+8*i, float64(i)*3)
+		}
+		x.FlushBlocks(p, 0, runs, true)
+		if n.Mem.Tag(addr/bs) != memory.Invalid {
+			t.Error("writer not invalid after flush")
+		}
+		h.c.Barrier(p, n)
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ownerSees != 3 {
+		t.Fatalf("owner sees %v after flush, want 3", ownerSees)
+	}
+	if m := h.c.Stats.Nodes[0].Misses(); m != 0 {
+		t.Fatalf("owner took %d misses", m)
+	}
+}
+
+func TestProtoCallStats(t *testing.T) {
+	h := ccCycle(t, true, 4)
+	st0 := h.c.Stats.Nodes[0]
+	st1 := h.c.Stats.Nodes[1]
+	if st0.ProtoCalls < 2 { // mk_writable + send
+		t.Fatalf("owner proto calls = %d", st0.ProtoCalls)
+	}
+	if st1.ProtoCalls < 3 { // implicit_writable + ready_to_recv + implicit_invalidate
+		t.Fatalf("reader proto calls = %d", st1.ProtoCalls)
+	}
+	if st0.ProtoCallTime <= 0 || st1.ProtoCallTime <= 0 {
+		t.Fatal("proto call time not recorded")
+	}
+}
+
+func TestMkWritableMixedStates(t *testing.T) {
+	// A range where the owner holds some blocks readwrite, some
+	// readonly, some invalid: one pipelined call must sort it out.
+	h := newHarness(t, 3, 4, config.DualCPU)
+	addr := h.addrOnPage(0, 0) // homed at node 0
+	bs := h.space.BlockSize()
+	runs := []BlockRun{{Start: addr / bs, N: 6}}
+	h.run(0, "home", func(p *sim.Proc, n *tempest.Node) {
+		for w := 0; w < 6*bs/8; w++ {
+			n.StoreF64(p, addr+8*w, float64(w))
+		}
+		h.c.Barrier(p, n)
+		h.c.Barrier(p, n)
+	})
+	h.run(1, "owner", func(p *sim.Proc, n *tempest.Node) {
+		h.c.Barrier(p, n)
+		// Acquire mixed states: read block 1 (readonly), write block 3
+		// (readwrite via eager upgrade), leave the rest invalid.
+		n.LoadF64(p, addr+1*bs)
+		n.StoreF64(p, addr+3*bs, -1)
+		n.WaitPending(p)
+		x := h.p.Node(1)
+		x.MkWritable(p, runs)
+		for b := runs[0].Start; b < runs[0].Start+runs[0].N; b++ {
+			if n.Mem.Tag(b) != memory.ReadWrite {
+				t.Errorf("block %d tag %v after mixed mk_writable", b, n.Mem.Tag(b))
+			}
+		}
+		// Data must be intact across all states.
+		for w := 0; w < 6*bs/8; w++ {
+			want := float64(w)
+			if w == 3*bs/8 {
+				want = -1 // our own write
+			}
+			if got := n.Mem.ReadF64(addr + 8*w); got != want {
+				t.Errorf("word %d = %v, want %v", w, got, want)
+			}
+		}
+		h.c.Barrier(p, n)
+	})
+	h.run(2, "idle", func(p *sim.Proc, n *tempest.Node) {
+		h.c.Barrier(p, n)
+		h.c.Barrier(p, n)
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkSendSplitsAtMaxPayload(t *testing.T) {
+	// 64 blocks = 8 KiB exceeds the 4 KiB payload: bulk send must use
+	// exactly two data messages.
+	h := newHarness(t, 3, 8, config.DualCPU)
+	addr := h.addrOnPage(2, 0)
+	bs := h.space.BlockSize()
+	nb := 2 * h.space.Machine().MaxPayload / bs
+	runs := []BlockRun{{Start: addr / bs, N: nb}}
+	h.run(0, "sender", func(p *sim.Proc, n *tempest.Node) {
+		x := h.p.Node(0)
+		x.MkWritable(p, runs)
+		before := h.c.Stats.Nodes[0].MsgsSent
+		x.SendBlocks(p, 1, runs, true)
+		sent := h.c.Stats.Nodes[0].MsgsSent - before
+		if sent != 2 {
+			t.Errorf("bulk send used %d messages, want 2", sent)
+		}
+	})
+	h.run(1, "recv", func(p *sim.Proc, n *tempest.Node) {
+		x := h.p.Node(1)
+		x.ImplicitWritable(p, runs, false)
+		x.ExpectBlocks(nb)
+		x.ReadyToRecv(p)
+	})
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package protocol
+
+import (
+	"testing"
+
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/tempest"
+)
+
+// Writer node1 takes a CC block homed at node4 via mk_writable (the
+// contract's non-owner-write step 1: the home's copy is invalidated
+// and the directory learns the writer), writes it, flushes it to owner
+// node5; then home node4 itself reads it through the default protocol
+// and must collect the owner's copy, not serve its own stale memory.
+func TestFlushThenHomeRead(t *testing.T) {
+	h := newHarness(t, 6, 8, config.DualCPU)
+	addr := h.addrOnPage(4, 0) // homed at node 4
+	bs := h.space.BlockSize()
+	run := []BlockRun{{Start: addr / bs, N: 1}}
+	var got float64
+	h.run(1, "writer", func(p *sim.Proc, n *tempest.Node) {
+		x := h.p.Node(1)
+		x.MkWritable(p, run)
+		for w := 0; w < bs/8; w++ {
+			n.StoreF64(p, addr+8*w, float64(100+w))
+		}
+		x.FlushBlocks(p, 5, run, true)
+		h.c.Barrier(p, n)
+		h.c.Barrier(p, n)
+	})
+	h.run(5, "owner", func(p *sim.Proc, n *tempest.Node) {
+		x := h.p.Node(5)
+		x.ImplicitWritable(p, run, false)
+		x.ExpectBlocks(1)
+		x.ReadyToRecv(p)
+		h.c.Barrier(p, n)
+		h.c.Barrier(p, n)
+	})
+	h.run(4, "home-reader", func(p *sim.Proc, n *tempest.Node) {
+		h.c.Barrier(p, n)
+		got = n.LoadF64(p, addr+8*3)
+		h.c.Barrier(p, n)
+	})
+	for _, id := range []int{0, 2, 3} {
+		h.run(id, "idle", func(p *sim.Proc, n *tempest.Node) {
+			h.c.Barrier(p, n)
+			h.c.Barrier(p, n)
+		})
+	}
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 103 {
+		t.Fatalf("home read %v, want 103 (stale home copy served)", got)
+	}
+}

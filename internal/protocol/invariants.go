@@ -1,0 +1,78 @@
+package protocol
+
+import (
+	"fmt"
+
+	"hpfdsm/internal/memory"
+)
+
+// CheckInvariants audits the quiescent cluster state (call it after the
+// simulation drains, with no transactions in flight):
+//
+//  1. No directory entry is mid-transaction (busy, pending work, or a
+//     non-empty wait queue).
+//  2. A word is dirty at no more than one node (the race-free
+//     multiple-writer discipline).
+//  3. Every node holding dirty words for a block is recorded in the
+//     block's directory writer set — otherwise its updates could never
+//     be collected.
+//  4. A node holding a readonly copy is recorded as a sharer or writer,
+//     unless the copy was installed by an advisory prefetch racing a
+//     later invalidation (readonly copies the directory does not know
+//     about cannot receive invalidations, so this is flagged).
+//
+// Compiler-controlled frames deliberately violate *tag*/directory
+// correspondence in the readwrite direction (readers hold RW frames the
+// directory never sees), so RW tags without directory entries are legal
+// under the Section 4.2 contract and not flagged.
+func (p *Proto) CheckInvariants() error {
+	sp := p.C.Space
+	nb := sp.NumBlocks()
+	for b := 0; b < nb; b++ {
+		home := p.nodes[sp.HomeOfBlock(b)]
+		e, ok := home.dir[b]
+		if ok {
+			if e.busy || e.pending != 0 || len(e.waitQ) != 0 || e.cur != nil {
+				return fmt.Errorf("block %d: directory entry not quiescent (busy=%v pending=%d queued=%d)",
+					b, e.busy, e.pending, len(e.waitQ))
+			}
+		}
+		var writers uint64
+		if ok {
+			writers = e.writers
+		}
+		var sharers uint64
+		if ok {
+			sharers = e.sharers
+		}
+		var dirtyMask uint16
+		for i, np := range p.nodes {
+			d := np.n.Mem.Dirty(b)
+			if d != 0 {
+				if d&dirtyMask != 0 {
+					return fmt.Errorf("block %d: overlapping dirty words across nodes (mask %016b at node %d)", b, d, i)
+				}
+				dirtyMask |= d
+				if writers&bit(i) == 0 && sp.HomeOfBlock(b) != i {
+					return fmt.Errorf("block %d: node %d holds dirty words but is not a directory writer", b, i)
+				}
+			}
+			if np.n.Mem.Tag(b) == memory.ReadOnly && (writers|sharers)&bit(i) == 0 && sp.HomeOfBlock(b) != i {
+				return fmt.Errorf("block %d: node %d holds an untracked readonly copy", b, i)
+			}
+		}
+	}
+	return nil
+}
+
+// TagCensus counts block tags across the cluster (diagnostics).
+func (p *Proto) TagCensus() map[memory.Tag]int {
+	out := map[memory.Tag]int{}
+	nb := p.C.Space.NumBlocks()
+	for _, np := range p.nodes {
+		for b := 0; b < nb; b++ {
+			out[np.n.Mem.Tag(b)]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,407 @@
+// Package protocol implements coherence for the fine-grain DSM.
+//
+// Two layers are provided:
+//
+//   - The default protocol: a directory-based, eager-invalidate,
+//     multiple-writer release-consistency protocol equivalent to the
+//     paper's Figure 1(a). Every block has a home node (its page's
+//     home) whose directory tracks reader and writer sets. A remote
+//     read of a block held exclusively costs four messages
+//     (read-request, put-data-request, put-data-response,
+//     read-response); gaining write ownership costs four more
+//     (write-request, invalidation, acknowledgement, write-grant).
+//     Upgrades from readonly hide their latency: the writer continues
+//     immediately and the grant is collected at the next
+//     synchronization point.
+//
+//   - The compiler-directed extensions of Section 4.2 (see
+//     extensions.go): shmem_limits, mk_writable, implicit_writable,
+//     send/ready_to_recv, implicit_invalidate, and the non-owner-write
+//     flush — the contract that lets the compiler bypass the default
+//     protocol on blocks it can prove are involved in a statically
+//     known producer-consumer transfer.
+package protocol
+
+import (
+	"fmt"
+
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/memory"
+	"hpfdsm/internal/network"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/tempest"
+)
+
+// Message kinds of the default protocol (Figure 1a) and the
+// compiler-directed extensions.
+const (
+	KReadReq network.Kind = 1 + iota
+	KReadResp
+	KWriteReq
+	KWriteResp
+	KUpgradeReq
+	KWriteGrant
+	KPutDataReq
+	KPutDataResp
+	KInval
+	KInvalAck
+
+	KMkWritableReq
+	KMkWritableData
+	KMkWritableAck
+	KCCData
+	KCCFlush
+	KCCFlushDir
+)
+
+const ctrlSize = 8 // payload bytes of a control message
+
+// Proto is the coherence protocol instance for one cluster.
+type Proto struct {
+	C     *tempest.Cluster
+	nodes []*nodeProto
+}
+
+// nodeProto is the per-node protocol state: the directory for blocks
+// homed here, fill signals for outstanding blocking misses, and the
+// compiler-controlled receive counter.
+type nodeProto struct {
+	p  *Proto
+	n  *tempest.Node
+	id int
+
+	dir  map[int]*dirEntry   // blocks homed at this node
+	fill map[int]*sim.Signal // block -> local blocking miss completion
+
+	// Compiler-controlled transfer bookkeeping.
+	ccRecv     *sim.Counter // blocks received via KCCData / KCCFlush
+	ccExpected int64        // cumulative blocks announced via ExpectBlocks
+	mkwCount   *sim.Counter // blocks confirmed for the current mk_writable
+	iwDone     map[[2]int]bool
+	ccFrames   map[int]bool // blocks ever opened by implicit_writable
+
+	// scHold marks blocks between a sequentially-consistent write
+	// grant and the retirement of the blocked store: invalidations and
+	// flush requests are deferred briefly so the store always makes
+	// progress (otherwise two false-sharing writers can livelock
+	// stealing the block from each other).
+	scHold map[int]bool
+}
+
+// Attach installs the protocol on every node of the cluster and
+// returns it. Must be called before any compute process touches
+// shared memory.
+func Attach(c *tempest.Cluster) *Proto {
+	p := &Proto{C: c}
+	for _, n := range c.Nodes {
+		np := &nodeProto{
+			p: p, n: n, id: n.ID,
+			dir:      make(map[int]*dirEntry),
+			fill:     make(map[int]*sim.Signal),
+			scHold:   map[int]bool{},
+			ccFrames: map[int]bool{},
+			ccRecv:   sim.NewCounter(),
+			mkwCount: sim.NewCounter(),
+			iwDone:   make(map[[2]int]bool),
+		}
+		p.nodes = append(p.nodes, np)
+		n.Fault = np.fault
+		n.On(KReadReq, np.hReadReq)
+		n.On(KWriteReq, np.hWriteReq)
+		n.On(KUpgradeReq, np.hUpgradeReq)
+		n.On(KReadResp, np.hReadResp)
+		n.On(KWriteResp, np.hWriteResp)
+		n.On(KWriteGrant, np.hWriteGrant)
+		n.On(KPutDataReq, np.hPutDataReq)
+		n.On(KPutDataResp, np.hPutDataResp)
+		n.On(KInval, np.hInval)
+		n.On(KInvalAck, np.hInvalAck)
+		n.On(KMkWritableReq, np.hMkWritableReq)
+		n.On(KMkWritableData, np.hMkWritableData)
+		n.On(KMkWritableAck, np.hMkWritableAck)
+		n.On(KCCData, np.hCCData)
+		n.On(KCCFlush, np.hCCFlush)
+		n.On(KCCFlushDir, np.hCCFlushDir)
+	}
+	return p
+}
+
+// Node returns the per-node protocol interface for compiler-directed
+// calls (used by the runtime).
+func (p *Proto) Node(id int) *Ext { return &Ext{np: p.nodes[id]} }
+
+// CoherentRead returns the current value of a shared word after the
+// simulation has finished, reconstructing it from the directory: the
+// home's memory copy overlaid with any writer's locally dirty word.
+// (Race-free programs have at most one dirty copy of a word.)
+func (p *Proto) CoherentRead(addr int) float64 {
+	sp := p.C.Space
+	b := sp.Block(addr)
+	home := p.nodes[sp.HomeOfBlock(b)]
+	w := uint((addr % sp.BlockSize()) / 8)
+	if e, ok := home.dir[b]; ok {
+		for i, np := range p.nodes {
+			if e.writers&bit(i) != 0 && np.n.Mem.Dirty(b)&(1<<w) != 0 {
+				return np.n.Mem.ReadF64(addr)
+			}
+		}
+	}
+	// No remote dirty copy: the home's own memory is current (its own
+	// writes land there directly).
+	return home.n.Mem.ReadF64(addr)
+}
+
+func bit(i int) uint64 { return 1 << uint(i) }
+
+// occupy charges protocol-engine time on this node.
+func (np *nodeProto) occupy(d sim.Time) { np.n.OccupyProto(d) }
+
+// send transmits from the protocol engine, charging SendOver; the
+// message departs when the engine's queued work completes.
+func (np *nodeProto) send(m *network.Message) {
+	np.n.SendFromProto(m)
+}
+
+// --- Fault path (compute-process context) ----------------------------
+
+// fault resolves an access fault. Read and write misses block the
+// compute process; readonly->readwrite upgrades proceed immediately
+// with the transaction tracked as pending (release consistency).
+func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
+	n := np.n
+	sp := n.Mem.Space()
+	mc := n.MC
+	b := sp.Block(addr)
+	home := sp.HomeOfBlock(b)
+	d := mc.FaultCost
+	if pg := sp.Page(addr); !n.Mem.Mapped(pg) {
+		d += mc.PageMapCost
+		n.Mem.SetMapped(pg)
+	}
+
+	if write {
+		kind := KUpgradeReq
+		if n.Mem.Tag(b) == memory.Invalid {
+			kind = KWriteReq
+		}
+		if mc.Consistency == config.SequentiallyConsistent {
+			// Conservative model: the store stalls until ownership (and
+			// data, on a miss) arrive.
+			sig := sim.NewSignal()
+			if home == np.id {
+				p.Sleep(d)
+				np.enqueue(&dirReq{kind: kind, block: b, src: np.id, local: func(bool) {
+					n.Mem.SetTag(b, memory.ReadWrite)
+					np.scHold[b] = true
+					sig.Fire()
+				}})
+			} else {
+				p.Sleep(d + mc.SendOver)
+				if _, dup := np.fill[b]; dup {
+					panic(fmt.Sprintf("protocol: node %d has two blocking misses on block %d", np.id, b))
+				}
+				np.fill[b] = sig
+				n.Net.Send(&network.Message{Src: np.id, Dst: home, Kind: kind, Addr: b, Size: ctrlSize})
+			}
+			sig.Wait(p)
+			// The store retires now (no yield between here and the
+			// write); release the hold taken at grant time.
+			delete(np.scHold, b)
+			return
+		}
+		// Eager release consistency: the writer does not wait for
+		// ownership. On an upgrade the data is already here; on a write
+		// miss the frame opens immediately (the imminent store marks
+		// its word dirty) and the fetched copy merges into the clean
+		// words when the response arrives. Grants are collected at the
+		// next synchronization point.
+		n.Mem.SetTag(b, memory.ReadWrite)
+		n.AddPending()
+		if home == np.id {
+			p.Sleep(d)
+			np.enqueue(&dirReq{kind: kind, block: b, src: np.id, local: func(withData bool) {
+				n.DonePending()
+			}})
+		} else {
+			p.Sleep(d + mc.SendOver)
+			n.Net.Send(&network.Message{Src: np.id, Dst: home, Kind: kind, Addr: b, Size: ctrlSize})
+		}
+		return
+	}
+
+	sig := sim.NewSignal()
+	if home == np.id {
+		p.Sleep(d)
+		np.enqueue(&dirReq{kind: KReadReq, block: b, src: np.id, local: func(bool) { sig.Fire() }})
+	} else {
+		p.Sleep(d + mc.SendOver)
+		if prev, dup := np.fill[b]; dup {
+			panic(fmt.Sprintf("protocol: node %d has two blocking misses on block %d (%v)", np.id, b, prev))
+		}
+		np.fill[b] = sig
+		n.Net.Send(&network.Message{Src: np.id, Dst: home, Kind: KReadReq, Addr: b, Size: ctrlSize})
+	}
+	sig.Wait(p)
+}
+
+// --- Requester-side response handlers --------------------------------
+
+func (np *nodeProto) fillDone(b int) {
+	sig, ok := np.fill[b]
+	if !ok {
+		// A prefetched block completing (or a duplicate response after
+		// a prefetch raced a demand miss): nothing is waiting.
+		return
+	}
+	delete(np.fill, b)
+	sig.Fire()
+}
+
+func (np *nodeProto) hReadResp(hc *tempest.HContext, m *network.Message) {
+	b := m.Addr
+	np.occupy(np.n.MC.BlockCopy + 2*np.n.MC.TagChange)
+	np.n.Mem.InstallBlock(b, m.Data)
+	np.n.Mem.SetTag(b, memory.ReadOnly)
+	np.n.Mem.ClearDirty(b)
+	// The faulting processor resumes once the data is installed.
+	np.n.Env.Schedule(np.n.ProtoBusyUntil(), func() { np.fillDone(b) })
+}
+
+// hWriteResp completes a write miss. Under release consistency the
+// fetched copy fills the words the processor wrote around (merge), and
+// the pending transaction retires; under sequential consistency the
+// blocked store resumes.
+func (np *nodeProto) hWriteResp(hc *tempest.HContext, m *network.Message) {
+	b := m.Addr
+	np.occupy(np.n.MC.BlockCopy + np.n.MC.TagChange)
+	np.n.Mem.InstallClean(b, m.Data)
+	if np.n.MC.Consistency == config.SequentiallyConsistent {
+		np.n.Mem.SetTag(b, memory.ReadWrite)
+		np.scHold[b] = true
+		np.n.Env.Schedule(np.n.ProtoBusyUntil(), func() { np.fillDone(b) })
+		return
+	}
+	if np.n.Mem.Tag(b) == memory.Invalid {
+		// We were invalidated while the miss was in flight; the copy
+		// is already stale, leave the tag alone.
+		np.n.DonePending()
+		return
+	}
+	np.n.Mem.SetTag(b, memory.ReadWrite)
+	np.n.DonePending()
+}
+
+func (np *nodeProto) hWriteGrant(hc *tempest.HContext, m *network.Message) {
+	b := m.Addr
+	np.occupy(np.n.MC.HandlerCost)
+	if m.Data != nil && np.n.Mem.Tag(b) == memory.Invalid {
+		// We were invalidated while the upgrade was in flight; the
+		// grant carries fresh data.
+		np.occupy(np.n.MC.BlockCopy)
+		np.n.Mem.InstallBlock(b, m.Data)
+		np.n.Mem.SetTag(b, memory.ReadWrite)
+		np.n.Mem.ClearDirty(b)
+	}
+	if np.n.MC.Consistency == config.SequentiallyConsistent {
+		np.n.Mem.SetTag(b, memory.ReadWrite)
+		np.scHold[b] = true
+		np.n.Env.Schedule(np.n.ProtoBusyUntil(), func() { np.fillDone(b) })
+		return
+	}
+	np.n.DonePending()
+}
+
+// hPutDataReq: the home wants our (possibly dirty) copy of a block.
+// Arg==1 additionally invalidates (a writer is taking ownership).
+func (np *nodeProto) hPutDataReq(hc *tempest.HContext, m *network.Message) {
+	b := m.Addr
+	if np.scHold[b] {
+		np.deferMsg(m, np.hPutDataReq)
+		return
+	}
+	mem := np.n.Mem
+	mc := np.n.MC
+	np.occupy(mc.HandlerCost + mc.BlockCopy + mc.TagChange)
+	mask := mem.Dirty(b)
+	keeps := int64(1)
+	if m.Arg == 1 || mem.Tag(b) == memory.Invalid {
+		mem.SetTag(b, memory.Invalid)
+		keeps = 0
+	} else {
+		mem.SetTag(b, memory.ReadOnly)
+	}
+	data := make([]byte, mem.Space().BlockSize())
+	copy(data, mem.BlockData(b))
+	mem.ClearDirty(b)
+	np.send(&network.Message{
+		Dst: m.Src, Kind: KPutDataResp, Addr: b,
+		Arg: int64(mask), Arg2: keeps, Data: data,
+	})
+}
+
+func (np *nodeProto) hInval(hc *tempest.HContext, m *network.Message) {
+	b := m.Addr
+	if np.scHold[b] {
+		np.deferMsg(m, np.hInval)
+		return
+	}
+	mem := np.n.Mem
+	mc := np.n.MC
+	np.occupy(mc.HandlerCost + mc.TagChange)
+	if mask := mem.Dirty(b); mask != 0 {
+		// We upgraded concurrently; flush our words with the ack.
+		data := make([]byte, mem.Space().BlockSize())
+		copy(data, mem.BlockData(b))
+		mem.SetTag(b, memory.Invalid)
+		mem.ClearDirty(b)
+		np.send(&network.Message{
+			Dst: m.Src, Kind: KPutDataResp, Addr: b,
+			Arg: int64(mask), Arg2: 0, Data: data,
+		})
+		return
+	}
+	mem.SetTag(b, memory.Invalid)
+	np.send(&network.Message{Dst: m.Src, Kind: KInvalAck, Addr: b, Size: ctrlSize})
+}
+
+// deferMsg re-delivers a message to its own handler shortly, used to
+// hold off coherence actions on a block whose granted store has not
+// yet retired.
+func (np *nodeProto) deferMsg(m *network.Message, h func(*tempest.HContext, *network.Message)) {
+	np.n.Env.After(2*sim.Microsecond, func() { h(&tempest.HContext{Node: np.n}, m) })
+}
+
+// --- Home-side handlers ----------------------------------------------
+
+func (np *nodeProto) hReadReq(hc *tempest.HContext, m *network.Message) {
+	np.occupy(np.n.MC.HandlerCost)
+	np.enqueue(&dirReq{kind: KReadReq, block: m.Addr, src: m.Src})
+}
+
+func (np *nodeProto) hWriteReq(hc *tempest.HContext, m *network.Message) {
+	np.occupy(np.n.MC.HandlerCost)
+	np.enqueue(&dirReq{kind: KWriteReq, block: m.Addr, src: m.Src})
+}
+
+func (np *nodeProto) hUpgradeReq(hc *tempest.HContext, m *network.Message) {
+	np.occupy(np.n.MC.HandlerCost)
+	np.enqueue(&dirReq{kind: KUpgradeReq, block: m.Addr, src: m.Src})
+}
+
+func (np *nodeProto) hPutDataResp(hc *tempest.HContext, m *network.Message) {
+	b := m.Addr
+	mc := np.n.MC
+	np.occupy(mc.HandlerCost + mc.BlockCopy)
+	// Words the home itself has written since the flushed copy was
+	// superseded (an eager home-local store racing this collection)
+	// take precedence: the responder's copy of those words is older.
+	if mask := uint16(m.Arg) &^ np.n.Mem.Dirty(b); mask != 0 {
+		np.n.Mem.MergeDirtyWords(b, m.Data, mask)
+	}
+	np.collectDone(b, m.Src, m.Arg2 == 1)
+}
+
+func (np *nodeProto) hInvalAck(hc *tempest.HContext, m *network.Message) {
+	np.occupy(np.n.MC.HandlerCost)
+	np.collectDone(m.Addr, m.Src, false)
+}

@@ -1,0 +1,116 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/tempest"
+)
+
+// TestRandomizedCoherenceStress drives the default protocol with a
+// randomized but race-free workload: in each round every node writes a
+// disjoint set of words (ownership rotates), then after a barrier every
+// node reads a random sample of all words and checks the latest
+// values. This exercises invalidation, flush-merge, upgrade, and the
+// eager-RC write paths under heavy interleaving.
+func TestRandomizedCoherenceStress(t *testing.T) {
+	const (
+		nodes  = 4
+		words  = 256 // spread over several pages and many blocks
+		rounds = 12
+	)
+	h := newHarness(t, nodes, 8, config.DualCPU)
+	rng := rand.New(rand.NewSource(42))
+
+	// Precompute each round's writer assignment and values so the
+	// simulated processes and the checker agree.
+	type plan struct {
+		writer [words]int
+		value  [words]float64
+	}
+	plans := make([]plan, rounds)
+	expected := make([]float64, words)
+	for r := range plans {
+		for w := 0; w < words; w++ {
+			plans[r].writer[w] = rng.Intn(nodes)
+			plans[r].value[w] = float64(r*1000 + w)
+		}
+	}
+	for r := range plans {
+		for w := 0; w < words; w++ {
+			expected[w] = plans[r].value[w]
+		}
+	}
+
+	addr := func(w int) int { return h.base + 8*w }
+	var failures []string
+	for id := 0; id < nodes; id++ {
+		id := id
+		h.run(id, fmt.Sprintf("stress%d", id), func(p *sim.Proc, n *tempest.Node) {
+			myRng := rand.New(rand.NewSource(int64(id) + 7))
+			for r := 0; r < rounds; r++ {
+				pl := &plans[r]
+				for w := 0; w < words; w++ {
+					if pl.writer[w] == id {
+						n.StoreF64(p, addr(w), pl.value[w])
+					}
+				}
+				h.c.Barrier(p, n)
+				// Read a random sample and verify freshness.
+				for k := 0; k < 32; k++ {
+					w := myRng.Intn(words)
+					if got := n.LoadF64(p, addr(w)); got != pl.value[w] {
+						failures = append(failures,
+							fmt.Sprintf("round %d node %d word %d: got %v want %v", r, id, w, got, pl.value[w]))
+					}
+				}
+				h.c.Barrier(p, n)
+			}
+		})
+	}
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Error(f)
+	}
+	// Final state check through the coherent read-back.
+	for w := 0; w < words; w++ {
+		if got := h.p.CoherentRead(addr(w)); got != expected[w] {
+			t.Fatalf("final word %d = %v, want %v", w, got, expected[w])
+		}
+	}
+}
+
+// TestStressDeterminism re-runs a smaller stress scenario and checks
+// message counts match exactly.
+func TestStressDeterminism(t *testing.T) {
+	run := func() int64 {
+		h := newHarness(t, 3, 4, config.DualCPU)
+		for id := 0; id < 3; id++ {
+			id := id
+			h.run(id, "d", func(p *sim.Proc, n *tempest.Node) {
+				for r := 0; r < 5; r++ {
+					for w := id; w < 64; w += 3 {
+						n.StoreF64(p, h.base+8*w, float64(r*100+w))
+					}
+					h.c.Barrier(p, n)
+					for w := 0; w < 64; w += 7 {
+						n.LoadF64(p, h.base+8*w)
+					}
+					h.c.Barrier(p, n)
+				}
+			})
+		}
+		if err := h.c.Env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return h.c.Stats.TotalMessages()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic message counts: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,65 @@
+package runtime
+
+import (
+	"testing"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+)
+
+// TestSequentialConsistencyCorrectAndSlower validates the swappable
+// protocol variant (Tempest's premise): a conservative blocking-write
+// protocol produces identical answers and is slower than the paper's
+// eager release-consistent one — the design choice its footnote 1
+// motivates.
+func TestSequentialConsistencyCorrectAndSlower(t *testing.T) {
+	const n, iters = 96, 4
+	want := jacobiRef(n, iters)
+
+	run := func(c config.Consistency) *Result {
+		mc := config.Default().WithConsistency(c)
+		res, err := Run(jacobiProg(n, iters), Options{Machine: mc, Opt: compiler.OptNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(res.ArrayData("a"), want); d > 1e-12 {
+			t.Fatalf("%v: diff %g", c, d)
+		}
+		return res
+	}
+	rc := run(config.ReleaseConsistent)
+	sc := run(config.SequentiallyConsistent)
+	if sc.Elapsed <= rc.Elapsed {
+		t.Fatalf("sequential consistency (%0.2fms) not slower than release consistency (%0.2fms)",
+			ms(sc.Elapsed), ms(rc.Elapsed))
+	}
+	t.Logf("write-latency hiding: RC %.2fms vs SC %.2fms (%.1f%% saved)",
+		ms(rc.Elapsed), ms(sc.Elapsed), 100*(1-float64(rc.Elapsed)/float64(sc.Elapsed)))
+}
+
+func TestSequentialConsistencyWithOptimizations(t *testing.T) {
+	// The compiler-directed path must compose with either model.
+	const n, iters = 64, 3
+	want := jacobiRef(n, iters)
+	mc := config.Default().WithConsistency(config.SequentiallyConsistent)
+	res, err := Run(jacobiProg(n, iters), Options{Machine: mc, Opt: compiler.OptRTElim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.ArrayData("a"), want); d > 1e-12 {
+		t.Fatalf("SC+rtelim diff %g", d)
+	}
+}
+
+func TestSequentialConsistencyNoPending(t *testing.T) {
+	mc := config.Default().WithConsistency(config.SequentiallyConsistent)
+	res, err := Run(jacobiProg(48, 2), Options{Machine: mc, Opt: compiler.OptNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocking writes never create pending transactions, so upgrade
+	// misses show up as stall time, not as deferred grants.
+	if res.Stats.TotalMisses() == 0 {
+		t.Fatal("no misses recorded")
+	}
+}

@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/sim"
+)
+
+// evalCtx evaluates IR expressions for one node's executor, routing
+// array accesses through the node's checked shared-memory operations.
+type evalCtx struct {
+	e       *exec
+	p       *sim.Proc
+	scratch [8]int // subscript buffer (avoids per-access allocation)
+}
+
+func (c *evalCtx) addr(r ir.ArrayRef) int {
+	lay := c.e.layouts[r.Array]
+	idx := c.scratch[:len(r.Subs)]
+	for d, s := range r.Subs {
+		idx[d] = s.Eval(c.e.env)
+	}
+	return lay.Addr(idx...)
+}
+
+func (c *evalCtx) eval(x ir.Expr) float64 {
+	switch t := x.(type) {
+	case ir.Num:
+		return t.V
+	case ir.ScalarRef:
+		v, ok := c.e.scalars[t.Name]
+		if !ok {
+			panic(fmt.Sprintf("runtime: undefined scalar %q", t.Name))
+		}
+		return v
+	case ir.IdxVal:
+		return float64(c.e.env[t.Name])
+	case ir.ArrayRef:
+		if c.e.mp != nil {
+			return c.e.n.Mem.ReadF64(c.addr(t)) // private memory, no tags
+		}
+		return c.e.n.LoadF64(c.p, c.addr(t))
+	case ir.Bin:
+		l, r := c.eval(t.L), c.eval(t.R)
+		switch t.Op {
+		case ir.Add:
+			return l + r
+		case ir.Sub:
+			return l - r
+		case ir.Mul:
+			return l * r
+		case ir.Div:
+			return l / r
+		}
+		panic("runtime: bad binop")
+	case ir.Call:
+		return c.call(t)
+	case ir.Indirect:
+		lay := c.e.layouts[t.Array]
+		idx := c.scratch[:len(t.Subs)]
+		for d, s := range t.Subs {
+			v := int(c.eval(s))
+			if v < 1 || v > t.Array.Extents[d] {
+				panic(fmt.Sprintf("runtime: indirect subscript %d out of range 1..%d for %s",
+					v, t.Array.Extents[d], t.Array.Name))
+			}
+			idx[d] = v
+		}
+		if c.e.mp != nil {
+			return c.e.n.Mem.ReadF64(lay.Addr(idx...))
+		}
+		return c.e.n.LoadF64(c.p, lay.Addr(idx...))
+	case ir.InnerRed:
+		lo, hi := t.Lo.Eval(c.e.env), t.Hi.Eval(c.e.env)
+		saved, had := c.e.env[t.Var]
+		acc := 0.0
+		seen := false
+		for v := lo; v <= hi; v++ {
+			c.e.env[t.Var] = v
+			val := c.eval(t.Body)
+			if !seen {
+				acc, seen = val, true
+			} else {
+				acc = redCombine(t.Op, acc, val)
+			}
+		}
+		if had {
+			c.e.env[t.Var] = saved
+		} else {
+			delete(c.e.env, t.Var)
+		}
+		return acc
+	default:
+		panic(fmt.Sprintf("runtime: unknown expression %T", x))
+	}
+}
+
+func (c *evalCtx) call(t ir.Call) float64 {
+	arg := func(i int) float64 { return c.eval(t.Args[i]) }
+	switch t.Fn {
+	case "SQRT":
+		return math.Sqrt(arg(0))
+	case "ABS":
+		return math.Abs(arg(0))
+	case "EXP":
+		return math.Exp(arg(0))
+	case "SIN":
+		return math.Sin(arg(0))
+	case "COS":
+		return math.Cos(arg(0))
+	case "MIN":
+		return math.Min(arg(0), arg(1))
+	case "MAX":
+		return math.Max(arg(0), arg(1))
+	case "MOD":
+		return math.Mod(arg(0), arg(1))
+	default:
+		panic(fmt.Sprintf("runtime: unknown intrinsic %q", t.Fn))
+	}
+}
+
+func (c *evalCtx) store(r ir.ArrayRef, v float64) {
+	if c.e.mp != nil {
+		c.e.n.Mem.WriteF64(c.addr(r), v)
+		return
+	}
+	c.e.n.StoreF64(c.p, c.addr(r), v)
+}
+
+// evalScalar evaluates a replicated scalar expression (no array
+// references, no loop variables): every node computes the same value.
+func (e *exec) evalScalar(x ir.Expr) float64 {
+	if len(ir.Refs(x)) > 0 {
+		panic("runtime: array reference in scalar context")
+	}
+	c := &evalCtx{e: e}
+	return c.eval(x)
+}

@@ -1,0 +1,740 @@
+package runtime
+
+import (
+	"fmt"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/memory"
+	"hpfdsm/internal/protocol"
+	"hpfdsm/internal/sections"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/stats"
+	"hpfdsm/internal/tempest"
+	"hpfdsm/internal/trace"
+)
+
+// exec is one node's executor: it walks the program, runs its share of
+// every parallel loop, and brackets loops with the compiler-directed
+// communication sequence appropriate to the optimization level.
+// Every node executes the same control flow (scalars and schedules are
+// replicated), diverging only in loop partitions and transfer roles.
+type exec struct {
+	prog    *ir.Program
+	an      *compiler.Analysis
+	layouts map[*ir.Array]sections.Layout
+	cluster *tempest.Cluster
+	n       *tempest.Node
+	x       *protocol.Ext
+	opt     compiler.Level
+	edgePf  bool
+	inspect bool
+
+	env     map[string]int
+	scalars map[string]float64
+	exit    bool     // ExitIf tripped in the innermost sequential loop
+	mp      *mpState // non-nil in the message-passing backend
+
+	prof *trace.Profile // shared per-loop profile, nil unless enabled
+
+	// Replicated PRE state: sections already delivered to CC frames.
+	delivered map[string]bool
+	// Replicated run-time-elimination state: the schedule last executed
+	// for each loop. Barriers and tag work can be skipped only when the
+	// instantiated schedule is unchanged — the paper's "same range of
+	// blocks" test.
+	lastSched map[any]*compiler.Schedule
+}
+
+func newExec(prog *ir.Program, an *compiler.Analysis, layouts map[*ir.Array]sections.Layout,
+	cluster *tempest.Cluster, n *tempest.Node, x *protocol.Ext, opt compiler.Level) *exec {
+	e := &exec{
+		prog: prog, an: an, layouts: layouts, cluster: cluster, n: n, x: x, opt: opt,
+		env:       map[string]int{},
+		scalars:   map[string]float64{},
+		delivered: map[string]bool{},
+		lastSched: map[any]*compiler.Schedule{},
+	}
+	for k, v := range prog.Params {
+		e.env[k] = v
+	}
+	for _, s := range prog.Scalars {
+		e.scalars[s] = 0
+	}
+	return e
+}
+
+func (e *exec) run(p *sim.Proc) {
+	e.n.SetProc(p)
+	e.stmts(p, e.prog.Body)
+	// Final synchronization so timing includes all nodes' completion.
+	e.cluster.Barrier(p, e.n)
+}
+
+func (e *exec) stmts(p *sim.Proc, body []ir.Stmt) {
+	for _, s := range body {
+		if e.exit {
+			return
+		}
+		switch st := s.(type) {
+		case *ir.ParLoop:
+			e.profiled(p, st.Label, func() { e.parLoop(p, st) })
+		case *ir.SeqLoop:
+			e.seqLoop(p, st)
+		case *ir.Reduce:
+			e.profiled(p, st.Label, func() { e.reduce(p, st) })
+		case *ir.ScalarAssign:
+			e.scalars[st.Name] = e.evalScalar(st.RHS)
+		case *ir.ExitIf:
+			if cmp(st.Op, e.evalScalar(st.L), e.evalScalar(st.R)) {
+				e.exit = true
+			}
+		case *ir.StartTimer:
+			e.startTimer(p)
+		case *ir.Block:
+			e.stmts(p, st.Body)
+		default:
+			panic(fmt.Sprintf("runtime: unknown statement %T", s))
+		}
+	}
+}
+
+// startTimer opens the measured region: synchronize, zero this node's
+// counters, and record the region start (node 0's clock).
+func (e *exec) startTimer(p *sim.Proc) {
+	e.cluster.Barrier(p, e.n)
+	*e.n.St = stats.Node{}
+	if e.n.ID == 0 {
+		e.cluster.TimerStart = p.Now()
+	}
+}
+
+// profiled runs body, attributing this node's stat deltas to label and
+// recording the span on the timeline.
+func (e *exec) profiled(p *sim.Proc, label string, body func()) {
+	if e.prof == nil {
+		body()
+		return
+	}
+	e.n.Sync(p)
+	before := *e.n.St
+	start := p.Now()
+	body()
+	e.n.Sync(p)
+	e.prof.Timeline.Add(e.n.ID, label, start, p.Now())
+	after := *e.n.St
+	e.prof.Add(label, trace.Sample{
+		Compute: after.ComputeTime - before.ComputeTime,
+		Comm:    after.CommTime - before.CommTime,
+		Barrier: after.BarrierTime - before.BarrierTime,
+		Misses:  after.Misses() - before.Misses(),
+		Msgs:    after.MsgsSent - before.MsgsSent,
+	})
+}
+
+func cmp(op ir.CmpOp, l, r float64) bool {
+	switch op {
+	case ir.Lt:
+		return l < r
+	case ir.Le:
+		return l <= r
+	case ir.Gt:
+		return l > r
+	case ir.Ge:
+		return l >= r
+	default:
+		panic("runtime: bad comparison")
+	}
+}
+
+func (e *exec) seqLoop(p *sim.Proc, sl *ir.SeqLoop) {
+	lo, hi := sl.Lo.Eval(e.env), sl.Hi.Eval(e.env)
+	saved, had := e.env[sl.Var]
+	for v := lo; v <= hi && !e.exit; v++ {
+		e.env[sl.Var] = v
+		e.stmts(p, sl.Body)
+	}
+	e.exit = false // ExitIf breaks the innermost sequential loop only
+	if had {
+		e.env[sl.Var] = saved
+	} else {
+		delete(e.env, sl.Var)
+	}
+}
+
+// --- Parallel loop ----------------------------------------------------
+
+func (e *exec) parLoop(p *sim.Proc, pl *ir.ParLoop) {
+	rule := e.an.LoopRuleOf(pl)
+	pt := e.an.Partition(pl, rule, e.env)
+
+	if e.mp != nil {
+		sched := e.an.Schedule(pl, rule, e.env)
+		e.mpPreLoop(p, sched)
+		e.runIterations(p, pl, rule, pt)
+		e.mpPostLoop(p, sched)
+		return
+	}
+
+	var sched *compiler.Schedule
+	if e.opt >= compiler.OptBase {
+		sched = e.an.Schedule(pl, rule, e.env)
+		e.invalidateIndirectFrames(p, rule)
+		e.preLoopComm(p, pl, sched)
+	}
+	if e.inspect && len(rule.IndirectArrays) > 0 {
+		e.inspectIndirect(p, pl, rule, pt)
+	}
+
+	e.runIterations(p, pl, rule, pt)
+
+	if e.opt >= compiler.OptBase {
+		e.postLoopComm(p, sched, true)
+	} else {
+		e.cluster.Barrier(p, e.n)
+	}
+}
+
+// inspectIndirect is the inspector phase for an irregular loop: it
+// walks this node's iterations evaluating only the indirect
+// subscripts, collects the target coherence blocks it does not hold,
+// and issues advisory prefetches so the executor phase finds them
+// resident. Charged as (cheap) inspector computation per iteration.
+func (e *exec) inspectIndirect(p *sim.Proc, pl *ir.ParLoop, rule *compiler.LoopRule, pt *compiler.Partition) {
+	var inds []ir.Indirect
+	for _, as := range pl.Body {
+		inds = append(inds, ir.Indirects(as.RHS)...)
+	}
+	if len(inds) == 0 {
+		return
+	}
+	ev := &evalCtx{e: e, p: p}
+	want := map[int]bool{}
+	bs := e.n.MC.BlockSize
+	var nest func(d int)
+	nest = func(d int) {
+		if d < 0 {
+			e.n.Compute(e.n.MC.LoopOver) // inspector cost per iteration
+			for _, ind := range inds {
+				lay := e.layouts[ind.Array]
+				idx := make([]int, len(ind.Subs))
+				ok := true
+				for k, sub := range ind.Subs {
+					v := int(ev.eval(sub))
+					if v < 1 || v > ind.Array.Extents[k] {
+						ok = false
+						break
+					}
+					idx[k] = v
+				}
+				if !ok {
+					continue
+				}
+				b := lay.Addr(idx...) / bs
+				if e.n.Mem.Tag(b) == memory.Invalid {
+					want[b] = true
+				}
+			}
+			return
+		}
+		ix := pl.Indexes[d]
+		step := ix.StepOr1()
+		if ix.Var == pt.DistVar && !pt.Single {
+			lo := ix.Lo.Eval(e.env)
+			for _, r := range pt.Ranges[e.n.ID] {
+				start := r[0]
+				if off := (start - lo) % step; off != 0 {
+					start += step - off
+				}
+				for v := start; v <= r[1]; v += step {
+					e.env[ix.Var] = v
+					nest(d - 1)
+				}
+			}
+			delete(e.env, ix.Var)
+			return
+		}
+		lo, hi := ix.Lo.Eval(e.env), ix.Hi.Eval(e.env)
+		for v := lo; v <= hi; v += step {
+			e.env[ix.Var] = v
+			nest(d - 1)
+		}
+		delete(e.env, ix.Var)
+	}
+	if !pt.Single || pt.Exec == e.n.ID {
+		nest(len(pl.Indexes) - 1)
+	}
+	if len(want) == 0 {
+		return
+	}
+	// Coalesce into runs, deterministically.
+	blocks := make([]int, 0, len(want))
+	for b := range want {
+		blocks = append(blocks, b)
+	}
+	sortInts(blocks)
+	var runs []protocol.BlockRun
+	for _, b := range blocks {
+		if k := len(runs) - 1; k >= 0 && runs[k].Start+runs[k].N == b {
+			runs[k].N++
+		} else {
+			runs = append(runs, protocol.BlockRun{Start: b, N: 1})
+		}
+	}
+	e.x.Prefetch(p, runs)
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// invalidateIndirectFrames destroys this node's stale compiler-
+// controlled frames over arrays the loop reads through irregular
+// subscripts: those reads go through the default protocol and must not
+// hit a stale readwrite frame left by run-time elimination.
+func (e *exec) invalidateIndirectFrames(p *sim.Proc, rule *compiler.LoopRule) {
+	if e.opt < compiler.OptRTElim || len(rule.IndirectArrays) == 0 {
+		return
+	}
+	bs := e.n.MC.BlockSize
+	var stale []protocol.BlockRun
+	for _, arr := range rule.IndirectArrays {
+		lay := e.layouts[arr]
+		b0 := lay.Base / bs
+		b1 := (lay.Base + arr.Elems()*8 + bs - 1) / bs
+		for b := b0; b < b1; b++ {
+			if !e.x.IsFrame(b) || e.n.Mem.Tag(b) != memory.ReadWrite || e.n.Mem.Dirty(b) != 0 {
+				continue
+			}
+			if k := len(stale) - 1; k >= 0 && stale[k].Start+stale[k].N == b {
+				stale[k].N++
+			} else {
+				stale = append(stale, protocol.BlockRun{Start: b, N: 1})
+			}
+		}
+	}
+	if len(stale) > 0 {
+		e.x.ImplicitInvalidate(p, stale)
+	}
+}
+
+// transferKey identifies a transfer's data content for PRE: the array
+// section delivered to a receiver.
+func transferKey(t compiler.Transfer) string {
+	return fmt.Sprintf("%s|%v|>%d", t.Array.Name, t.Sec, t.Receiver)
+}
+
+// active filters a schedule's transfers under PRE: a redundant transfer
+// is skipped once its section has actually been delivered. All nodes
+// run this identically, keeping the replicated `delivered` maps equal.
+func (e *exec) active(ts []compiler.Transfer) []compiler.Transfer {
+	var out []compiler.Transfer
+	for _, t := range ts {
+		if t.NumBlocks == 0 {
+			continue // nothing block-aligned: all edges, default protocol
+		}
+		key := transferKey(t)
+		if e.opt >= compiler.OptPRE && t.Redundant && e.delivered[key] {
+			continue
+		}
+		e.delivered[key] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// preLoopComm runs the Figure 2 sequence before the loop body.
+func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
+	me := e.n.ID
+	reads := e.active(sched.Reads)
+	writes := e.active(sched.Writes)
+	bulk := e.opt >= compiler.OptBulk
+	rtElim := e.opt >= compiler.OptRTElim
+	sameSched := e.lastSched[key] == sched
+	e.lastSched[key] = sched
+
+	// Under run-time elimination, frames persist with stale contents
+	// between transfers. Before this loop reads any block through the
+	// default protocol (a transfer's edge), the reader destroys its own
+	// stale frames covering that block — otherwise the readwrite tag
+	// would satisfy the edge read silently. This is the "extra work
+	// required for dealing with overlapping ranges" the paper mentions
+	// and omits.
+	if rtElim {
+		var stale []protocol.BlockRun
+		for _, t := range sched.Reads {
+			if t.Receiver != me {
+				continue
+			}
+			for _, br := range t.EdgeBlocks {
+				for b := br.Start; b < br.Start+br.N; b++ {
+					if !e.x.IsFrame(b) || e.n.Mem.Tag(b) != memory.ReadWrite || e.n.Mem.Dirty(b) != 0 {
+						continue
+					}
+					if k := len(stale) - 1; k >= 0 && stale[k].Start+stale[k].N == b {
+						stale[k].N++
+					} else {
+						stale = append(stale, protocol.BlockRun{Start: b, N: 1})
+					}
+				}
+			}
+		}
+		if len(stale) > 0 {
+			e.x.ImplicitInvalidate(p, stale)
+		}
+	}
+
+	if len(reads)+len(writes) == 0 {
+		// No compiler-controlled communication this loop (possibly all
+		// skipped by PRE): nothing to set up.
+		return
+	}
+
+	// Advisory prefetch of the edge blocks we will demand-read through
+	// the default protocol during the loop: issued first, so responses
+	// overlap the whole setup-and-transfer phase. Blocks under compiler
+	// control in this loop are excluded — prefetching them would
+	// downgrade their senders.
+	if e.edgePf {
+		cc := map[int]bool{}
+		for _, t := range reads {
+			for _, br := range t.Blocks {
+				for b := br.Start; b < br.Start+br.N; b++ {
+					cc[b] = true
+				}
+			}
+		}
+		var edges []protocol.BlockRun
+		for _, t := range reads {
+			if t.Receiver != me {
+				continue
+			}
+			for _, br := range t.EdgeBlocks {
+				for b := br.Start; b < br.Start+br.N; b++ {
+					if cc[b] {
+						continue
+					}
+					if k := len(edges) - 1; k >= 0 && edges[k].Start+edges[k].N == b {
+						edges[k].N++
+					} else {
+						edges = append(edges, protocol.BlockRun{Start: b, N: 1})
+					}
+				}
+			}
+		}
+		if len(edges) > 0 {
+			e.x.Prefetch(p, edges)
+		}
+	}
+
+	var sendOut, takeOut, recvIn, flushIn []protocol.BlockRun
+	recvBlocks := 0
+	for _, t := range reads {
+		if t.Sender == me {
+			sendOut = append(sendOut, t.Blocks...)
+		}
+		if t.Receiver == me {
+			recvIn = append(recvIn, t.Blocks...)
+			recvBlocks += t.NumBlocks
+		}
+	}
+	for _, t := range writes {
+		if t.Sender == me {
+			// Non-owner writes go through mk_writable: "the owner has
+			// to send the block to the writer, just as in the
+			// non-owner read case" — the writer takes write ownership
+			// through the directory (invalidating the home's copy) and
+			// receives the current contents it will partially
+			// overwrite.
+			takeOut = append(takeOut, t.Blocks...)
+		}
+		if t.Receiver == me {
+			// The owner opens frames for the data flushed back after
+			// the loop.
+			flushIn = append(flushIn, t.Blocks...)
+		}
+	}
+
+	// Step 1: senders and non-owner writers take their blocks writable.
+	// Read-side mk_writable is skippable under run-time elimination
+	// (the owner already holds them from the default protocol's
+	// effect); write-side is not — the paper's whole-program
+	// assumptions exclude non-owner writes, so where they exist the
+	// calls stay. The barrier orders step 1 before step 2 (a reader
+	// may be a block's home).
+	if !rtElim && len(sendOut) > 0 {
+		e.x.MkWritable(p, sendOut)
+	}
+	if len(takeOut) > 0 {
+		e.x.MkWritable(p, takeOut)
+	}
+	if !rtElim || len(writes) > 0 {
+		e.cluster.Barrier(p, e.n)
+	}
+
+	// Step 2: receivers open readwrite frames for the incoming data;
+	// flush targets likewise for the post-loop writeback.
+	if len(recvIn) > 0 {
+		e.x.ImplicitWritable(p, recvIn, rtElim)
+	}
+	if len(flushIn) > 0 {
+		e.x.ImplicitWritable(p, flushIn, rtElim)
+	}
+	if recvBlocks > 0 {
+		e.x.ExpectBlocks(recvBlocks)
+	}
+
+	// Both sides ready before the transfer. Under run-time elimination
+	// the frames persist, so a repeat of the identical schedule can
+	// skip this barrier; a changed schedule (e.g. lu's per-step pivot
+	// column) cannot — receivers must open the new frames first.
+	if !rtElim || !sameSched {
+		e.cluster.Barrier(p, e.n)
+	}
+
+	// The transfer: owners push, readers hold a counting semaphore.
+	for _, t := range reads {
+		if t.Sender == me {
+			e.x.SendBlocks(p, t.Receiver, t.Blocks, bulk)
+		}
+	}
+
+	if recvBlocks > 0 {
+		e.x.ReadyToRecv(p)
+	}
+}
+
+// postLoopComm restores consistency after the loop body.
+func (e *exec) postLoopComm(p *sim.Proc, sched *compiler.Schedule, closingBarrier bool) {
+	me := e.n.ID
+	bulk := e.opt >= compiler.OptBulk
+	rtElim := e.opt >= compiler.OptRTElim
+
+	// Non-owner writes flush back to the owner, who waits for them.
+	flushIn := 0
+	for _, t := range sched.Writes {
+		if t.Receiver == me {
+			flushIn += t.NumBlocks
+		}
+	}
+	for _, t := range sched.Writes {
+		if t.Sender == me && t.NumBlocks > 0 {
+			e.x.FlushBlocks(p, t.Receiver, t.Blocks, bulk)
+		}
+	}
+
+	// The loop's closing barrier (a reduction's AllReduce already
+	// synchronized).
+	if closingBarrier {
+		e.cluster.Barrier(p, e.n)
+	}
+
+	if flushIn > 0 {
+		e.x.ExpectBlocks(flushIn)
+		e.x.ReadyToRecv(p)
+	}
+
+	// Readers re-invalidate their frames so the directory's belief
+	// (sender holds the only copy) is true again. Eliminated under the
+	// whole-program assumptions (the frames are refilled next time).
+	// The condition is on the global schedule, so every node agrees on
+	// whether the extra barrier happens.
+	if !rtElim && len(sched.Reads) > 0 {
+		var recvIn []protocol.BlockRun
+		for _, t := range sched.Reads {
+			if t.Receiver == me {
+				recvIn = append(recvIn, t.Blocks...)
+			}
+		}
+		if len(recvIn) > 0 {
+			e.x.ImplicitInvalidate(p, recvIn)
+		}
+		e.cluster.Barrier(p, e.n)
+	}
+
+}
+
+// --- Iteration execution ----------------------------------------------
+
+func (e *exec) runIterations(p *sim.Proc, pl *ir.ParLoop, rule *compiler.LoopRule, pt *compiler.Partition) {
+	// Per-element cost, with inner-reduction trip counts resolved
+	// against the current symbol environment.
+	flops := 0
+	for _, as := range pl.Body {
+		flops += 1 + e.dynOps(as.RHS)
+	}
+	elemCost := e.n.MC.LoopOver + sim.Time(flops)*e.n.MC.NsPerFlop
+
+	ev := &evalCtx{e: e, p: p}
+
+	// Execute the nest: index 0 fastest. The distributed variable's
+	// ranges come from the partition; other indexes run in full.
+	var nest func(d int)
+	nest = func(d int) {
+		if d < 0 {
+			e.n.Compute(elemCost)
+			for _, as := range pl.Body {
+				v := ev.eval(as.RHS)
+				ev.store(as.LHS, v)
+			}
+			return
+		}
+		ix := pl.Indexes[d]
+		step := ix.StepOr1()
+		if ix.Var == pt.DistVar && !pt.Single {
+			lo := ix.Lo.Eval(e.env)
+			for _, r := range pt.Ranges[e.n.ID] {
+				// Align the range start to the loop's step lattice.
+				start := r[0]
+				if off := (start - lo) % step; off != 0 {
+					start += step - off
+				}
+				for v := start; v <= r[1]; v += step {
+					e.env[ix.Var] = v
+					nest(d - 1)
+				}
+			}
+			delete(e.env, ix.Var)
+			return
+		}
+		lo, hi := ix.Lo.Eval(e.env), ix.Hi.Eval(e.env)
+		for v := lo; v <= hi; v += step {
+			e.env[ix.Var] = v
+			nest(d - 1)
+		}
+		delete(e.env, ix.Var)
+	}
+
+	if pt.Single && pt.Exec != e.n.ID {
+		return // another processor runs this entire loop
+	}
+	nest(len(pl.Indexes) - 1)
+}
+
+// dynOps is ir.Expr.Ops with inner-reduction trip counts evaluated
+// against the live environment where possible.
+func (e *exec) dynOps(x ir.Expr) int {
+	switch t := x.(type) {
+	case ir.Bin:
+		return 1 + e.dynOps(t.L) + e.dynOps(t.R)
+	case ir.Call:
+		n := 8
+		for _, a := range t.Args {
+			n += e.dynOps(a)
+		}
+		return n
+	case ir.InnerRed:
+		trip := 16
+		lo, okL := t.Lo.TryEval(e.env)
+		hi, okH := t.Hi.TryEval(e.env)
+		if okL && okH {
+			trip = hi - lo + 1
+			if trip < 0 {
+				trip = 0
+			}
+		}
+		return trip * (1 + e.dynOps(t.Body))
+	default:
+		return x.Ops()
+	}
+}
+
+func (e *exec) reduce(p *sim.Proc, rd *ir.Reduce) {
+	rule := e.an.ReduceRuleOf(rd)
+	pt := e.an.Partition(rd, rule, e.env)
+
+	var sched *compiler.Schedule
+	if e.mp != nil {
+		e.mpPreLoop(p, e.an.Schedule(rd, rule, e.env))
+	} else if e.opt >= compiler.OptBase {
+		sched = e.an.Schedule(rd, rule, e.env)
+		e.preLoopComm(p, rd, sched)
+	}
+
+	ev := &evalCtx{e: e, p: p}
+	flops := 1 + e.dynOps(rd.Expr)
+	elemCost := e.n.MC.LoopOver + sim.Time(flops)*e.n.MC.NsPerFlop
+
+	partial := redIdentity(rd.Op)
+	seen := false
+	var nest func(d int)
+	nest = func(d int) {
+		if d < 0 {
+			e.n.Compute(elemCost)
+			v := ev.eval(rd.Expr)
+			if !seen {
+				partial, seen = v, true
+			} else {
+				partial = redCombine(rd.Op, partial, v)
+			}
+			return
+		}
+		ix := rd.Indexes[d]
+		step := ix.StepOr1()
+		if ix.Var == pt.DistVar && !pt.Single {
+			lo := ix.Lo.Eval(e.env)
+			for _, r := range pt.Ranges[e.n.ID] {
+				start := r[0]
+				if off := (start - lo) % step; off != 0 {
+					start += step - off
+				}
+				for v := start; v <= r[1]; v += step {
+					e.env[ix.Var] = v
+					nest(d - 1)
+				}
+			}
+			delete(e.env, ix.Var)
+			return
+		}
+		lo, hi := ix.Lo.Eval(e.env), ix.Hi.Eval(e.env)
+		for v := lo; v <= hi; v += step {
+			e.env[ix.Var] = v
+			nest(d - 1)
+		}
+		delete(e.env, ix.Var)
+	}
+	if !pt.Single || pt.Exec == e.n.ID {
+		nest(len(rd.Indexes) - 1)
+	}
+
+	op := map[ir.RedOp]tempest.ReduceOp{
+		ir.RedSum: tempest.OpSum, ir.RedMax: tempest.OpMax, ir.RedMin: tempest.OpMin,
+	}[rd.Op]
+	e.scalars[rd.Target] = e.cluster.AllReduce(p, e.n, op, partial)
+
+	if e.mp == nil && e.opt >= compiler.OptBase {
+		e.postLoopComm(p, sched, false)
+	}
+}
+
+func redIdentity(op ir.RedOp) float64 {
+	switch op {
+	case ir.RedSum:
+		return 0
+	default:
+		return 0 // replaced by the first value via `seen`
+	}
+}
+
+func redCombine(op ir.RedOp, a, b float64) float64 {
+	switch op {
+	case ir.RedSum:
+		return a + b
+	case ir.RedMax:
+		if b > a {
+			return b
+		}
+		return a
+	case ir.RedMin:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		panic("runtime: bad reduction op")
+	}
+}

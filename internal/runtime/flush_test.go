@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"testing"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/distribute"
+	"hpfdsm/internal/ir"
+)
+
+// flushProg has a loop with two assignments whose left-hand sides are
+// differently aligned: the second one is a non-owner write, exercising
+// the implicit_writable + flush-to-owner path of the paper's
+// Section 4.2 end-to-end.
+func flushProg(n, iters int) *ir.Program {
+	A := &ir.Array{Name: "a", Extents: []int{n, n}, Dist: distribute.Spec{Kind: distribute.Block}}
+	B := &ir.Array{Name: "b", Extents: []int{n, n}, Dist: distribute.Spec{Kind: distribute.Block}}
+	i, j := ir.V("i"), ir.V("j")
+	init := &ir.ParLoop{
+		Label:   "init",
+		Indexes: []ir.Index{ir.Idx("i", ir.Aff(1), ir.Aff(n)), ir.Idx("j", ir.Aff(1), ir.Aff(n))},
+		Body: []*ir.Assign{
+			{LHS: ir.Ref(A, i, j), RHS: ir.Plus(ir.Iv("i"), ir.Iv("j"))},
+			{LHS: ir.Ref(B, i, j), RHS: ir.N(0)},
+		},
+	}
+	// Owner-computes on a(i,j); b(i,j+1) is written into the neighbour's
+	// partition (a staggered-output loop).
+	stagger := &ir.ParLoop{
+		Label:   "stagger",
+		Indexes: []ir.Index{ir.Idx("i", ir.Aff(1), ir.Aff(n)), ir.Idx("j", ir.Aff(1), ir.Aff(n-1))},
+		Body: []*ir.Assign{
+			{LHS: ir.Ref(A, i, j), RHS: ir.Plus(ir.Ref(A, i, j), ir.N(1))},
+			{LHS: ir.Ref(B, i, j.AddC(1)), RHS: ir.Times(ir.N(2), ir.Ref(A, i, j))},
+		},
+	}
+	return &ir.Program{
+		Name:   "flush",
+		Params: map[string]int{"n": n},
+		Arrays: []*ir.Array{A, B},
+		Body: []ir.Stmt{
+			init,
+			&ir.StartTimer{},
+			&ir.SeqLoop{Var: "t", Lo: ir.Aff(1), Hi: ir.Aff(iters), Body: []ir.Stmt{stagger}},
+		},
+	}
+}
+
+func flushRef(n, iters int) (a, b []float64) {
+	a = make([]float64, n*n)
+	b = make([]float64, n*n)
+	at := func(m []float64, i, j int) *float64 { return &m[(j-1)*n+(i-1)] }
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			*at(a, i, j) = float64(i + j)
+		}
+	}
+	for t := 0; t < iters; t++ {
+		for j := 1; j <= n-1; j++ {
+			for i := 1; i <= n; i++ {
+				*at(a, i, j)++
+				*at(b, i, j+1) = 2 * *at(a, i, j)
+			}
+		}
+	}
+	return a, b
+}
+
+func TestNonOwnerWriteFlushEndToEnd(t *testing.T) {
+	const n, iters = 64, 4
+	wantA, wantB := flushRef(n, iters)
+	for _, opt := range []compiler.Level{compiler.OptNone, compiler.OptBase, compiler.OptBulk} {
+		res, err := Run(flushProg(n, iters), Options{Machine: config.Default(), Opt: opt})
+		if err != nil {
+			t.Fatalf("opt %v: %v", opt, err)
+		}
+		if d := maxAbsDiff(res.ArrayData("a"), wantA); d > 1e-12 {
+			t.Fatalf("opt %v: a diff %g", opt, d)
+		}
+		if d := maxAbsDiff(res.ArrayData("b"), wantB); d > 1e-12 {
+			t.Fatalf("opt %v: b diff %g", opt, d)
+		}
+	}
+}
+
+func TestNonOwnerWriteRuleDetected(t *testing.T) {
+	prog := flushProg(64, 1)
+	res, err := Run(prog, Options{Machine: config.Default(), Opt: compiler.OptBulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *ir.ParLoop
+	for _, s := range prog.Body {
+		if sl, ok := s.(*ir.SeqLoop); ok {
+			loop = sl.Body[0].(*ir.ParLoop)
+		}
+	}
+	rule := res.Analysis().LoopRuleOf(loop)
+	if len(rule.Writes) != 1 {
+		t.Fatalf("write rules = %d, want 1 (%+v)", len(rule.Writes), rule.Writes)
+	}
+	if rule.Writes[0].Kind != compiler.KindShift {
+		t.Fatalf("write rule kind = %v", rule.Writes[0].Kind)
+	}
+	sched := res.Analysis().Schedule(loop, rule, map[string]int{"n": 64, "t": 1})
+	if len(sched.Writes) != 7 { // each proc flushes one column to its right neighbour
+		t.Fatalf("flush transfers = %d, want 7: %v", len(sched.Writes), sched.Writes)
+	}
+}
+
+func TestMPNonOwnerWrite(t *testing.T) {
+	const n, iters = 64, 3
+	wantA, wantB := flushRef(n, iters)
+	res, err := Run(flushProg(n, iters), Options{Machine: config.Default(), Backend: MessagePassing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.ArrayData("a"), wantA); d > 1e-12 {
+		t.Fatalf("mp a diff %g", d)
+	}
+	if d := maxAbsDiff(res.ArrayData("b"), wantB); d > 1e-12 {
+		t.Fatalf("mp b diff %g", d)
+	}
+}

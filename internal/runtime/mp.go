@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/network"
+	"hpfdsm/internal/sections"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/tempest"
+)
+
+// Backend selects the execution substrate.
+type Backend int
+
+// Backends.
+const (
+	// SharedMemory runs on the coherent fine-grain DSM (the paper's
+	// main system).
+	SharedMemory Backend = iota
+	// MessagePassing runs the PGI-style baseline: private memories,
+	// exact-section sends derived from the same analysis, and blocking
+	// receives instead of coherence. No barriers are needed around
+	// loops — message arrival is the synchronization.
+	MessagePassing
+)
+
+func (b Backend) String() string {
+	if b == MessagePassing {
+		return "message-passing"
+	}
+	return "shared-memory"
+}
+
+// KMPData carries one contiguous run of a section in the
+// message-passing backend.
+const KMPData network.Kind = 100
+
+// mpState is the per-node message-passing runtime state. Communication
+// proceeds in phases (one per loop's pre- and post-communication, in
+// program order, identically numbered on every node); messages carry
+// their phase so a sender running ahead cannot clobber a ghost region
+// the receiver is still reading — the moral equivalent of MPI message
+// tags.
+type mpState struct {
+	phase  int64
+	recv   *sim.Counter // bytes received for the current phase
+	queued map[int64][]*network.Message
+}
+
+// installMP registers the message-passing data handler on every node.
+func installMP(execs []*exec) {
+	for _, e := range execs {
+		e.mp = &mpState{recv: sim.NewCounter(), queued: map[int64][]*network.Message{}}
+		ee := e
+		e.n.On(KMPData, func(hc *tempest.HContext, m *network.Message) {
+			if m.Arg2 != ee.mp.phase {
+				// Early arrival from a sender already in a later
+				// phase: hold it until this node catches up.
+				ee.mp.queued[m.Arg2] = append(ee.mp.queued[m.Arg2], m)
+				return
+			}
+			ee.mpInstall(m)
+		})
+	}
+}
+
+// mpInstall unpacks one data message on the compute processor (the
+// paper suspects PGI's port did not exploit the dual-CPU communication
+// facilities well).
+func (e *exec) mpInstall(m *network.Message) {
+	mc := e.n.MC
+	e.n.StealCompute(mc.MPRecvOver + sim.Time(len(m.Data))*mc.MPPackPerByte)
+	e.n.Mem.InstallRange(m.Addr, m.Data)
+	e.mp.recv.Add(int64(len(m.Data)))
+}
+
+// mpTransfer ships one transfer's exact section (no block alignment),
+// one message per contiguous run, split at MaxPayload.
+func (e *exec) mpSend(p *sim.Proc, t compiler.Transfer) {
+	mc := e.n.MC
+	lay := e.layouts[t.Array]
+	for _, run := range sections.CoalesceRuns(lay.Runs(t.Sec)) {
+		for off := 0; off < run.Bytes; off += mc.MaxPayload {
+			nb := run.Bytes - off
+			if nb > mc.MaxPayload {
+				nb = mc.MaxPayload
+			}
+			addr := run.Addr + off
+			data := make([]byte, nb)
+			copy(data, e.n.Mem.Bytes(addr, nb))
+			e.n.Compute(mc.MPSendOver + sim.Time(nb)*mc.MPPackPerByte)
+			e.n.Sync(p)
+			e.n.Net.Send(&network.Message{
+				Src: e.n.ID, Dst: t.Receiver, Kind: KMPData,
+				Addr: addr, Arg2: e.mp.phase, Data: data,
+			})
+		}
+	}
+}
+
+func (e *exec) mpBytesOf(t compiler.Transfer) int64 {
+	return int64(t.Sec.Count() * 8)
+}
+
+// mpPhase runs one communication phase: send this node's outgoing
+// transfers, wait for the expected incoming bytes, then advance to the
+// next phase and drain any early arrivals for it.
+func (e *exec) mpPhase(p *sim.Proc, transfers []compiler.Transfer) {
+	me := e.n.ID
+	var expected int64
+	for _, t := range transfers {
+		if t.Sender == me {
+			e.mpSend(p, t)
+		}
+		if t.Receiver == me {
+			expected += e.mpBytesOf(t)
+		}
+	}
+	e.n.Sync(p)
+	start := p.Now()
+	e.mp.recv.WaitFor(p, expected)
+	e.n.St.CommTime += p.Now() - start
+
+	e.mp.phase++
+	e.mp.recv.Reset()
+	for _, m := range e.mp.queued[e.mp.phase] {
+		e.mpInstall(m)
+	}
+	delete(e.mp.queued, e.mp.phase)
+}
+
+// mpPreLoop exchanges the loop's read sections, plus the current
+// contents of non-owner-write sections (owner -> writer): the writer's
+// post-loop flush ships the whole section back, so any elements it
+// does not overwrite (e.g. off-lattice columns of a strided loop) must
+// be current in its buffer first — the message-passing analogue of the
+// shared-memory contract's "the owner has to send the block to the
+// writer, just as in the non-owner read case".
+func (e *exec) mpPreLoop(p *sim.Proc, sched *compiler.Schedule) {
+	transfers := append([]compiler.Transfer{}, sched.Reads...)
+	for _, t := range sched.Writes {
+		rev := t
+		rev.Sender, rev.Receiver = t.Receiver, t.Sender
+		transfers = append(transfers, rev)
+	}
+	e.mpPhase(p, transfers)
+}
+
+// mpPostLoop flushes non-owner writes to the owners, who wait for them.
+func (e *exec) mpPostLoop(p *sim.Proc, sched *compiler.Schedule) {
+	e.mpPhase(p, sched.Writes)
+}

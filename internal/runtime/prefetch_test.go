@@ -1,0 +1,97 @@
+package runtime
+
+import (
+	"testing"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/distribute"
+	"hpfdsm/internal/ir"
+)
+
+// fullColumnProg reads whole neighbour columns (rows 1..n), which are
+// exactly block aligned for n*8 % 128 == 0.
+func fullColumnProg(n, iters int) *ir.Program {
+	A := &ir.Array{Name: "a", Extents: []int{n, n}, Dist: distribute.Spec{Kind: distribute.Block}}
+	B := &ir.Array{Name: "b", Extents: []int{n, n}, Dist: distribute.Spec{Kind: distribute.Block}}
+	i, j := ir.V("i"), ir.V("j")
+	init := &ir.ParLoop{Label: "init",
+		Indexes: []ir.Index{ir.Idx("i", ir.Aff(1), ir.Aff(n)), ir.Idx("j", ir.Aff(1), ir.Aff(n))},
+		Body: []*ir.Assign{
+			{LHS: ir.Ref(A, i, j), RHS: ir.Iv("i")},
+			{LHS: ir.Ref(B, i, j), RHS: ir.N(0)},
+		}}
+	sweep := &ir.ParLoop{Label: "sweep",
+		Indexes: []ir.Index{ir.Idx("i", ir.Aff(1), ir.Aff(n)), ir.Idx("j", ir.Aff(2), ir.Aff(n-1))},
+		Body: []*ir.Assign{{
+			LHS: ir.Ref(B, i, j),
+			RHS: ir.Plus(ir.Ref(A, i, j.AddC(-1)), ir.Ref(A, i, j.AddC(1))),
+		}}}
+	copyBack := &ir.ParLoop{Label: "copy",
+		Indexes: []ir.Index{ir.Idx("i", ir.Aff(1), ir.Aff(n)), ir.Idx("j", ir.Aff(2), ir.Aff(n-1))},
+		Body:    []*ir.Assign{{LHS: ir.Ref(A, i, j), RHS: ir.Ref(B, i, j)}}}
+	return &ir.Program{Name: "fullcol", Params: map[string]int{"n": n},
+		Arrays: []*ir.Array{A, B},
+		Body: []ir.Stmt{init, &ir.StartTimer{},
+			&ir.SeqLoop{Var: "t", Lo: ir.Aff(1), Hi: ir.Aff(iters), Body: []ir.Stmt{sweep, copyBack}}}}
+}
+
+func TestEdgePrefetchReducesStallsKeepsResults(t *testing.T) {
+	const n, iters = 129, 5
+	run := func(pf bool) *Result {
+		res, err := Run(jacobiProg(n, iters), Options{
+			Machine: config.Default(), Opt: compiler.OptRTElim, EdgePrefetch: pf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	pf := run(true)
+
+	// Same answers.
+	a, b := plain.ArrayData("a"), pf.ArrayData("a")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prefetch changed results at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Fewer demand read misses: the edges were prefetched.
+	pm, fm := plain.Stats.TotalMisses(), pf.Stats.TotalMisses()
+	if fm >= pm {
+		t.Fatalf("prefetch did not reduce demand misses: %d -> %d", pm, fm)
+	}
+	// Advisory prefetch must not hurt end-to-end (the first-touched
+	// edge can still race the response, so it is not always a win —
+	// matching the paper's cautious "may be a worthwhile optimization").
+	if float64(pf.Elapsed) > 1.02*float64(plain.Elapsed) {
+		t.Fatalf("prefetch noticeably slower: %.2fms vs %.2fms", ms(pf.Elapsed), ms(plain.Elapsed))
+	}
+	t.Logf("edge prefetch: misses %d -> %d, time %.2fms -> %.2fms",
+		pm, fm, ms(plain.Elapsed), ms(pf.Elapsed))
+}
+
+func TestEdgePrefetchNoopWhenNoEdges(t *testing.T) {
+	// Full-column transfers (rows 1..n with n a multiple of 16
+	// elements) are exactly block aligned: no edge blocks, prefetch
+	// must change nothing.
+	const n, iters = 128, 3
+	prog := func() *Result { return nil }
+	_ = prog
+	run := func(pf bool) *Result {
+		res, err := Run(fullColumnProg(n, iters), Options{
+			Machine: config.Default(), Opt: compiler.OptRTElim, EdgePrefetch: pf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	pf := run(true)
+	if plain.Elapsed != pf.Elapsed || plain.Stats.TotalMessages() != pf.Stats.TotalMessages() {
+		t.Fatalf("prefetch changed an edge-free run: %d/%d vs %d/%d",
+			plain.Elapsed, plain.Stats.TotalMessages(), pf.Elapsed, pf.Stats.TotalMessages())
+	}
+}

@@ -1,0 +1,58 @@
+package runtime
+
+import (
+	"testing"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+)
+
+func TestProfileCollectsLoops(t *testing.T) {
+	res, err := Run(jacobiProg(64, 3), Options{
+		Machine: config.Default(), Opt: compiler.OptBulk, Profile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("no profile")
+	}
+	sweep := res.Profile.Entry("sweep")
+	if sweep == nil {
+		t.Fatalf("no sweep entry; have %v", res.Profile.Entries())
+	}
+	if sweep.Visits != 3*8 { // 3 iterations x 8 nodes
+		t.Fatalf("sweep visits = %d, want 24", sweep.Visits)
+	}
+	if sweep.Compute <= 0 {
+		t.Fatal("sweep has no compute time")
+	}
+	init := res.Profile.Entry("init")
+	if init == nil || init.Visits != 8 {
+		t.Fatalf("init entry = %+v", init)
+	}
+	// Profile accounting must roughly cover the stats totals.
+	var profCompute int64
+	for _, e := range res.Profile.Entries() {
+		profCompute += e.Compute
+	}
+	var statCompute int64
+	for i := range res.Stats.Nodes {
+		statCompute += res.Stats.Nodes[i].ComputeTime
+	}
+	// Stats were reset by STARTTIMER, so the profile (which includes
+	// init) must be >= the timed-region stats.
+	if profCompute < statCompute {
+		t.Fatalf("profile compute %d < stats compute %d", profCompute, statCompute)
+	}
+}
+
+func TestProfileDisabledByDefault(t *testing.T) {
+	res, err := Run(jacobiProg(32, 1), Options{Machine: config.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Fatal("profile should be nil unless requested")
+	}
+}

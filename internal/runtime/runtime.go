@@ -1,0 +1,160 @@
+// Package runtime executes compiled data-parallel programs on the
+// simulated fine-grain DSM cluster. It is the shared-memory back end:
+// every array lives in the coherent global segment, loads and stores go
+// through fine-grain access checks, and — at optimization levels above
+// OptNone — the runtime brackets each parallel loop with the
+// compiler-directed protocol calls of the paper's Figure 2.
+package runtime
+
+import (
+	"fmt"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/memory"
+	"hpfdsm/internal/protocol"
+	"hpfdsm/internal/sections"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/stats"
+	"hpfdsm/internal/tempest"
+	"hpfdsm/internal/trace"
+)
+
+// Options configures one run.
+type Options struct {
+	Machine config.Machine
+	Opt     compiler.Level
+	Backend Backend
+	// Profile enables per-loop time/miss profiling (Result.Profile).
+	Profile bool
+	// EdgePrefetch issues advisory prefetches for the boundary blocks
+	// the block-alignment shrink leaves to the default protocol (the
+	// paper's suggested extension for small data sets such as grav).
+	EdgePrefetch bool
+	// InspectIndirect runs a light-weight inspector before loops with
+	// indirect references: it scans the node's own iterations
+	// evaluating just the indirect subscripts and prefetches the
+	// scattered target blocks, overlapping their fetch latency with
+	// the loop's setup — the inspector/executor idea applied to the
+	// paper's future-work benchmark class.
+	InspectIndirect bool
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	Prog    *ir.Program
+	Stats   *stats.Cluster
+	Elapsed sim.Time           // simulated execution time
+	Scalars map[string]float64 // node 0's final scalar values
+	Profile *trace.Profile     // per-loop profile (nil unless requested)
+
+	cluster  *tempest.Cluster
+	analysis *compiler.Analysis
+	layouts  map[*ir.Array]sections.Layout
+	proto    *protocol.Proto
+	mp       bool
+}
+
+// Analysis exposes the compiled communication rules (for inspection
+// tools and tests).
+func (r *Result) Analysis() *compiler.Analysis { return r.analysis }
+
+// ArrayData assembles an array's final contents (in address order,
+// i.e. column-major flattened). On the shared-memory backend each word
+// is read coherently through the directory; on the message-passing
+// backend the owner's private copy is authoritative.
+func (r *Result) ArrayData(name string) []float64 {
+	arr := r.Prog.ArrayByName(name)
+	if arr == nil {
+		panic(fmt.Sprintf("runtime: no array %q", name))
+	}
+	lay := r.layouts[arr]
+	d := r.analysis.Dist(arr)
+	out := make([]float64, arr.Elems())
+	colElems := arr.Elems() / arr.LastExtent()
+	for j := 1; j <= arr.LastExtent(); j++ {
+		base := lay.Base + (j-1)*colElems*8
+		if r.mp {
+			owner := r.cluster.Nodes[d.Owner(j)]
+			for k := 0; k < colElems; k++ {
+				out[(j-1)*colElems+k] = owner.Mem.ReadF64(base + 8*k)
+			}
+			continue
+		}
+		for k := 0; k < colElems; k++ {
+			out[(j-1)*colElems+k] = r.proto.CoherentRead(base + 8*k)
+		}
+	}
+	return out
+}
+
+// Run executes prog on a simulated cluster.
+func Run(prog *ir.Program, opt Options) (*Result, error) {
+	mc := opt.Machine
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Backend == MessagePassing && ir.HasIndirect(prog) {
+		return nil, fmt.Errorf("runtime: program %s contains indirect array subscripts and is not amenable to message passing; use the shared-memory backend", prog.Name)
+	}
+	env := sim.NewEnv()
+	sp := memory.NewSpace(mc)
+	layouts := make(map[*ir.Array]sections.Layout)
+	for _, arr := range prog.Arrays {
+		base := sp.Alloc(arr.Name, arr.Elems()*8)
+		layouts[arr] = sections.Layout{Base: base, Extents: arr.Extents, ElemSize: 8}
+	}
+	cluster := tempest.NewCluster(env, sp)
+	proto := protocol.Attach(cluster)
+	an, err := compiler.New(prog, mc.Nodes, layouts, mc.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Prog:     prog,
+		Stats:    cluster.Stats,
+		Scalars:  map[string]float64{},
+		cluster:  cluster,
+		analysis: an,
+		layouts:  layouts,
+		proto:    proto,
+		mp:       opt.Backend == MessagePassing,
+	}
+
+	execs := make([]*exec, mc.Nodes)
+	var prof *trace.Profile
+	if opt.Profile {
+		prof = trace.NewProfile()
+		res.Profile = prof
+	}
+	for i := 0; i < mc.Nodes; i++ {
+		execs[i] = newExec(prog, an, layouts, cluster, cluster.Nodes[i], proto.Node(i), opt.Opt)
+		execs[i].prof = prof
+		execs[i].edgePf = opt.EdgePrefetch
+		execs[i].inspect = opt.InspectIndirect
+	}
+	if opt.Backend == MessagePassing {
+		installMP(execs)
+	}
+	for i := 0; i < mc.Nodes; i++ {
+		e := execs[i]
+		env.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) { e.run(p) })
+	}
+	if err := env.Run(); err != nil {
+		return nil, fmt.Errorf("runtime: %w (program %s)", err, prog.Name)
+	}
+	if opt.Backend == SharedMemory {
+		// Every run is self-auditing: the quiescent coherence state must
+		// satisfy the protocol invariants.
+		if err := proto.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("runtime: post-run invariant violation: %w (program %s)", err, prog.Name)
+		}
+	}
+	res.Elapsed = env.Now() - cluster.TimerStart
+	for k, v := range execs[0].scalars {
+		res.Scalars[k] = v
+	}
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package sections
+
+import "fmt"
+
+// SDim is a strided index range: {Lo, Lo+Step, ..., <= Hi}. It
+// represents one dimension of a cyclic-distribution ownership set
+// exactly (owner p of a CYCLIC dimension holds {p+1, p+1+np, ...}).
+type SDim struct {
+	Lo, Hi, Step int
+}
+
+// NewSDim normalizes a strided range: Hi is clamped to the last actual
+// member; an empty range has Lo > Hi.
+func NewSDim(lo, hi, step int) SDim {
+	if step < 1 {
+		panic(fmt.Sprintf("sections: bad stride %d", step))
+	}
+	if hi >= lo {
+		hi = lo + (hi-lo)/step*step
+	}
+	return SDim{Lo: lo, Hi: hi, Step: step}
+}
+
+// Empty reports whether the range has no members.
+func (d SDim) Empty() bool { return d.Lo > d.Hi }
+
+// Count returns the number of members.
+func (d SDim) Count() int {
+	if d.Empty() {
+		return 0
+	}
+	return (d.Hi-d.Lo)/d.Step + 1
+}
+
+// Contains reports membership.
+func (d SDim) Contains(i int) bool {
+	return i >= d.Lo && i <= d.Hi && (i-d.Lo)%d.Step == 0
+}
+
+// Each calls f for every member in ascending order.
+func (d SDim) Each(f func(int)) {
+	for i := d.Lo; i <= d.Hi; i += d.Step {
+		f(i)
+	}
+}
+
+func (d SDim) String() string {
+	if d.Step == 1 {
+		return fmt.Sprintf("%d:%d", d.Lo, d.Hi)
+	}
+	return fmt.Sprintf("%d:%d:%d", d.Lo, d.Hi, d.Step)
+}
+
+// gcd returns the greatest common divisor, and the Bézout coefficient
+// x with a*x ≡ g (mod b) (extended Euclid).
+func egcd(a, b int) (g, x int) {
+	x0, x1 := 1, 0
+	for b != 0 {
+		q := a / b
+		a, b = b, a-q*b
+		x0, x1 = x1, x0-q*x1
+	}
+	return a, x0
+}
+
+// IntersectS intersects two strided ranges exactly: the result's step
+// is lcm(a.Step, b.Step) and its origin solves the pair of congruences
+// (Chinese remainder over non-coprime moduli).
+func IntersectS(a, b SDim) SDim {
+	empty := SDim{Lo: 1, Hi: 0, Step: 1}
+	if a.Empty() || b.Empty() {
+		return empty
+	}
+	lo := a.Lo
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	hi := a.Hi
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	if lo > hi {
+		return empty
+	}
+	// Solve x ≡ a.Lo (mod a.Step), x ≡ b.Lo (mod b.Step).
+	g, p := egcd(a.Step, b.Step)
+	diff := b.Lo - a.Lo
+	if diff%g != 0 {
+		return empty
+	}
+	lcm := a.Step / g * b.Step
+	// x = a.Lo + a.Step * p * (diff/g)  (mod lcm)
+	x := a.Lo + a.Step*mod(p*(diff/g), b.Step/g)
+	x = a.Lo + mod(x-a.Lo, lcm)
+	// First member >= lo on the lattice.
+	if x < lo {
+		x += (lo - x + lcm - 1) / lcm * lcm
+	}
+	if x > hi {
+		return empty
+	}
+	return NewSDim(x, hi, lcm)
+}
+
+func mod(a, m int) int {
+	if m < 0 {
+		m = -m
+	}
+	a %= m
+	if a < 0 {
+		a += m
+	}
+	return a
+}
+
+// SubtractS returns a \ b as a list of disjoint strided ranges. The
+// result enumerates a's residue classes modulo lcm(a.Step, b.Step)
+// that miss b, so it is exact (and compact when the strides interact
+// simply).
+func SubtractS(a, b SDim) []SDim {
+	if a.Empty() {
+		return nil
+	}
+	inter := IntersectS(a, b)
+	if inter.Empty() {
+		return []SDim{a}
+	}
+	// Walk a's members grouped by residue class modulo inter.Step.
+	// Classes matching inter's origin are removed (within inter's
+	// bounds); partial overlaps split into head/tail.
+	var out []SDim
+	classes := inter.Step / a.Step
+	for c := 0; c < classes; c++ {
+		start := a.Lo + c*a.Step
+		if start > a.Hi {
+			continue
+		}
+		cls := NewSDim(start, a.Hi, inter.Step)
+		if !inter.Contains(start) && !IntersectS(cls, inter).Empty() {
+			// This class still hits inter somewhere (possible when
+			// inter's origin is in a later class member); handle by
+			// splitting at the hit.
+			hit := IntersectS(cls, inter)
+			if hit.Lo > cls.Lo {
+				out = append(out, NewSDim(cls.Lo, hit.Lo-inter.Step, inter.Step))
+			}
+			if hit.Hi < cls.Hi {
+				out = append(out, NewSDim(hit.Hi+inter.Step, cls.Hi, inter.Step))
+			}
+			continue
+		}
+		if !inter.Contains(start) {
+			out = append(out, cls)
+			continue
+		}
+		// Class fully on inter's lattice: keep the parts outside
+		// inter's [Lo, Hi] window.
+		if cls.Lo < inter.Lo {
+			out = append(out, NewSDim(cls.Lo, inter.Lo-inter.Step, inter.Step))
+		}
+		if cls.Hi > inter.Hi {
+			out = append(out, NewSDim(inter.Hi+inter.Step, cls.Hi, inter.Step))
+		}
+	}
+	// Drop empties.
+	var clean []SDim
+	for _, d := range out {
+		if !d.Empty() {
+			clean = append(clean, d)
+		}
+	}
+	return clean
+}

@@ -1,0 +1,99 @@
+package sections
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSDimBasics(t *testing.T) {
+	d := NewSDim(3, 20, 4) // 3,7,11,15,19
+	if d.Count() != 5 || d.Hi != 19 {
+		t.Fatalf("d = %v count %d", d, d.Count())
+	}
+	if !d.Contains(11) || d.Contains(12) || d.Contains(23) {
+		t.Fatal("Contains wrong")
+	}
+	var got []int
+	d.Each(func(i int) { got = append(got, i) })
+	if len(got) != 5 || got[0] != 3 || got[4] != 19 {
+		t.Fatalf("Each = %v", got)
+	}
+	if NewSDim(5, 4, 2).Count() != 0 {
+		t.Fatal("empty count")
+	}
+	if NewSDim(1, 9, 1).String() != "1:9" || NewSDim(1, 9, 2).String() != "1:9:2" {
+		t.Fatal("strings")
+	}
+}
+
+func TestIntersectSKnown(t *testing.T) {
+	// Evens ∩ multiples of 3 in [0,30] = multiples of 6.
+	a := NewSDim(0, 30, 2)
+	b := NewSDim(0, 30, 3)
+	got := IntersectS(a, b)
+	if got.Lo != 0 || got.Step != 6 || got.Hi != 30 {
+		t.Fatalf("got %v", got)
+	}
+	// Cyclic owners: proc 1 of 4 owns {2,6,10,...}; loop range 5..12
+	// with unit stride -> {6, 10}.
+	own := NewSDim(2, 16, 4)
+	rng := NewSDim(5, 12, 1)
+	got = IntersectS(own, rng)
+	if got.Lo != 6 || got.Step != 4 || got.Hi != 10 {
+		t.Fatalf("cyclic ∩ range = %v", got)
+	}
+	// Incompatible congruences: odds ∩ evens = empty.
+	if !IntersectS(NewSDim(1, 99, 2), NewSDim(0, 98, 2)).Empty() {
+		t.Fatal("odds ∩ evens not empty")
+	}
+}
+
+func TestPropertyIntersectS(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		a := NewSDim(rng.Intn(20), rng.Intn(80), 1+rng.Intn(8))
+		b := NewSDim(rng.Intn(20), rng.Intn(80), 1+rng.Intn(8))
+		got := IntersectS(a, b)
+		for i := 0; i <= 100; i++ {
+			want := a.Contains(i) && b.Contains(i)
+			if got.Contains(i) != want {
+				t.Fatalf("trial %d: %v ∩ %v = %v wrong at %d (want member=%v)", trial, a, b, got, i, want)
+			}
+		}
+	}
+}
+
+func TestPropertySubtractS(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		a := NewSDim(rng.Intn(20), rng.Intn(90), 1+rng.Intn(6))
+		b := NewSDim(rng.Intn(20), rng.Intn(90), 1+rng.Intn(6))
+		parts := SubtractS(a, b)
+		for i := 0; i <= 110; i++ {
+			want := a.Contains(i) && !b.Contains(i)
+			got := false
+			hits := 0
+			for _, p := range parts {
+				if p.Contains(i) {
+					got = true
+					hits++
+				}
+			}
+			if got != want {
+				t.Fatalf("trial %d: %v \\ %v = %v wrong at %d (want %v)", trial, a, b, parts, i, want)
+			}
+			if hits > 1 {
+				t.Fatalf("trial %d: %v \\ %v = %v overlaps at %d", trial, a, b, parts, i)
+			}
+		}
+	}
+}
+
+func TestSubtractSDisjointFast(t *testing.T) {
+	a := NewSDim(1, 9, 2)
+	b := NewSDim(100, 200, 3)
+	parts := SubtractS(a, b)
+	if len(parts) != 1 || parts[0] != a {
+		t.Fatalf("disjoint subtract = %v", parts)
+	}
+}

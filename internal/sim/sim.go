@@ -1,0 +1,299 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives two kinds of activity:
+//
+//   - Events: plain functions scheduled at a virtual time, executed in the
+//     scheduler's goroutine. Protocol message handlers are events.
+//   - Processes: goroutine-backed coroutines that can block on virtual time
+//     (Sleep) or on conditions (Signal, Counter). Compute threads of the
+//     simulated cluster nodes are processes.
+//
+// Exactly one goroutine is runnable at any instant: the scheduler hands
+// control to a process and waits for it to yield before touching the event
+// queue again. Simultaneous events are ordered by issue sequence number.
+// Together these rules make every simulation bit-reproducible, which the
+// test suite exploits by asserting exact message and miss counts.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is virtual time in nanoseconds.
+type Time = int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)    { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any      { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peekTime() Time { return h[0].t }
+func (h eventHeap) empty() bool    { return len(h) == 0 }
+func (h *eventHeap) push(e event)  { heap.Push(h, e) }
+func (h *eventHeap) pop() event    { return heap.Pop(h).(event) }
+
+// Env is a simulation environment: an event queue plus a virtual clock.
+// An Env is not safe for concurrent use; all interaction must come from
+// the goroutine running Run (for events) or from the currently scheduled
+// process (for process operations).
+type Env struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // process -> scheduler handoff
+	blocked int           // processes alive but not schedulable
+	procs   []*Proc       // all spawned processes (diagnostics)
+}
+
+// NewEnv returns an empty simulation environment at time zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Schedule runs fn at absolute virtual time t (>= Now) in scheduler context.
+func (e *Env) Schedule(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: t=%d now=%d", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{t: t, seq: e.seq, fn: fn})
+}
+
+// After runs fn after delay d.
+func (e *Env) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Run executes events until the queue is empty. If processes remain
+// blocked with no pending events, Run returns an error describing the
+// deadlock.
+func (e *Env) Run() error {
+	for !e.events.empty() {
+		ev := e.events.pop()
+		e.now = ev.t
+		ev.fn()
+	}
+	if e.blocked > 0 {
+		return fmt.Errorf("sim: deadlock at t=%d: %d process(es) blocked forever: %s",
+			e.now, e.blocked, e.blockedNames())
+	}
+	return nil
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+func (e *Env) RunUntil(t Time) {
+	for !e.events.empty() && e.events.peekTime() <= t {
+		ev := e.events.pop()
+		e.now = ev.t
+		ev.fn()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *Env) blockedNames() string {
+	var names []string
+	for _, p := range e.procs {
+		if !p.done && p.waiting {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// Proc is a simulated process: a goroutine that runs only when the
+// scheduler resumes it, and always returns control by blocking on a
+// kernel operation or by finishing.
+type Proc struct {
+	env     *Env
+	name    string
+	resume  chan struct{}
+	done    bool
+	waiting bool // blocked on a condition (not a timer)
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns current virtual time (valid while the process is running).
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn creates a process that will begin executing body at the current
+// virtual time. body runs in its own goroutine but only while scheduled.
+func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		body(p)
+		p.done = true
+		e.yield <- struct{}{}
+	}()
+	e.Schedule(e.now, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands the scheduler's control to p until p yields or finishes.
+// Must be called from scheduler context.
+func (e *Env) dispatch(p *Proc) {
+	if p.done {
+		panic("sim: dispatching a finished process: " + p.name)
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// yieldToScheduler suspends the calling process until re-dispatched.
+// Must be called from p's own goroutine while it is the running process.
+func (p *Proc) yieldToScheduler() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process by d virtual nanoseconds.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	e := p.env
+	e.Schedule(e.now+d, func() { e.dispatch(p) })
+	p.yieldToScheduler()
+}
+
+// block suspends the process on an external condition. The waker must
+// eventually call wake (via scheduling), or the run ends in deadlock.
+func (p *Proc) block() {
+	p.waiting = true
+	p.env.blocked++
+	p.yieldToScheduler()
+}
+
+// wake schedules p to resume at the current virtual time.
+// Must be called from scheduler context (e.g. inside an event or while
+// another process runs).
+func (p *Proc) wake() {
+	if !p.waiting {
+		panic("sim: waking a process that is not blocked: " + p.name)
+	}
+	p.waiting = false
+	p.env.blocked--
+	p.env.Schedule(p.env.now, func() { p.env.dispatch(p) })
+}
+
+// A Signal is a one-shot level-triggered condition. Waiting on a fired
+// signal returns immediately; firing wakes all current waiters.
+type Signal struct {
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal.
+func NewSignal() *Signal { return &Signal{} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Wait blocks p until the signal fires.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.block()
+}
+
+// Fire marks the signal fired and wakes all waiters. Firing twice panics:
+// a signal represents the completion of exactly one transaction.
+func (s *Signal) Fire() {
+	if s.fired {
+		panic("sim: signal fired twice")
+	}
+	s.fired = true
+	for _, p := range s.waiters {
+		p.wake()
+	}
+	s.waiters = nil
+}
+
+// A Counter is a counting semaphore used for "wait until N things have
+// arrived" conditions (e.g. the protocol's ready_to_recv). Add may be
+// called before or after WaitFor.
+type Counter struct {
+	have   int64
+	need   int64
+	waiter *Proc
+}
+
+// NewCounter returns a counter at zero.
+func NewCounter() *Counter { return &Counter{} }
+
+// Value returns the accumulated count.
+func (c *Counter) Value() int64 { return c.have }
+
+// Add increments the count and wakes a waiter whose target is reached.
+func (c *Counter) Add(n int64) {
+	c.have += n
+	if c.waiter != nil && c.have >= c.need {
+		w := c.waiter
+		c.waiter = nil
+		w.wake()
+	}
+}
+
+// WaitFor blocks p until the counter has reached at least need since the
+// counter's creation (or last Reset). Only one process may wait at a time.
+func (c *Counter) WaitFor(p *Proc, need int64) {
+	if c.have >= need {
+		return
+	}
+	if c.waiter != nil {
+		panic("sim: Counter supports a single waiter")
+	}
+	c.need = need
+	c.waiter = p
+	p.block()
+}
+
+// Reset returns the counter to zero. It panics if a process is waiting.
+func (c *Counter) Reset() {
+	if c.waiter != nil {
+		panic("sim: resetting a Counter with a waiter")
+	}
+	c.have = 0
+}

@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if order[i] != i {
+			t.Fatalf("same-time events out of issue order at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEnv()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessSleep(t *testing.T) {
+	e := NewEnv()
+	var times []Time
+	e.Spawn("sleeper", func(p *Proc) {
+		times = append(times, p.Now())
+		p.Sleep(100)
+		times = append(times, p.Now())
+		p.Sleep(50)
+		times = append(times, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 100, 150}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	e := NewEnv()
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			trace = append(trace, "a")
+			p.Sleep(10)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			trace = append(trace, "b")
+			p.Sleep(10)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSignalWakesWaiters(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal()
+	var woke []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("waiter", func(p *Proc) {
+			s.Wait(p)
+			woke = append(woke, p.Now())
+		})
+	}
+	e.Schedule(500, func() { s.Fire() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(woke))
+	}
+	for _, w := range woke {
+		if w != 500 {
+			t.Fatalf("waiter woke at %d, want 500", w)
+		}
+	}
+	if !s.Fired() {
+		t.Fatal("signal not marked fired")
+	}
+}
+
+func TestSignalWaitAfterFireReturnsImmediately(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal()
+	s.Fire()
+	var at Time = -1
+	e.Spawn("late", func(p *Proc) {
+		p.Sleep(42)
+		s.Wait(p)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 42 {
+		t.Fatalf("late waiter resumed at %d, want 42", at)
+	}
+}
+
+func TestSignalDoubleFirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double fire did not panic")
+		}
+	}()
+	s := NewSignal()
+	s.Fire()
+	s.Fire()
+}
+
+func TestCounterWaitFor(t *testing.T) {
+	e := NewEnv()
+	c := NewCounter()
+	var doneAt Time = -1
+	e.Spawn("recv", func(p *Proc) {
+		c.WaitFor(p, 3)
+		doneAt = p.Now()
+	})
+	e.Schedule(10, func() { c.Add(1) })
+	e.Schedule(20, func() { c.Add(1) })
+	e.Schedule(30, func() { c.Add(1) })
+	e.Schedule(40, func() { c.Add(1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 30 {
+		t.Fatalf("counter satisfied at %d, want 30", doneAt)
+	}
+	if c.Value() != 4 {
+		t.Fatalf("counter value %d, want 4", c.Value())
+	}
+}
+
+func TestCounterSatisfiedBeforeWait(t *testing.T) {
+	e := NewEnv()
+	c := NewCounter()
+	c.Add(5)
+	ran := false
+	e.Spawn("recv", func(p *Proc) {
+		c.WaitFor(p, 5)
+		ran = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("waiter never resumed despite satisfied counter")
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	c := NewCounter()
+	c.Add(7)
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("value after reset = %d", c.Value())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal()
+	e.Spawn("stuck", func(p *Proc) {
+		s.Wait(p) // never fired
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEnv()
+	var fired []Time
+	e.Schedule(10, func() { fired = append(fired, 10) })
+	e.Schedule(100, func() { fired = append(fired, 100) })
+	e.RunUntil(50)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired = %v, want [10]", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", e.Now())
+	}
+	e.RunUntil(200)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want two events", fired)
+	}
+}
+
+func TestNestedSpawnFromProcess(t *testing.T) {
+	e := NewEnv()
+	var childAt Time = -1
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(5)
+		e.Spawn("child", func(q *Proc) {
+			q.Sleep(7)
+			childAt = q.Now()
+		})
+		p.Sleep(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 12 {
+		t.Fatalf("child finished at %d, want 12", childAt)
+	}
+}
+
+func TestAfterRelativeScheduling(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.Schedule(40, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 45 {
+		t.Fatalf("After fired at %d, want 45", at)
+	}
+}
+
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEnv()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(1, fn)
+		}
+	}
+	e.After(1, fn)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkProcessContextSwitch(b *testing.B) {
+	e := NewEnv()
+	e.Spawn("switcher", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestPropertyHeapOrdering(t *testing.T) {
+	// Events scheduled in arbitrary order fire in nondecreasing time,
+	// ties broken by issue order.
+	e := NewEnv()
+	type fired struct {
+		t   Time
+		seq int
+	}
+	var log []fired
+	seq := 0
+	times := []Time{50, 10, 90, 10, 50, 0, 70, 10}
+	for _, tm := range times {
+		tm := tm
+		s := seq
+		seq++
+		e.Schedule(tm, func() { log = append(log, fired{tm, s}) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].t < log[i-1].t {
+			t.Fatalf("time went backwards: %v", log)
+		}
+		if log[i].t == log[i-1].t && log[i].seq < log[i-1].seq {
+			t.Fatalf("tie broken out of issue order: %v", log)
+		}
+	}
+	if len(log) != len(times) {
+		t.Fatalf("fired %d of %d", len(log), len(times))
+	}
+}

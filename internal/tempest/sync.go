@@ -1,0 +1,182 @@
+package tempest
+
+import (
+	"fmt"
+	"math"
+
+	"hpfdsm/internal/network"
+	"hpfdsm/internal/sim"
+)
+
+// ReduceOp identifies a reduction operator; it travels in reduction
+// messages so the master can combine contributions that arrive before
+// its own compute process enters the reduction.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (o ReduceOp) String() string {
+	switch o {
+	case OpSum:
+		return "SUM"
+	case OpMax:
+		return "MAX"
+	case OpMin:
+		return "MIN"
+	default:
+		return fmt.Sprintf("ReduceOp(%d)", int(o))
+	}
+}
+
+// Combine applies the operator.
+func (o ReduceOp) Combine(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	default:
+		panic("tempest: unknown reduce op")
+	}
+}
+
+type barrierState struct {
+	arrived int
+}
+
+type reduceState struct {
+	arrived int
+	acc     float64
+	gen     int64
+}
+
+func (c *Cluster) installSync() {
+	master := c.Nodes[0]
+	master.On(KindBarrierArrive, func(hc *HContext, m *network.Message) {
+		hc.AddCost(c.MC.BarrierEntry)
+		c.barrierArrived()
+	})
+	master.On(KindReduceContrib, func(hc *HContext, m *network.Message) {
+		hc.AddCost(c.MC.BarrierEntry)
+		c.reduceArrived(m.Arg2, ReduceOp(m.Addr), math.Float64frombits(uint64(m.Arg)))
+	})
+	for _, n := range c.Nodes {
+		n := n
+		n.On(KindBarrierRelease, func(hc *HContext, m *network.Message) {
+			hc.AddCost(c.MC.BarrierEntry)
+			c.releaseParked(n)
+		})
+		n.On(KindReduceResult, func(hc *HContext, m *network.Message) {
+			hc.AddCost(c.MC.BarrierEntry)
+			n.reduceResult = math.Float64frombits(uint64(m.Arg))
+			c.releaseParked(n)
+		})
+	}
+}
+
+func (c *Cluster) releaseParked(n *Node) {
+	if n.parked == nil {
+		panic(fmt.Sprintf("tempest: release for node %d with no parked process", n.ID))
+	}
+	s := n.parked
+	n.parked = nil
+	s.Fire()
+}
+
+func (c *Cluster) barrierArrived() {
+	c.barrier.arrived++
+	if c.barrier.arrived < len(c.Nodes) {
+		return
+	}
+	c.barrier.arrived = 0
+	master := c.Nodes[0]
+	for _, n := range c.Nodes {
+		if n.ID == 0 {
+			c.releaseParked(n)
+			continue
+		}
+		master.OccupyProto(c.MC.SendOver)
+		c.Net.Send(&network.Message{Src: 0, Dst: n.ID, Kind: KindBarrierRelease, Size: 4})
+	}
+}
+
+// Barrier enters a cluster-wide barrier from node n's compute process.
+// Per the release-consistency contract, n's in-flight transactions are
+// drained first.
+func (c *Cluster) Barrier(p *sim.Proc, n *Node) {
+	n.WaitPending(p)
+	n.Compute(c.MC.BarrierEntry)
+	n.Sync(p)
+	start := p.Now()
+	n.parked = sim.NewSignal()
+	sig := n.parked
+	if n.ID == 0 {
+		c.barrierArrived()
+	} else {
+		n.SendFromCompute(&network.Message{Dst: 0, Kind: KindBarrierArrive, Size: 4})
+		n.Sync(p)
+	}
+	sig.Wait(p)
+	n.St.BarrierTime += p.Now() - start
+}
+
+func (c *Cluster) reduceArrived(gen int64, op ReduceOp, v float64) {
+	if gen != c.reduce.gen {
+		panic(fmt.Sprintf("tempest: reduction generation mismatch: got %d want %d", gen, c.reduce.gen))
+	}
+	if c.reduce.arrived == 0 {
+		c.reduce.acc = v
+	} else {
+		c.reduce.acc = op.Combine(c.reduce.acc, v)
+	}
+	c.reduce.arrived++
+	if c.reduce.arrived < len(c.Nodes) {
+		return
+	}
+	result := c.reduce.acc
+	c.reduce.arrived = 0
+	c.reduce.gen++
+	master := c.Nodes[0]
+	bits := int64(math.Float64bits(result))
+	for _, n := range c.Nodes {
+		if n.ID == 0 {
+			n.reduceResult = result
+			c.releaseParked(n)
+			continue
+		}
+		master.OccupyProto(c.MC.SendOver)
+		c.Net.Send(&network.Message{Src: 0, Dst: n.ID, Kind: KindReduceResult, Arg: bits, Size: 12})
+	}
+}
+
+// AllReduce combines each node's partial value with op and returns the
+// global result to every node; like the paper's SUM reductions it is
+// implemented with low-level messages and doubles as a barrier. All
+// compute processes must call it in the same order.
+func (c *Cluster) AllReduce(p *sim.Proc, n *Node, op ReduceOp, v float64) float64 {
+	n.WaitPending(p)
+	n.Compute(c.MC.BarrierEntry)
+	n.Sync(p)
+	start := p.Now()
+	n.parked = sim.NewSignal()
+	sig := n.parked
+	if n.ID == 0 {
+		c.reduceArrived(c.reduce.gen, op, v)
+	} else {
+		n.SendFromCompute(&network.Message{
+			Dst: 0, Kind: KindReduceContrib,
+			Addr: int(op), Arg: int64(math.Float64bits(v)), Arg2: c.reduce.gen, Size: 12,
+		})
+		n.Sync(p)
+	}
+	sig.Wait(p)
+	n.St.BarrierTime += p.Now() - start
+	return n.reduceResult
+}

@@ -1,0 +1,344 @@
+// Package tempest models the Tempest substrate's node: a compute
+// processor running the application, a protocol engine executing
+// user-level active-message handlers, fine-grain access faults, and the
+// cluster-wide synchronization primitives (barriers and reductions)
+// built from low-level messages.
+//
+// CPU model. Each node has one compute processor. Protocol handlers run
+// either on a dedicated second processor (DualCPU) or steal cycles from
+// the compute processor (SingleCPU). The compute process accumulates
+// simulated work locally (Compute) and synchronizes with the event
+// queue only at blocking points — faults, protocol calls, barriers —
+// which keeps the event count proportional to communication, not to
+// floating-point operations.
+package tempest
+
+import (
+	"fmt"
+
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/memory"
+	"hpfdsm/internal/network"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/stats"
+)
+
+// Message kinds reserved by the tempest layer for synchronization.
+// Coherence protocols use kinds below 200.
+const (
+	KindBarrierArrive network.Kind = 200 + iota
+	KindBarrierRelease
+	KindReduceContrib
+	KindReduceResult
+)
+
+// HContext is passed to active-message handlers. Handlers perform their
+// state transitions immediately and account CPU cost through the
+// context; the node's protocol engine stays busy for the total cost.
+type HContext struct {
+	Node *Node
+	cost sim.Time
+}
+
+// AddCost charges d of protocol-engine time to this handler execution.
+func (c *HContext) AddCost(d sim.Time) { c.cost += d }
+
+// Send transmits a message from this handler, charging SendOver.
+func (c *HContext) Send(m *network.Message) {
+	c.cost += c.Node.MC.SendOver
+	m.Src = c.Node.ID
+	c.Node.Net.Send(m)
+}
+
+// Handler is a user-level active-message handler.
+type Handler func(c *HContext, m *network.Message)
+
+// FaultFn resolves an access fault for the compute process; it must
+// block p until the access can be retried successfully. Installed by
+// the coherence protocol.
+type FaultFn func(p *sim.Proc, addr int, write bool)
+
+// Node is one cluster node.
+type Node struct {
+	ID  int
+	Env *sim.Env
+	Net *network.Network
+	Mem *memory.NodeMem
+	MC  config.Machine
+	St  *stats.Node
+
+	Fault FaultFn
+
+	handlers map[network.Kind]Handler
+
+	protoFree sim.Time // protocol engine next-free time
+	stolen    sim.Time // handler time not yet charged to compute (SingleCPU)
+	acc       sim.Time // accumulated un-synced compute time
+
+	pending    int // outstanding non-blocking transactions (e.g. upgrades)
+	pendingSig *sim.Signal
+
+	parked       *sim.Signal // compute process parked at a barrier/reduction
+	reduceResult float64     // result delivered by KindReduceResult
+
+	proc *sim.Proc // the node's compute process, set by SetProc
+}
+
+// SetProc binds the node's compute process.
+func (n *Node) SetProc(p *sim.Proc) { n.proc = p }
+
+// Proc returns the node's compute process.
+func (n *Node) Proc() *sim.Proc { return n.proc }
+
+// On registers the handler for a message kind.
+func (n *Node) On(k network.Kind, h Handler) {
+	if _, dup := n.handlers[k]; dup {
+		panic(fmt.Sprintf("tempest: duplicate handler for kind %d on node %d", k, n.ID))
+	}
+	n.handlers[k] = h
+}
+
+// receive is the network endpoint: it queues the message on the
+// protocol engine and runs the registered handler with RecvOver plus
+// the handler's own cost.
+func (n *Node) receive(m *network.Message) {
+	start := n.Env.Now()
+	if n.protoFree > start {
+		start = n.protoFree
+	}
+	// Reserve a minimal slot now; the real cost is known after the
+	// handler body runs at start.
+	n.protoFree = start + n.MC.RecvOver
+	n.Env.Schedule(start, func() {
+		h, ok := n.handlers[m.Kind]
+		if !ok {
+			panic(fmt.Sprintf("tempest: node %d has no handler for kind %d", n.ID, m.Kind))
+		}
+		c := &HContext{Node: n}
+		h(c, m)
+		// The engine stays busy for the receive overhead plus the
+		// handler's declared cost (the body may also have extended
+		// protoFree directly via OccupyProto).
+		base := start + n.MC.RecvOver
+		if n.protoFree < base {
+			n.protoFree = base
+		}
+		n.protoFree += c.cost
+		if n.MC.CPUMode == config.SingleCPU {
+			n.stolen += n.MC.RecvOver + c.cost
+			n.St.StolenTime += n.MC.RecvOver + c.cost
+		}
+	})
+}
+
+// SendFromCompute transmits a message from the compute processor,
+// charging SendOver to compute time.
+func (n *Node) SendFromCompute(m *network.Message) {
+	m.Src = n.ID
+	n.Compute(n.MC.SendOver)
+	n.Net.Send(m)
+}
+
+// ProtoBusyUntil returns when the protocol engine frees up (used by the
+// protocol layer to model occupancy for locally initiated actions).
+func (n *Node) ProtoBusyUntil() sim.Time { return n.protoFree }
+
+// SendFromProto transmits a message from the protocol engine: it
+// charges SendOver and the message departs when the engine's queued
+// work (including this send) completes — replies leave after the
+// handler processing they conclude, preserving per-destination order.
+func (n *Node) SendFromProto(m *network.Message) {
+	m.Src = n.ID
+	n.OccupyProto(n.MC.SendOver)
+	depart := n.protoFree
+	if depart <= n.Env.Now() {
+		n.Net.Send(m)
+		return
+	}
+	n.Env.Schedule(depart, func() { n.Net.Send(m) })
+}
+
+// OccupyProto keeps the protocol engine busy for d more time.
+func (n *Node) OccupyProto(d sim.Time) {
+	start := n.Env.Now()
+	if n.protoFree > start {
+		start = n.protoFree
+	}
+	n.protoFree = start + d
+	if n.MC.CPUMode == config.SingleCPU {
+		n.stolen += d
+		n.St.StolenTime += d
+	}
+}
+
+// StealCompute charges d to the compute processor regardless of CPU
+// mode (used by runtimes whose receive processing runs on the compute
+// processor, like the ported PGI message-passing layer).
+func (n *Node) StealCompute(d sim.Time) {
+	n.stolen += d
+	n.St.StolenTime += d
+}
+
+// --- Compute-side time accounting -----------------------------------
+
+// Compute accumulates d of application work on the compute processor.
+// Cheap: no event-queue interaction until Sync.
+func (n *Node) Compute(d sim.Time) { n.acc += d }
+
+// Sync advances virtual time by all accumulated compute work plus any
+// time stolen by handlers. Must be called from the node's compute
+// process before any blocking operation.
+func (n *Node) Sync(p *sim.Proc) {
+	d := n.acc + n.stolen
+	n.St.ComputeTime += n.acc
+	n.acc = 0
+	n.stolen = 0
+	if d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// BlockOn syncs and then blocks the compute process on sig, charging
+// the blocked time to communication.
+func (n *Node) BlockOn(p *sim.Proc, sig *sim.Signal) {
+	n.Sync(p)
+	start := p.Now()
+	sig.Wait(p)
+	n.St.CommTime += p.Now() - start
+}
+
+// --- Pending-transaction tracking (release consistency) -------------
+
+// AddPending records a non-blocking transaction in flight.
+func (n *Node) AddPending() { n.pending++ }
+
+// DonePending completes one in-flight transaction.
+func (n *Node) DonePending() {
+	n.pending--
+	if n.pending < 0 {
+		panic("tempest: pending transaction count went negative")
+	}
+	if n.pending == 0 && n.pendingSig != nil {
+		s := n.pendingSig
+		n.pendingSig = nil
+		s.Fire()
+	}
+}
+
+// Pending returns the number of in-flight transactions.
+func (n *Node) Pending() int { return n.pending }
+
+// WaitPending blocks until all in-flight transactions complete. Called
+// at synchronization points per the release-consistency model.
+func (n *Node) WaitPending(p *sim.Proc) {
+	n.Sync(p)
+	if n.pending == 0 {
+		return
+	}
+	if n.pendingSig == nil {
+		n.pendingSig = sim.NewSignal()
+	}
+	start := p.Now()
+	n.pendingSig.Wait(p)
+	n.St.CommTime += p.Now() - start
+}
+
+// --- Memory access with fine-grain checks ---------------------------
+
+// LoadF64 performs a checked shared-memory load, invoking the fault
+// handler (and charging the stall to communication) on an invalid block.
+func (n *Node) LoadF64(p *sim.Proc, addr int) float64 {
+	if !n.Mem.CheckLoad(addr) {
+		n.St.ReadMisses++
+		n.fault(p, addr, false)
+	}
+	return n.Mem.ReadF64(addr)
+}
+
+// StoreF64 performs a checked shared-memory store.
+func (n *Node) StoreF64(p *sim.Proc, addr int, v float64) {
+	if !n.Mem.CheckStore(addr) {
+		if n.Mem.Tag(n.Mem.Space().Block(addr)) == memory.ReadOnly {
+			n.St.UpgradeMisses++
+		} else {
+			n.St.WriteMisses++
+		}
+		n.fault(p, addr, true)
+	}
+	n.Mem.WriteF64(addr, v)
+}
+
+func (n *Node) fault(p *sim.Proc, addr int, write bool) {
+	if n.Fault == nil {
+		panic(fmt.Sprintf("tempest: node %d access fault at %#x with no protocol installed", n.ID, addr))
+	}
+	n.Sync(p)
+	start := p.Now()
+	// Access rights can be snatched between the grant and the retried
+	// access (e.g. an invalidation racing a write grant); like real
+	// fine-grain systems, the access simply faults again. Bound the
+	// retries to catch protocol livelock in tests.
+	for try := 0; ; try++ {
+		n.Fault(p, addr, write)
+		if write && n.Mem.CheckStore(addr) || !write && n.Mem.CheckLoad(addr) {
+			break
+		}
+		if try == 64 {
+			panic(fmt.Sprintf("tempest: node %d livelocked faulting on %v of %#x (tag %v)",
+				n.ID, accessName(write), addr, n.Mem.Tag(n.Mem.Space().Block(addr))))
+		}
+	}
+	stall := p.Now() - start
+	n.St.CommTime += stall
+	n.St.RecordMissLatency(stall)
+}
+
+func accessName(write bool) string {
+	if write {
+		return "store"
+	}
+	return "load"
+}
+
+// --- Cluster ---------------------------------------------------------
+
+// Cluster assembles the environment, network, and nodes of one
+// simulated machine.
+type Cluster struct {
+	Env   *sim.Env
+	MC    config.Machine
+	Space *memory.Space
+	Net   *network.Network
+	Nodes []*Node
+	Stats *stats.Cluster
+
+	// TimerStart is the measured region's start (set by the runtime's
+	// StartTimer statement; zero if the whole run is measured).
+	TimerStart sim.Time
+
+	barrier barrierState
+	reduce  reduceState
+}
+
+// NewCluster builds a cluster over an already-laid-out address space.
+func NewCluster(env *sim.Env, sp *memory.Space) *Cluster {
+	mc := sp.Machine()
+	st := stats.New(mc.Nodes)
+	net := network.New(env, mc, st)
+	c := &Cluster{Env: env, MC: mc, Space: sp, Net: net, Stats: st}
+	for i := 0; i < mc.Nodes; i++ {
+		n := &Node{
+			ID:       i,
+			Env:      env,
+			Net:      net,
+			Mem:      memory.NewNodeMem(sp, i),
+			MC:       mc,
+			St:       &st.Nodes[i],
+			handlers: make(map[network.Kind]Handler),
+		}
+		net.Bind(i, n.receive)
+		c.Nodes = append(c.Nodes, n)
+	}
+	c.installSync()
+	return c
+}
