@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The sim kernel hands control between goroutines through unbuffered
+# channels; the race detector is the proof that the one-runnable-
+# goroutine discipline holds everywhere, including the fault-injection
+# and reliable-delivery layer.
+race:
+	$(GO) test -race ./...
+
+# Everything the CI gate runs.
+check: build vet test race
+
+bench:
+	$(GO) run ./cmd/paperbench -size scaled
+
+fmt:
+	gofmt -w .

@@ -53,6 +53,12 @@ func main() {
 	blockSize := flag.Int("block", 128, "coherence block size in bytes")
 	machineFile := flag.String("machine", "", "JSON file overriding the machine configuration (fields of config.Machine)")
 	showStats := flag.Bool("stats", false, "print per-node statistics")
+	drop := flag.Float64("drop", 0, "fault injection: probability a transmission is lost (0..1)")
+	dup := flag.Float64("dup", 0, "fault injection: probability a transmission is duplicated (0..1)")
+	jitter := flag.Int64("jitter", 0, "fault injection: max extra per-message delay in microseconds")
+	reorder := flag.Float64("reorder", 0, "fault injection: probability a message is delayed past later traffic (0..1)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injection PRNG seed")
+	check := flag.Bool("check", false, "audit coherence invariants at every barrier and reduction")
 	profile := flag.Bool("profile", false, "print a per-loop time profile")
 	gantt := flag.Int("gantt", 0, "print an ASCII timeline this many characters wide (implies -profile)")
 	profileJSON := flag.String("profile-json", "", "write the per-loop profile as JSON to this file (implies -profile)")
@@ -126,7 +132,16 @@ func main() {
 	default:
 		fail(fmt.Errorf("-cpus must be 1 or 2"))
 	}
-	opts := runtime.Options{Machine: mc, Opt: opt,
+	if *drop != 0 || *dup != 0 || *jitter != 0 || *reorder != 0 {
+		f := mc.Faults
+		f.Drop = *drop
+		f.Dup = *dup
+		f.Jitter = *jitter * 1000 // µs -> ns
+		f.Reorder = *reorder
+		f.Seed = *faultSeed
+		mc = mc.WithFaults(f)
+	}
+	opts := runtime.Options{Machine: mc, Opt: opt, Check: *check,
 		Profile: *profile || *gantt > 0 || *profileJSON != ""}
 	if *backend == "mp" {
 		opts.Backend = runtime.MessagePassing
@@ -142,6 +157,10 @@ func main() {
 	fmt.Printf("program   %s\n", prog.Name)
 	fmt.Printf("machine   %d node(s), %s, %dB blocks, backend %v, opt %v\n",
 		mc.Nodes, mc.CPUMode, mc.BlockSize, opts.Backend, opt)
+	if f := mc.Faults; f.Active() {
+		fmt.Printf("faults    drop=%.2g dup=%.2g jitter=%dus reorder=%.2g seed=%d\n",
+			f.Drop, f.Dup, f.Jitter/1000, f.Reorder, f.Seed)
+	}
 	fmt.Printf("elapsed   %.3f ms (simulated)\n", float64(res.Elapsed)/1e6)
 	fmt.Printf("misses    %d total (%.1f per node)\n", res.Stats.TotalMisses(), res.Stats.AvgMissesPerNode())
 	fmt.Printf("messages  %d (%.1f KB)\n", res.Stats.TotalMessages(), float64(res.Stats.TotalBytes())/1024)
@@ -150,6 +169,12 @@ func main() {
 	if p50 := res.Stats.MissLatencyPercentile(0.5); p50 > 0 {
 		fmt.Printf("miss lat  p50 < %.0f us, p95 < %.0f us\n",
 			p50, res.Stats.MissLatencyPercentile(0.95))
+	}
+	if fs := res.Stats.FaultSummary(); fs != "" {
+		fmt.Printf("reliable  %s\n", fs)
+	}
+	if *check {
+		fmt.Printf("checks    %d coherence audits passed (every barrier/reduction)\n", res.BarrierChecks)
 	}
 	if len(res.Scalars) > 0 {
 		fmt.Printf("scalars   %v\n", res.Scalars)

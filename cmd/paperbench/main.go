@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, table1, table2, fig3, table3, fig4, pre, blocksize, prefetch, consistency, distribution, irregular, network")
+	exp := flag.String("exp", "all", "experiment: all, fig1, table1, table2, fig3, table3, fig4, pre, blocksize, prefetch, consistency, distribution, irregular, network, faults")
 	size := flag.String("size", "bench", "problem sizes: bench, paper, scaled")
 	nodes := flag.Int("nodes", 8, "cluster size for suite experiments")
 	verbose := flag.Bool("v", false, "log each run")
@@ -118,6 +118,13 @@ func main() {
 				os.Exit(1)
 			}
 			show(name, out)
+		case "faults":
+			out, err := bench.Faults(sizing)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			show(name, out)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -125,7 +132,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, e := range []string{"table1", "fig1", "table2", "fig3", "table3", "fig4", "pre", "blocksize", "prefetch", "consistency", "distribution", "irregular", "network"} {
+		for _, e := range []string{"table1", "fig1", "table2", "fig3", "table3", "fig4", "pre", "blocksize", "prefetch", "consistency", "distribution", "irregular", "network", "faults"} {
 			run(e)
 		}
 		return

@@ -62,6 +62,103 @@ func (m CPUMode) String() string {
 	}
 }
 
+// Faults configures the unreliable-network fault-injection layer and
+// the reliable-delivery protocol that compensates for it. All rates are
+// probabilities in [0, 1) applied independently to every wire
+// transmission (including retransmissions and acknowledgements), drawn
+// from a PRNG seeded with Seed — the same seed always yields the same
+// schedule. The zero value disables fault injection entirely and the
+// network behaves exactly like the paper's lossless Myrinet.
+type Faults struct {
+	Drop    float64  // probability a transmission is lost
+	Dup     float64  // probability a transmission is duplicated in flight
+	Jitter  sim.Time // max uniform extra delivery delay per transmission
+	Reorder float64  // probability of an additional large delay that reorders across pairs
+	Seed    uint64   // PRNG seed (seed 0 is valid and deterministic too)
+
+	// Reliable-delivery tuning; zero values select the defaults noted.
+	RetransmitTimeout sim.Time // initial per-message retransmit timeout (default 500 µs)
+	MaxBackoff        sim.Time // exponential-backoff clamp (default 4 ms)
+	AckDelay          sim.Time // ACK coalescing window (default 20 µs)
+	MaxRetries        int      // retransmissions before giving up (0 = retry forever)
+
+	// WatchdogHorizon is the virtual-time span without compute-process
+	// progress after which the runtime's stall watchdog aborts the run
+	// with a diagnostic dump (default 50 ms; it must comfortably exceed
+	// the worst plausible backoff chain so it never fires spuriously).
+	WatchdogHorizon sim.Time
+}
+
+// Active reports whether any fault kind is enabled. The reliable
+// delivery layer (sequence numbers, ACKs, retransmission) engages only
+// when faults are active, so a fault-free configuration is bit-identical
+// to the original lossless network.
+func (f Faults) Active() bool {
+	return f.Drop > 0 || f.Dup > 0 || f.Jitter > 0 || f.Reorder > 0
+}
+
+// Reliable-delivery defaults (see Faults).
+const (
+	DefaultRetransmitTimeout = 500 * sim.Microsecond
+	DefaultMaxBackoff        = 4 * sim.Millisecond
+	DefaultAckDelay          = 20 * sim.Microsecond
+	DefaultWatchdogHorizon   = 50 * sim.Millisecond
+)
+
+// EffectiveRetransmitTimeout returns RetransmitTimeout or its default.
+func (f Faults) EffectiveRetransmitTimeout() sim.Time {
+	if f.RetransmitTimeout > 0 {
+		return f.RetransmitTimeout
+	}
+	return DefaultRetransmitTimeout
+}
+
+// EffectiveMaxBackoff returns MaxBackoff or its default.
+func (f Faults) EffectiveMaxBackoff() sim.Time {
+	if f.MaxBackoff > 0 {
+		return f.MaxBackoff
+	}
+	return DefaultMaxBackoff
+}
+
+// EffectiveAckDelay returns AckDelay or its default.
+func (f Faults) EffectiveAckDelay() sim.Time {
+	if f.AckDelay > 0 {
+		return f.AckDelay
+	}
+	return DefaultAckDelay
+}
+
+// EffectiveWatchdogHorizon returns WatchdogHorizon or its default.
+func (f Faults) EffectiveWatchdogHorizon() sim.Time {
+	if f.WatchdogHorizon > 0 {
+		return f.WatchdogHorizon
+	}
+	return DefaultWatchdogHorizon
+}
+
+// Validate reports fault-configuration errors.
+func (f Faults) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"Drop", f.Drop}, {"Dup", f.Dup}, {"Reorder", f.Reorder}} {
+		if r.v < 0 || r.v >= 1 {
+			return fmt.Errorf("config: fault rate %s=%v outside [0, 1)", r.name, r.v)
+		}
+	}
+	if f.Jitter < 0 {
+		return fmt.Errorf("config: negative fault jitter %d", f.Jitter)
+	}
+	if f.RetransmitTimeout < 0 || f.MaxBackoff < 0 || f.AckDelay < 0 || f.WatchdogHorizon < 0 {
+		return fmt.Errorf("config: negative reliable-delivery timing parameter")
+	}
+	if f.MaxRetries < 0 {
+		return fmt.Errorf("config: negative MaxRetries %d", f.MaxRetries)
+	}
+	return nil
+}
+
 // Machine describes one simulated cluster configuration.
 type Machine struct {
 	Nodes       int         // cluster size
@@ -97,6 +194,10 @@ type Machine struct {
 	MPSendOver    sim.Time
 	MPRecvOver    sim.Time
 	MPPackPerByte sim.Time
+
+	// Faults configures unreliable-network fault injection (off by
+	// default; the paper's Myrinet never drops or reorders messages).
+	Faults Faults
 }
 
 // Default returns the paper's Table 1 cluster, dual-CPU, 8 nodes,
@@ -166,6 +267,9 @@ func (m Machine) WithConsistency(c Consistency) Machine { m.Consistency = c; ret
 // WithBlockSize returns a copy of m with the given coherence block size.
 func (m Machine) WithBlockSize(b int) Machine { m.BlockSize = b; return m }
 
+// WithFaults returns a copy of m with the given fault configuration.
+func (m Machine) WithFaults(f Faults) Machine { m.Faults = f; return m }
+
 // Validate reports configuration errors.
 func (m Machine) Validate() error {
 	switch {
@@ -182,7 +286,7 @@ func (m Machine) Validate() error {
 	case m.WireLatency < 0 || m.NsPerByte < 0:
 		return fmt.Errorf("config: negative network parameters")
 	}
-	return nil
+	return m.Faults.Validate()
 }
 
 // FromJSON reads a Machine from JSON, starting from the default

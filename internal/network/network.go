@@ -29,10 +29,12 @@ type Message struct {
 	Arg2     int64 // protocol-defined
 	Data     []byte
 	Size     int
+	Seq      int64 // reliable-delivery sequence number (0 = unsequenced)
 }
 
 func (m *Message) String() string {
-	return fmt.Sprintf("msg{%d->%d kind=%d addr=%#x size=%d}", m.Src, m.Dst, m.Kind, m.Addr, m.Size)
+	return fmt.Sprintf("msg{%d->%d kind=%d addr=%#x arg=%d arg2=%d seq=%d size=%d}",
+		m.Src, m.Dst, m.Kind, m.Addr, m.Arg, m.Arg2, m.Seq, m.Size)
 }
 
 // Endpoint receives delivered messages; the protocol layer installs one
@@ -40,25 +42,35 @@ func (m *Message) String() string {
 // it is responsible for modeling receive-side CPU occupancy.
 type Endpoint func(m *Message)
 
-// Network connects n endpoints through the simulated wire.
+// Network connects n endpoints through the simulated wire. When the
+// machine's fault configuration is active, every inter-node message
+// travels through the fault-injection layer and the reliable-delivery
+// protocol (see reliable.go); otherwise the wire is the paper's
+// lossless, ordered Myrinet and behavior is bit-identical to the
+// original model.
 type Network struct {
 	env      *sim.Env
 	mc       config.Machine
 	eps      []Endpoint
 	linkFree []sim.Time // sender-link next-free time
 	st       *stats.Cluster
+	rel      *reliable // nil unless fault injection is active
 }
 
 // New creates a network for mc.Nodes endpoints. Endpoints must be bound
 // with Bind before any Send.
 func New(env *sim.Env, mc config.Machine, st *stats.Cluster) *Network {
-	return &Network{
+	n := &Network{
 		env:      env,
 		mc:       mc,
 		eps:      make([]Endpoint, mc.Nodes),
 		linkFree: make([]sim.Time, mc.Nodes),
 		st:       st,
 	}
+	if mc.Faults.Active() {
+		n.rel = newReliable(n, mc.Faults)
+	}
+	return n
 }
 
 // Bind installs the delivery endpoint for node id.
@@ -75,26 +87,52 @@ func (n *Network) Send(m *Message) {
 	if m.Data != nil && m.Size == 0 {
 		m.Size = len(m.Data)
 	}
-	bytes := int64(n.mc.MsgHeader + m.Size)
-	n.st.Nodes[m.Src].MsgsSent++
-	n.st.Nodes[m.Src].BytesSent += bytes
-	n.st.Nodes[m.Dst].MsgsRecv++
-	n.st.Nodes[m.Dst].BytesRecv += bytes
-
 	if m.Src == m.Dst {
-		// Loopback: deliver after local copy time only.
+		// Loopback: deliver after local copy time only. Loopback never
+		// touches the wire, so it bypasses fault injection.
+		n.accountSend(m)
+		n.accountRecv(m)
 		n.env.After(sim.Time(m.Size)*n.mc.NsPerByte/4+1, func() { n.deliver(m) })
 		return
 	}
-	now := n.env.Now()
-	depart := now
+	if n.rel != nil {
+		n.rel.send(m)
+		return
+	}
+	n.accountSend(m)
+	n.accountRecv(m)
+	arrive := n.wireArrival(m)
+	n.env.Schedule(arrive, func() { n.deliver(m) })
+}
+
+// accountSend records one wire transmission in the sender's counters.
+func (n *Network) accountSend(m *Message) {
+	bytes := int64(n.mc.MsgHeader + m.Size)
+	n.st.Nodes[m.Src].MsgsSent++
+	n.st.Nodes[m.Src].BytesSent += bytes
+}
+
+// accountRecv records one wire arrival in the receiver's counters. On
+// the lossless network it is charged at send time (delivery is
+// certain); the fault-injection layer charges it when a transmission
+// actually reaches the destination.
+func (n *Network) accountRecv(m *Message) {
+	bytes := int64(n.mc.MsgHeader + m.Size)
+	n.st.Nodes[m.Dst].MsgsRecv++
+	n.st.Nodes[m.Dst].BytesRecv += bytes
+}
+
+// wireArrival reserves the sender's link for one transmission and
+// returns its arrival time at the destination: serialization behind any
+// queued transmissions plus the wire latency.
+func (n *Network) wireArrival(m *Message) sim.Time {
+	depart := n.env.Now()
 	if n.linkFree[m.Src] > depart {
 		depart = n.linkFree[m.Src]
 	}
 	ser := sim.Time(n.mc.MsgHeader+m.Size) * n.mc.NsPerByte
 	n.linkFree[m.Src] = depart + ser
-	arrive := depart + ser + n.mc.WireLatency
-	n.env.Schedule(arrive, func() { n.deliver(m) })
+	return depart + ser + n.mc.WireLatency
 }
 
 func (n *Network) deliver(m *Message) {
@@ -102,6 +140,11 @@ func (n *Network) deliver(m *Message) {
 	if ep == nil {
 		panic(fmt.Sprintf("network: no endpoint bound for node %d", m.Dst))
 	}
+	// A delivery is forward progress for the stall watchdog even while
+	// every compute process is blocked at a sync point: a long
+	// transaction drain must not be mistaken for a stall. (Duplicates
+	// discarded by the reliable layer never reach this point.)
+	n.env.Progress()
 	ep(m)
 }
 

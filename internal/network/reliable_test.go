@@ -1,0 +1,207 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/stats"
+)
+
+// testNet builds a 2-node network with the given fault config and
+// returns it with a per-node delivery log.
+func faultNet(t *testing.T, f config.Faults) (*sim.Env, *Network, *stats.Cluster, *[][]*Message) {
+	t.Helper()
+	env := sim.NewEnv()
+	mc := config.Default().WithNodes(2).WithFaults(f)
+	st := stats.New(2)
+	n := New(env, mc, st)
+	got := make([][]*Message, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		n.Bind(i, func(m *Message) { got[i] = append(got[i], m) })
+	}
+	return env, n, st, &got
+}
+
+func TestReliableInOrderDelivery(t *testing.T) {
+	// Heavy jitter plus reordering scrambles arrival order; the layer
+	// must still deliver in send order with no losses or duplicates.
+	env, n, st, got := faultNet(t, config.Faults{
+		Drop: 0.2, Dup: 0.1, Jitter: 30 * sim.Microsecond, Reorder: 0.2, Seed: 7,
+	})
+	const N = 500
+	for i := 0; i < N; i++ {
+		n.Send(&Message{Src: 0, Dst: 1, Kind: 1, Arg: int64(i), Size: 16})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len((*got)[1]) != N {
+		t.Fatalf("delivered %d messages, want %d", len((*got)[1]), N)
+	}
+	for i, m := range (*got)[1] {
+		if m.Arg != int64(i) {
+			t.Fatalf("delivery %d has Arg=%d: order violated", i, m.Arg)
+		}
+	}
+	if st.TotalWireDrops() == 0 || st.TotalWireDups() == 0 || st.TotalRetransmits() == 0 {
+		t.Fatalf("fault counters flat: drops=%d dups=%d retransmits=%d",
+			st.TotalWireDrops(), st.TotalWireDups(), st.TotalRetransmits())
+	}
+	if n.DumpChannels() != "" {
+		t.Fatalf("channels not idle after drain:\n%s", n.DumpChannels())
+	}
+}
+
+func TestReliableDedupUnderHeavyDup(t *testing.T) {
+	env, n, st, got := faultNet(t, config.Faults{Dup: 0.99, Seed: 3})
+	const N = 200
+	for i := 0; i < N; i++ {
+		n.Send(&Message{Src: 0, Dst: 1, Kind: 1, Arg: int64(i), Size: 16})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len((*got)[1]) != N {
+		t.Fatalf("delivered %d messages, want exactly %d (idempotent receive)", len((*got)[1]), N)
+	}
+	if st.TotalDupsDropped() == 0 {
+		t.Fatal("expected receive-side dedup discards under Dup=0.99")
+	}
+}
+
+func TestRetransmitTimeoutFiresOncePerWindow(t *testing.T) {
+	// A blackholed link loses every transmission; the retransmit timer
+	// must fire exactly once per backoff window, doubling up to the
+	// clamp.
+	f := config.Faults{
+		Drop: 0.000001, Seed: 1, // activate the layer; effectively lossless
+		RetransmitTimeout: 100 * sim.Microsecond,
+		MaxBackoff:        800 * sim.Microsecond,
+	}
+	env, n, st, _ := faultNet(t, f)
+	n.Blackhole(0, 1)
+	n.Send(&Message{Src: 0, Dst: 1, Kind: 1, Size: 16})
+
+	// Each timer is anchored at its transmission's nominal arrival (one
+	// hop = serialization + wire latency past the moment it got onto the
+	// wire), then fires after the current RTO: 100, 200, 400, then 800us
+	// clamped. Probe just before and just after each deadline: the timer
+	// must fire exactly once per backoff window, doubling up to the
+	// clamp.
+	mc := config.Default()
+	hop := sim.Time(mc.MsgHeader+16)*mc.NsPerByte + mc.WireLatency
+	rto := f.RetransmitTimeout
+	deadline := sim.Time(0)
+	for i := 0; i < 5; i++ {
+		deadline += hop + rto
+		env.RunUntil(deadline - 1)
+		if got := st.TotalRetransmits(); got != int64(i) {
+			t.Fatalf("at t=%dns: %d retransmits, want %d (timer fired early)", deadline-1, got, i)
+		}
+		env.RunUntil(deadline + 1)
+		if got := st.TotalRetransmits(); got != int64(i+1) {
+			t.Fatalf("at t=%dns: %d retransmits, want %d (backoff must double and fire once per window)", deadline+1, got, i+1)
+		}
+		rto *= 2
+		if rto > f.MaxBackoff {
+			rto = f.MaxBackoff
+		}
+	}
+}
+
+func TestRetransmitGivesUpAfterMaxRetries(t *testing.T) {
+	f := config.Faults{
+		Drop: 0.000001, Seed: 1,
+		RetransmitTimeout: 50 * sim.Microsecond,
+		MaxRetries:        3,
+	}
+	env, n, st, _ := faultNet(t, f)
+	n.Blackhole(0, 1)
+	n.Send(&Message{Src: 0, Dst: 1, Kind: 1, Size: 16})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.TotalRetransmits(); got != 3 {
+		t.Fatalf("retransmits = %d, want exactly MaxRetries=3", got)
+	}
+	if got := st.TotalGiveUps(); got != 1 {
+		t.Fatalf("give-ups = %d, want 1", got)
+	}
+	if !strings.Contains(fmt.Sprint(st), "GIVE-UPS") {
+		t.Fatalf("cluster summary does not surface the give-up:\n%s", st)
+	}
+}
+
+func TestAckCoalescing(t *testing.T) {
+	// A burst of messages arriving within one AckDelay window must be
+	// covered by far fewer cumulative ACKs than messages.
+	f := config.Faults{
+		Jitter: 1, Seed: 2, // activate with negligible perturbation
+		AckDelay: 40 * sim.Microsecond,
+	}
+	env, n, st, got := faultNet(t, f)
+	const N = 50
+	for i := 0; i < N; i++ {
+		n.Send(&Message{Src: 0, Dst: 1, Kind: 1, Size: 16})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len((*got)[1]) != N {
+		t.Fatalf("delivered %d, want %d", len((*got)[1]), N)
+	}
+	acks := st.TotalAcksSent()
+	if acks == 0 || acks > int64(N/4) {
+		t.Fatalf("acks = %d for %d messages; coalescing should cover bursts with few cumulative ACKs", acks, N)
+	}
+	if st.TotalRetransmits() != 0 {
+		t.Fatalf("lossless wire with working ACKs retransmitted %d times", st.TotalRetransmits())
+	}
+}
+
+func TestReliableDeterminism(t *testing.T) {
+	run := func() (string, int64, int64) {
+		env, n, st, got := faultNet(t, config.Faults{
+			Drop: 0.1, Dup: 0.05, Jitter: 10 * sim.Microsecond, Reorder: 0.1, Seed: 42,
+		})
+		for i := 0; i < 300; i++ {
+			src := i % 2
+			n.Send(&Message{Src: src, Dst: 1 - src, Kind: 1, Arg: int64(i), Size: 16})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var sig strings.Builder
+		for i := 0; i < 2; i++ {
+			for _, m := range (*got)[i] {
+				fmt.Fprintf(&sig, "%d:%d;", i, m.Arg)
+			}
+		}
+		return sig.String(), st.TotalRetransmits(), st.TotalWireDrops()
+	}
+	s1, r1, d1 := run()
+	s2, r2, d2 := run()
+	if s1 != s2 || r1 != r2 || d1 != d2 {
+		t.Fatalf("same seed produced different schedules: retransmits %d vs %d, drops %d vs %d",
+			r1, r2, d1, d2)
+	}
+}
+
+func TestZeroFaultConfigIsInert(t *testing.T) {
+	env, n, _, got := faultNet(t, config.Faults{})
+	if n.Unreliable() {
+		t.Fatal("zero-value fault config must not activate the reliable layer")
+	}
+	n.Send(&Message{Src: 0, Dst: 1, Kind: 1, Size: 16})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := (*got)[1][0]
+	if m.Seq != 0 {
+		t.Fatalf("lossless message carries Seq=%d, want 0 (unsequenced)", m.Seq)
+	}
+}

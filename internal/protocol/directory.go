@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	mbits "math/bits"
 
 	"hpfdsm/internal/memory"
 	"hpfdsm/internal/network"
@@ -17,6 +18,14 @@ import (
 type dirEntry struct {
 	sharers uint64
 	writers uint64
+
+	// stale marks nodes whose retained copy may hold stale words: when
+	// a read collects flushes from two or more concurrent writers, each
+	// writer keeps a readonly copy that never saw the *other* writers'
+	// words. The protocol tolerates this (data-race-free programs only
+	// read words they are entitled to), but the invariant checker's
+	// data-agreement audit must not compare those copies against home.
+	stale uint64
 
 	busy    bool
 	cur     *dirReq
@@ -121,8 +130,19 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 
 	switch r.kind {
 	case KReadReq:
+		// If two or more nodes hold modified words (the home's direct
+		// writes count), the readonly copies the flushed writers keep
+		// are mutually stale; record that for the data-agreement audit.
+		holders := e.writers
+		if mem.Dirty(r.block) != 0 {
+			holders |= bit(np.id)
+		}
+		multiWriter := mbits.OnesCount64(holders) >= 2
 		for w := 0; w < len(np.p.nodes); w++ {
 			if e.writers&bit(w) != 0 && w != r.src {
+				if multiWriter && w != np.id {
+					e.stale |= bit(w)
+				}
 				flushWriter(w, false)
 			}
 		}
@@ -161,6 +181,8 @@ func (np *nodeProto) collectDone(b, from int, keeps bool) {
 	e.sharers &^= bit(from)
 	if keeps {
 		e.sharers |= bit(from)
+	} else {
+		e.stale &^= bit(from) // copy invalidated; staleness moot
 	}
 	e.pending--
 	if e.pending > 0 {
@@ -201,6 +223,7 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 	switch r.kind {
 	case KReadReq:
 		e.sharers |= bit(r.src)
+		e.stale &^= bit(r.src) // fresh, fully merged copy
 		if r.local != nil {
 			np.occupy(mc.TagChange)
 			mem.SetTag(r.block, memory.ReadOnly)
@@ -214,6 +237,7 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 	case KWriteReq:
 		e.writers = bit(r.src)
 		e.sharers = 0
+		e.stale = 0 // every other copy was just invalidated
 		if r.local != nil {
 			// Home-local write miss: home memory is the data and the
 			// fault already opened the frame; keep the dirty mask (the
@@ -230,6 +254,11 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 		hadCopy := e.sharers&bit(r.src) != 0 || e.writers&bit(r.src) != 0
 		e.sharers &^= bit(r.src)
 		e.writers |= bit(r.src)
+		if !hadCopy {
+			// The grant ships fresh data; a retained-copy upgrade keeps
+			// whatever staleness the copy already carried.
+			e.stale &^= bit(r.src)
+		}
 		if r.local != nil {
 			r.local(true)
 			return
@@ -246,6 +275,7 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 	case KMkWritableReq:
 		e.writers = bit(r.src)
 		e.sharers = 0
+		e.stale = 0
 		r.agg.blockDone(np, r)
 
 	default:

@@ -372,6 +372,7 @@ func (np *nodeProto) ccFlushDir(start, n, owner, flusher int) {
 		}
 		e.writers = bit(owner)
 		e.sharers = 0
+		e.stale = 0
 	}
 	np.occupy(sim.Time(n) * np.n.MC.TagChange)
 }
@@ -399,6 +400,7 @@ func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, bulk bool, kind 
 	}
 	for _, r := range runs {
 		for b := r.Start; b < r.Start+r.N; b++ {
+			np.ccTouched[b] = true
 			// The contract requires a valid local copy. ReadWrite is the
 			// usual state (mk_writable / steady ownership); ReadOnly can
 			// occur when an advisory prefetch or an edge read downgraded
@@ -434,6 +436,7 @@ func (np *nodeProto) installCC(m *network.Message, markDirty bool) {
 	np.occupy(sim.Time(nb) * np.n.MC.BulkPerBlock)
 	b0 := m.Addr / bs
 	for b := b0; b < b0+nb; b++ {
+		np.ccTouched[b] = true
 		if mem.Tag(b) != memory.ReadWrite {
 			// A frame the receiver once opened may have been torn down
 			// by an eager invalidation racing through an adjacent

@@ -1,16 +1,36 @@
 package protocol
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
+	"strings"
 
 	"hpfdsm/internal/memory"
 )
 
-// CheckInvariants audits the quiescent cluster state (call it after the
-// simulation drains, with no transactions in flight):
+// The invariant audit runs in two modes.
 //
-//  1. No directory entry is mid-transaction (busy, pending work, or a
-//     non-empty wait queue).
+// Quiescent mode (CheckInvariants) assumes the simulation has drained:
+// no transactions are in flight, so a busy directory entry is itself an
+// error and every invariant applies to every block.
+//
+// Barrier mode (CheckAtBarrier) runs at the instant the last node
+// arrives at a barrier or reduction. The release-consistency contract
+// guarantees each node drained its own pending transactions before
+// arriving, but traffic the contract does not track can still be in
+// flight: advisory prefetches, directory transactions started by those
+// prefetches, and the fire-and-forget messages of compiler-directed
+// transfers (send/flush data, KCCFlushDir repoints). Barrier mode
+// therefore skips blocks whose directory entry is mid-transaction and
+// skips the directory/data checks for blocks that ever took part in a
+// compiler-controlled transfer — those blocks' consistency is governed
+// by the Section 4.2 contract, not by the directory.
+//
+// The invariants:
+//
+//  1. (quiescent only) No directory entry is mid-transaction (busy,
+//     pending work, or a non-empty wait queue).
 //  2. A word is dirty at no more than one node (the race-free
 //     multiple-writer discipline).
 //  3. Every node holding dirty words for a block is recorded in the
@@ -20,32 +40,40 @@ import (
 //     unless the copy was installed by an advisory prefetch racing a
 //     later invalidation (readonly copies the directory does not know
 //     about cannot receive invalidations, so this is flagged).
+//  5. Data agreement: every tracked readonly copy matches home memory
+//     on words no node holds dirty. Copies the directory marked stale
+//     (multi-writer flush leftovers, see dirEntry.stale) are exempt.
 //
 // Compiler-controlled frames deliberately violate *tag*/directory
 // correspondence in the readwrite direction (readers hold RW frames the
 // directory never sees), so RW tags without directory entries are legal
 // under the Section 4.2 contract and not flagged.
-func (p *Proto) CheckInvariants() error {
+func (p *Proto) audit(quiescent bool) error {
 	sp := p.C.Space
 	nb := sp.NumBlocks()
+	bs := sp.BlockSize()
 	for b := 0; b < nb; b++ {
-		home := p.nodes[sp.HomeOfBlock(b)]
+		homeID := sp.HomeOfBlock(b)
+		home := p.nodes[homeID]
 		e, ok := home.dir[b]
-		if ok {
-			if e.busy || e.pending != 0 || len(e.waitQ) != 0 || e.cur != nil {
+		if ok && (e.busy || e.pending != 0 || len(e.waitQ) != 0 || e.cur != nil) {
+			if quiescent {
 				return fmt.Errorf("block %d: directory entry not quiescent (busy=%v pending=%d queued=%d)",
 					b, e.busy, e.pending, len(e.waitQ))
 			}
+			continue // mid-transaction at a barrier instant; nothing to audit
 		}
-		var writers uint64
+		var writers, sharers, stale uint64
 		if ok {
 			writers = e.writers
-		}
-		var sharers uint64
-		if ok {
 			sharers = e.sharers
+			stale = e.stale
 		}
-		var dirtyMask uint16
+		cc := p.isCC(b)
+		var dirtyMask, allDirty uint16
+		for _, np := range p.nodes {
+			allDirty |= np.n.Mem.Dirty(b)
+		}
 		for i, np := range p.nodes {
 			d := np.n.Mem.Dirty(b)
 			if d != 0 {
@@ -53,16 +81,98 @@ func (p *Proto) CheckInvariants() error {
 					return fmt.Errorf("block %d: overlapping dirty words across nodes (mask %016b at node %d)", b, d, i)
 				}
 				dirtyMask |= d
-				if writers&bit(i) == 0 && sp.HomeOfBlock(b) != i {
+				if writers&bit(i) == 0 && homeID != i && (quiescent || !cc) {
 					return fmt.Errorf("block %d: node %d holds dirty words but is not a directory writer", b, i)
 				}
 			}
-			if np.n.Mem.Tag(b) == memory.ReadOnly && (writers|sharers)&bit(i) == 0 && sp.HomeOfBlock(b) != i {
-				return fmt.Errorf("block %d: node %d holds an untracked readonly copy", b, i)
+			if np.n.Mem.Tag(b) != memory.ReadOnly || homeID == i {
+				continue
+			}
+			if (writers|sharers)&bit(i) == 0 {
+				if quiescent || !cc {
+					return fmt.Errorf("block %d: node %d holds an untracked readonly copy", b, i)
+				}
+				continue
+			}
+			// Invariant 5: data agreement of the tracked readonly copy.
+			if cc || sharers&bit(i) == 0 || stale&bit(i) != 0 {
+				continue
+			}
+			hd := home.n.Mem.BlockData(b)
+			cd := np.n.Mem.BlockData(b)
+			for w := 0; w < bs/8; w++ {
+				if allDirty&(1<<uint(w)) != 0 {
+					continue // legitimately divergent: someone owns this word
+				}
+				if !bytes.Equal(hd[w*8:w*8+8], cd[w*8:w*8+8]) {
+					return fmt.Errorf("block %d word %d: node %d's readonly copy disagrees with home %d (copy %x, home %x)",
+						b, w, i, homeID, cd[w*8:w*8+8], hd[w*8:w*8+8])
+				}
 			}
 		}
 	}
 	return nil
+}
+
+// isCC reports whether any node ever moved block b through a
+// compiler-controlled transfer (opened a frame, or sent/received it via
+// send/flush). Such blocks' consistency is the Section 4.2 contract's
+// business; directory-based audits skip them at barrier instants.
+func (p *Proto) isCC(b int) bool {
+	for _, np := range p.nodes {
+		if np.ccFrames[b] || np.ccTouched[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckInvariants audits the quiescent cluster state (call it after the
+// simulation drains, with no transactions in flight). See audit.
+func (p *Proto) CheckInvariants() error { return p.audit(true) }
+
+// CheckAtBarrier audits the cluster at a barrier or reduction instant,
+// tolerating traffic that may legally be in flight. See audit.
+func (p *Proto) CheckAtBarrier() error { return p.audit(false) }
+
+// DumpOutstanding renders each node's in-flight protocol work: blocking
+// misses awaiting data, pending non-blocking transactions, unsatisfied
+// compiler-controlled receives, and busy directory entries. Used by the
+// stall watchdog to turn a hang into a diagnosis.
+func (p *Proto) DumpOutstanding() string {
+	var out strings.Builder
+	for _, np := range p.nodes {
+		var lines []string
+		if len(np.fill) > 0 {
+			var blocks []int
+			for b := range np.fill {
+				blocks = append(blocks, b)
+			}
+			sort.Ints(blocks)
+			lines = append(lines, fmt.Sprintf("blocking misses on blocks %v", blocks))
+		}
+		if pend := np.n.Pending(); pend > 0 {
+			lines = append(lines, fmt.Sprintf("%d non-blocking transaction(s) in flight", pend))
+		}
+		if got := np.ccRecv.Value(); got < np.ccExpected {
+			lines = append(lines, fmt.Sprintf("ready_to_recv short: %d/%d cc blocks arrived", got, np.ccExpected))
+		}
+		var busy []int
+		for b, e := range np.dir {
+			if e.busy || len(e.waitQ) > 0 {
+				busy = append(busy, b)
+			}
+		}
+		sort.Ints(busy)
+		for _, b := range busy {
+			e := np.dir[b]
+			lines = append(lines, fmt.Sprintf("directory block %d busy (pending=%d queued=%d)", b, e.pending, len(e.waitQ)))
+		}
+		for _, l := range lines {
+			fmt.Fprintf(&out, "  node %d: %s\n", np.id, l)
+		}
+	}
+	return out.String()
 }
 
 // TagCensus counts block tags across the cluster (diagnostics).

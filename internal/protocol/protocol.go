@@ -79,6 +79,7 @@ type nodeProto struct {
 	mkwCount   *sim.Counter // blocks confirmed for the current mk_writable
 	iwDone     map[[2]int]bool
 	ccFrames   map[int]bool // blocks ever opened by implicit_writable
+	ccTouched  map[int]bool // blocks ever sent/received via send/flush
 
 	// scHold marks blocks between a sequentially-consistent write
 	// grant and the retirement of the blocked store: invalidations and
@@ -96,13 +97,14 @@ func Attach(c *tempest.Cluster) *Proto {
 	for _, n := range c.Nodes {
 		np := &nodeProto{
 			p: p, n: n, id: n.ID,
-			dir:      make(map[int]*dirEntry),
-			fill:     make(map[int]*sim.Signal),
-			scHold:   map[int]bool{},
-			ccFrames: map[int]bool{},
-			ccRecv:   sim.NewCounter(),
-			mkwCount: sim.NewCounter(),
-			iwDone:   make(map[[2]int]bool),
+			dir:       make(map[int]*dirEntry),
+			fill:      make(map[int]*sim.Signal),
+			scHold:    map[int]bool{},
+			ccFrames:  map[int]bool{},
+			ccTouched: map[int]bool{},
+			ccRecv:    sim.NewCounter(),
+			mkwCount:  sim.NewCounter(),
+			iwDone:    make(map[[2]int]bool),
 		}
 		p.nodes = append(p.nodes, np)
 		n.Fault = np.fault

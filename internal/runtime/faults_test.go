@@ -1,0 +1,114 @@
+package runtime
+
+import (
+	"testing"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/sim"
+)
+
+// soak runs one app at scaled size with the given fault config and
+// returns the run result.
+func soak(t *testing.T, a *apps.App, f config.Faults) *Result {
+	t.Helper()
+	prog, err := a.Program(a.ScaledParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := config.Default().WithNodes(4).WithFaults(f)
+	res, err := Run(prog, Options{Machine: mc, Opt: compiler.OptRTElim, Check: true})
+	if err != nil {
+		t.Fatalf("%s under faults %+v: %v", a.Name, f, err)
+	}
+	return res
+}
+
+// TestFaultSoak runs jacobi (regular stencil) and irregular (indirect
+// gather) over a lossy, duplicating wire at several loss rates and
+// seeds, with the barrier-instant coherence audit armed, and demands
+// bit-equal-within-tolerance final arrays against the fault-free run of
+// the same configuration: reliable delivery must make the protocol's
+// results independent of what the wire does.
+func TestFaultSoak(t *testing.T) {
+	suite := []*apps.App{apps.Jacobi(), apps.Irregular()}
+	faults := []config.Faults{
+		{Drop: 0.01, Dup: 0.01},
+		{Drop: 0.05, Dup: 0.02},
+	}
+	for _, a := range suite {
+		ref := soak(t, a, config.Faults{}) // lossless baseline
+		if ref.Stats.TotalWireDrops() != 0 || ref.Stats.TotalRetransmits() != 0 {
+			t.Fatalf("%s: lossless baseline touched the reliable layer", a.Name)
+		}
+		refArrays := map[string][]float64{}
+		for _, name := range a.CheckArrays {
+			refArrays[name] = ref.ArrayData(name)
+		}
+		for _, f := range faults {
+			for seed := uint64(1); seed <= 3; seed++ {
+				f := f
+				f.Seed = seed
+				res := soak(t, a, f)
+				if res.Stats.TotalWireDrops() == 0 {
+					t.Fatalf("%s %+v: fault injection inert", a.Name, f)
+				}
+				if res.BarrierChecks == 0 {
+					t.Fatalf("%s %+v: no barrier audits ran", a.Name, f)
+				}
+				for _, name := range a.CheckArrays {
+					got := res.ArrayData(name)
+					want := refArrays[name]
+					for k := range want {
+						if d := abs(got[k] - want[k]); d > a.Tol {
+							t.Fatalf("%s %+v: %s[%d] = %v, want %v (|diff| %g > tol %g)",
+								a.Name, f, name, k, got[k], want[k], d, a.Tol)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFaultRunsAreDeterministic reruns one faulty configuration and
+// demands an identical schedule: same elapsed virtual time and same
+// fault counters. The whole layer draws from one seeded PRNG.
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	a := apps.Jacobi()
+	f := config.Faults{Drop: 0.05, Dup: 0.02, Jitter: 5 * sim.Microsecond, Reorder: 0.05, Seed: 9}
+	r1 := soak(t, a, f)
+	r2 := soak(t, a, f)
+	if r1.Elapsed != r2.Elapsed {
+		t.Fatalf("elapsed %d vs %d: fault schedule not deterministic", r1.Elapsed, r2.Elapsed)
+	}
+	for _, pair := range [][2]int64{
+		{r1.Stats.TotalWireDrops(), r2.Stats.TotalWireDrops()},
+		{r1.Stats.TotalWireDups(), r2.Stats.TotalWireDups()},
+		{r1.Stats.TotalRetransmits(), r2.Stats.TotalRetransmits()},
+		{r1.Stats.TotalDupsDropped(), r2.Stats.TotalDupsDropped()},
+		{r1.Stats.TotalAcksSent(), r2.Stats.TotalAcksSent()},
+	} {
+		if pair[0] != pair[1] {
+			t.Fatalf("fault counters differ between identical runs: %d vs %d", pair[0], pair[1])
+		}
+	}
+}
+
+// TestZeroFaultRunMatchesSeedModel pins the hard compatibility
+// requirement: with fault injection inactive, message and miss counts
+// are bit-identical to the pre-fault-layer network (the suite's exact
+// count assertions elsewhere depend on it). A fault-free Faults struct
+// with only a seed set must stay inert too.
+func TestZeroFaultRunMatchesSeedModel(t *testing.T) {
+	a := apps.Jacobi()
+	base := soak(t, a, config.Faults{})
+	seedOnly := soak(t, a, config.Faults{Seed: 42})
+	if base.Elapsed != seedOnly.Elapsed ||
+		base.Stats.TotalMessages() != seedOnly.Stats.TotalMessages() ||
+		base.Stats.TotalMisses() != seedOnly.Stats.TotalMisses() {
+		t.Fatalf("seed-only fault config perturbed the run: elapsed %d vs %d, msgs %d vs %d",
+			base.Elapsed, seedOnly.Elapsed, base.Stats.TotalMessages(), seedOnly.Stats.TotalMessages())
+	}
+}

@@ -8,6 +8,7 @@ package runtime
 
 import (
 	"fmt"
+	"strings"
 
 	"hpfdsm/internal/compiler"
 	"hpfdsm/internal/config"
@@ -39,6 +40,11 @@ type Options struct {
 	// the loop's setup — the inspector/executor idea applied to the
 	// paper's future-work benchmark class.
 	InspectIndirect bool
+	// Check audits the coherence invariants (directory state, block
+	// tags, data agreement) at every barrier and reduction instant, in
+	// addition to the always-on post-run quiescent audit. Shared-memory
+	// backend only.
+	Check bool
 }
 
 // Result is the outcome of one simulated run.
@@ -48,6 +54,9 @@ type Result struct {
 	Elapsed sim.Time           // simulated execution time
 	Scalars map[string]float64 // node 0's final scalar values
 	Profile *trace.Profile     // per-loop profile (nil unless requested)
+	// BarrierChecks is how many barrier-instant coherence audits ran
+	// (zero unless Options.Check).
+	BarrierChecks int64
 
 	cluster  *tempest.Cluster
 	analysis *compiler.Analysis
@@ -138,6 +147,14 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	if opt.Backend == MessagePassing {
 		installMP(execs)
 	}
+	if opt.Check && opt.Backend == SharedMemory {
+		cluster.BarrierCheck = proto.CheckAtBarrier
+	}
+	if mc.Faults.Active() {
+		env.SetWatchdog(mc.Faults.EffectiveWatchdogHorizon(), func() string {
+			return watchdogDump(cluster, proto)
+		})
+	}
 	for i := 0; i < mc.Nodes; i++ {
 		e := execs[i]
 		env.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) { e.run(p) })
@@ -145,6 +162,10 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	if err := env.Run(); err != nil {
 		return nil, fmt.Errorf("runtime: %w (program %s)", err, prog.Name)
 	}
+	if err := cluster.CheckErr(); err != nil {
+		return nil, fmt.Errorf("runtime: %w (program %s)", err, prog.Name)
+	}
+	res.BarrierChecks = cluster.BarrierChecks()
 	if opt.Backend == SharedMemory {
 		// Every run is self-auditing: the quiescent coherence state must
 		// satisfy the protocol invariants.
@@ -157,4 +178,34 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 		res.Scalars[k] = v
 	}
 	return res, nil
+}
+
+// watchdogDump assembles the stall diagnostic: each node's compute
+// process state and outstanding transactions, plus the protocol's
+// in-flight work and the reliable-delivery channel state. Runs in
+// scheduler context when the sim watchdog trips.
+func watchdogDump(cluster *tempest.Cluster, proto *protocol.Proto) string {
+	var b strings.Builder
+	for _, n := range cluster.Nodes {
+		state := "running"
+		if p := n.Proc(); p != nil {
+			switch {
+			case p.Done():
+				state = "finished"
+			case p.Waiting():
+				state = "blocked"
+			}
+		}
+		fmt.Fprintf(&b, "  node %d: compute %s, %d pending transaction(s), misses r=%d w=%d up=%d, msgs sent=%d recv=%d\n",
+			n.ID, state, n.Pending(), n.St.ReadMisses, n.St.WriteMisses, n.St.UpgradeMisses, n.St.MsgsSent, n.St.MsgsRecv)
+	}
+	if d := proto.DumpOutstanding(); d != "" {
+		b.WriteString("protocol outstanding work:\n")
+		b.WriteString(d)
+	}
+	if d := cluster.Net.DumpChannels(); d != "" {
+		b.WriteString("reliable-delivery channels:\n")
+		b.WriteString(d)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }

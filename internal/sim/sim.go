@@ -65,7 +65,16 @@ type Env struct {
 	seq     uint64
 	yield   chan struct{} // process -> scheduler handoff
 	blocked int           // processes alive but not schedulable
+	alive   int           // processes spawned and not yet finished
 	procs   []*Proc       // all spawned processes (diagnostics)
+
+	// Stall watchdog (SetWatchdog): if every live process stays blocked
+	// with no dispatch for wdHorizon of virtual time while events keep
+	// firing (e.g. endless retransmission timers), Run aborts with a
+	// diagnostic instead of spinning forever.
+	wdHorizon    Time
+	wdDump       func() string
+	lastProgress Time
 }
 
 // NewEnv returns an empty simulation environment at time zero.
@@ -88,18 +97,68 @@ func (e *Env) Schedule(t Time, fn func()) {
 // After runs fn after delay d.
 func (e *Env) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
 
+// SetWatchdog arms the stall watchdog: Run returns an error if every
+// live process remains blocked on conditions, with no process dispatch,
+// for more than horizon of virtual time while events continue to fire.
+// (An empty event queue with blocked processes is still reported as a
+// deadlock, watchdog or not.) dump, if non-nil, contributes extra
+// diagnostic lines to the error. A horizon of 0 disarms the watchdog.
+func (e *Env) SetWatchdog(horizon Time, dump func() string) {
+	e.wdHorizon = horizon
+	e.wdDump = dump
+}
+
+// Progress records that the simulation made externally visible forward
+// progress (e.g. the network delivered a message to a handler) even
+// though no process was dispatched. It keeps the stall watchdog from
+// firing while long event-level work — such as draining thousands of
+// outstanding protocol transactions — proceeds with every process
+// legitimately blocked at a sync point.
+func (e *Env) Progress() { e.lastProgress = e.now }
+
+// stalled reports whether the watchdog condition holds: armed, every
+// live process condition-blocked (a sleeping or runnable process always
+// has a pending dispatch event, so blocked == alive means none exists),
+// and no dispatch or Progress mark for over a horizon.
+func (e *Env) stalled() bool {
+	return e.wdHorizon > 0 && e.alive > 0 && e.blocked == e.alive &&
+		e.now-e.lastProgress > e.wdHorizon
+}
+
+func (e *Env) stallError() error {
+	msg := fmt.Sprintf("sim: watchdog: no process progress since t=%dns (now t=%dns, horizon %dns): %d process(es) blocked: %s",
+		e.lastProgress, e.now, e.wdHorizon, e.blocked, e.blockedNames())
+	if e.wdDump != nil {
+		if d := e.wdDump(); d != "" {
+			msg += "\n" + d
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}
+
 // Run executes events until the queue is empty. If processes remain
 // blocked with no pending events, Run returns an error describing the
-// deadlock.
+// deadlock; if a watchdog is armed and the simulation stalls (events
+// fire but no process runs past the horizon), Run returns the
+// watchdog's diagnostic.
 func (e *Env) Run() error {
 	for !e.events.empty() {
 		ev := e.events.pop()
 		e.now = ev.t
 		ev.fn()
+		if e.stalled() {
+			return e.stallError()
+		}
 	}
 	if e.blocked > 0 {
-		return fmt.Errorf("sim: deadlock at t=%d: %d process(es) blocked forever: %s",
+		msg := fmt.Sprintf("sim: deadlock at t=%d: %d process(es) blocked forever: %s",
 			e.now, e.blocked, e.blockedNames())
+		if e.wdDump != nil {
+			if d := e.wdDump(); d != "" {
+				msg += "\n" + d
+			}
+		}
+		return fmt.Errorf("%s", msg)
 	}
 	return nil
 }
@@ -148,6 +207,14 @@ type Proc struct {
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
 
+// Waiting reports whether the process is blocked on a condition (not a
+// timer). Scheduler-context diagnostics only.
+func (p *Proc) Waiting() bool { return p.waiting }
+
+// Done reports whether the process has finished. Scheduler-context
+// diagnostics only.
+func (p *Proc) Done() bool { return p.done }
+
 // Env returns the environment the process belongs to.
 func (p *Proc) Env() *Env { return p.env }
 
@@ -159,6 +226,7 @@ func (p *Proc) Now() Time { return p.env.now }
 func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 	p := &Proc{env: e, name: name, resume: make(chan struct{})}
 	e.procs = append(e.procs, p)
+	e.alive++
 	go func() {
 		<-p.resume
 		body(p)
@@ -175,8 +243,12 @@ func (e *Env) dispatch(p *Proc) {
 	if p.done {
 		panic("sim: dispatching a finished process: " + p.name)
 	}
+	e.lastProgress = e.now
 	p.resume <- struct{}{}
 	<-e.yield
+	if p.done {
+		e.alive--
+	}
 }
 
 // yieldToScheduler suspends the calling process until re-dispatched.

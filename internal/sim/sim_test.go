@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -331,5 +333,81 @@ func TestPropertyHeapOrdering(t *testing.T) {
 	}
 	if len(log) != len(times) {
 		t.Fatalf("fired %d of %d", len(log), len(times))
+	}
+}
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	// A blocked process plus an endless self-rescheduling event chain
+	// (the shape of a retransmission loop for a permanently lost
+	// message) must trip the watchdog instead of spinning forever.
+	e := NewEnv()
+	s := NewSignal()
+	e.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	var tick func()
+	tick = func() { e.After(Millisecond, tick) }
+	e.After(Millisecond, tick)
+	e.SetWatchdog(10*Millisecond, func() string { return "extra diagnostic" })
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected watchdog error")
+	}
+	if !strings.Contains(err.Error(), "watchdog") || !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("watchdog error lacks context: %v", err)
+	}
+	if !strings.Contains(err.Error(), "extra diagnostic") {
+		t.Fatalf("watchdog error lacks the dump: %v", err)
+	}
+}
+
+func TestWatchdogIgnoresSleepers(t *testing.T) {
+	// A process sleeping far past the horizon is scheduled, not stalled:
+	// the watchdog must stay quiet.
+	e := NewEnv()
+	e.SetWatchdog(10*Millisecond, nil)
+	e.Spawn("sleeper", func(p *Proc) { p.Sleep(Second) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("watchdog fired on a long sleeper: %v", err)
+	}
+}
+
+func TestWatchdogProgressSuppressesFiring(t *testing.T) {
+	// Event-level progress marks (network deliveries) keep the watchdog
+	// quiet while every process is blocked, for as long as they keep
+	// coming; once they stop, the watchdog fires one horizon later.
+	e := NewEnv()
+	s := NewSignal()
+	e.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	var tick func()
+	tick = func() { e.After(Millisecond, tick) }
+	e.After(Millisecond, tick)
+	const marks = 100
+	for i := 1; i <= marks; i++ {
+		e.Schedule(Time(i)*Millisecond, e.Progress)
+	}
+	e.SetWatchdog(10*Millisecond, nil)
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected watchdog error after progress stops")
+	}
+	var last, now Time
+	if _, err2 := fmt.Sscanf(err.Error(), "sim: watchdog: no process progress since t=%dns (now t=%dns", &last, &now); err2 != nil {
+		t.Fatalf("cannot parse watchdog error %q: %v", err, err2)
+	}
+	if last < marks*Millisecond {
+		t.Fatalf("watchdog fired at lastProgress=%dns, before progress marks stopped (t=%dns)", last, marks*Millisecond)
+	}
+}
+
+func TestWatchdogDisarmed(t *testing.T) {
+	// Horizon 0 disarms: the run ends in plain deadlock detection once
+	// the events run out.
+	e := NewEnv()
+	s := NewSignal()
+	e.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	e.SetWatchdog(0, nil)
+	e.Schedule(Second, func() {})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want plain deadlock error, got: %v", err)
 	}
 }

@@ -35,6 +35,15 @@ type Node struct {
 	BarrierTime sim.Time // compute thread blocked at barriers
 	StolenTime  sim.Time // handler time stolen from compute (single-CPU)
 
+	// Reliable-delivery counters (unreliable-network fault injection;
+	// all zero on the lossless network).
+	WireDrops   int64 // transmissions lost in flight on this node's link
+	WireDups    int64 // duplicate transmissions created in flight
+	Retransmits int64 // timeout-driven retransmissions by this node
+	DupsDropped int64 // arrivals discarded by this node's receive-side dedup
+	AcksSent    int64 // reliable-delivery acknowledgements sent
+	GiveUps     int64 // messages abandoned after MaxRetries
+
 	// MissLatency is an exponential histogram of blocking-miss stall
 	// times: bucket i counts stalls in [2^i, 2^(i+1)) µs.
 	MissLatency [latBuckets]int64
@@ -102,6 +111,78 @@ func (c *Cluster) TotalBytes() int64 {
 		t += c.Nodes[i].BytesSent
 	}
 	return t
+}
+
+// TotalRetransmits sums timeout-driven retransmissions over all nodes.
+func (c *Cluster) TotalRetransmits() int64 {
+	var t int64
+	for i := range c.Nodes {
+		t += c.Nodes[i].Retransmits
+	}
+	return t
+}
+
+// TotalWireDrops sums fault-injected transmission losses over all nodes.
+func (c *Cluster) TotalWireDrops() int64 {
+	var t int64
+	for i := range c.Nodes {
+		t += c.Nodes[i].WireDrops
+	}
+	return t
+}
+
+// TotalWireDups sums fault-injected duplications over all nodes.
+func (c *Cluster) TotalWireDups() int64 {
+	var t int64
+	for i := range c.Nodes {
+		t += c.Nodes[i].WireDups
+	}
+	return t
+}
+
+// TotalDupsDropped sums receive-side dedup discards over all nodes.
+func (c *Cluster) TotalDupsDropped() int64 {
+	var t int64
+	for i := range c.Nodes {
+		t += c.Nodes[i].DupsDropped
+	}
+	return t
+}
+
+// TotalAcksSent sums reliable-delivery acknowledgements over all nodes.
+func (c *Cluster) TotalAcksSent() int64 {
+	var t int64
+	for i := range c.Nodes {
+		t += c.Nodes[i].AcksSent
+	}
+	return t
+}
+
+// TotalGiveUps sums abandoned messages (MaxRetries exceeded) over all
+// nodes. Nonzero means data was lost for good and the run likely
+// stalled into the watchdog.
+func (c *Cluster) TotalGiveUps() int64 {
+	var t int64
+	for i := range c.Nodes {
+		t += c.Nodes[i].GiveUps
+	}
+	return t
+}
+
+// FaultSummary renders the reliable-delivery counters in one line, or
+// "" if the network never misbehaved (lossless configuration).
+func (c *Cluster) FaultSummary() string {
+	if c.TotalWireDrops() == 0 && c.TotalWireDups() == 0 && c.TotalRetransmits() == 0 &&
+		c.TotalDupsDropped() == 0 && c.TotalAcksSent() == 0 && c.TotalGiveUps() == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("retransmits=%d wire-drops=%d wire-dups=%d dedup-drops=%d acks=%d",
+		c.TotalRetransmits(), c.TotalWireDrops(), c.TotalWireDups(),
+		c.TotalDupsDropped(), c.TotalAcksSent())
+	if g := c.TotalGiveUps(); g > 0 {
+		s += fmt.Sprintf(" GIVE-UPS=%d", g)
+	}
+	return s
 }
 
 // MaxCommTime returns the largest per-node communication time (miss
@@ -173,6 +254,9 @@ func (c *Cluster) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cluster of %d nodes: %d misses total (%.1f/node), %d msgs, %d bytes\n",
 		c.N(), c.TotalMisses(), c.AvgMissesPerNode(), c.TotalMessages(), c.TotalBytes())
+	if fs := c.FaultSummary(); fs != "" {
+		fmt.Fprintf(&b, "  reliable delivery: %s\n", fs)
+	}
 	for i := range c.Nodes {
 		n := &c.Nodes[i]
 		fmt.Fprintf(&b, "  node %d: misses=%d (r=%d w=%d) upgrades=%d msgs=%d compute=%.2fms comm=%.2fms barrier=%.2fms\n",

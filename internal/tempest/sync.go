@@ -96,6 +96,7 @@ func (c *Cluster) barrierArrived() {
 		return
 	}
 	c.barrier.arrived = 0
+	c.runBarrierCheck()
 	master := c.Nodes[0]
 	for _, n := range c.Nodes {
 		if n.ID == 0 {
@@ -143,6 +144,7 @@ func (c *Cluster) reduceArrived(gen int64, op ReduceOp, v float64) {
 	result := c.reduce.acc
 	c.reduce.arrived = 0
 	c.reduce.gen++
+	c.runBarrierCheck()
 	master := c.Nodes[0]
 	bits := int64(math.Float64bits(result))
 	for _, n := range c.Nodes {

@@ -316,8 +316,35 @@ type Cluster struct {
 	// StartTimer statement; zero if the whole run is measured).
 	TimerStart sim.Time
 
+	// BarrierCheck, if non-nil, runs at the instant the last node
+	// arrives at each barrier or reduction, before any release is sent —
+	// a globally synchronized point where coherence invariants can be
+	// audited. The first failure is retained (CheckErr) and does not
+	// stop the run.
+	BarrierCheck func() error
+
+	checkErr  error
+	checksRun int64
+
 	barrier barrierState
 	reduce  reduceState
+}
+
+// CheckErr returns the first barrier-check failure, or nil.
+func (c *Cluster) CheckErr() error { return c.checkErr }
+
+// BarrierChecks returns how many barrier-instant audits ran.
+func (c *Cluster) BarrierChecks() int64 { return c.checksRun }
+
+// runBarrierCheck audits the cluster at an all-arrived instant.
+func (c *Cluster) runBarrierCheck() {
+	if c.BarrierCheck == nil {
+		return
+	}
+	c.checksRun++
+	if err := c.BarrierCheck(); err != nil && c.checkErr == nil {
+		c.checkErr = fmt.Errorf("coherence check at sync point %d (t=%dns): %w", c.checksRun, c.Env.Now(), err)
+	}
 }
 
 // NewCluster builds a cluster over an already-laid-out address space.
