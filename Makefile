@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench fmt
+.PHONY: all build test vet race lint check bench fmt
+
+# Every shipped application, linted by the static incoherence-safety
+# verifier at every optimization level.
+APPS = jacobi pde shallow grav lu cg
 
 all: build test
 
@@ -20,8 +24,17 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Static verification: the schedule contract checker and IR race
+# analysis over every shipped application, all optimization levels.
+# Fails on any contract or race error.
+lint:
+	@for a in $(APPS); do \
+		echo "hpfc -lint -app $$a"; \
+		$(GO) run ./cmd/hpfc -app $$a -lint || exit 1; \
+	done
+
 # Everything the CI gate runs.
-check: build vet test race
+check: build vet test race lint
 
 bench:
 	$(GO) run ./cmd/paperbench -size scaled

@@ -5,9 +5,14 @@
 // instantiated communication schedules with their block-aligned
 // (shmem_limits) interiors and leftover edge bytes.
 //
+// With -lint it instead runs the static incoherence-safety verifier
+// (internal/analysis) over every optimization level and exits non-zero
+// on any contract or race error.
+//
 // Examples:
 //
 //	hpfc -app jacobi -nodes 8
+//	hpfc -app lu -lint
 //	hpfc -file prog.hpf -sched
 package main
 
@@ -17,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"hpfdsm/internal/analysis"
 	"hpfdsm/internal/apps"
 	"hpfdsm/internal/bench"
 	"hpfdsm/internal/compiler"
@@ -32,6 +38,7 @@ func main() {
 	nodes := flag.Int("nodes", 8, "processor count")
 	blockSize := flag.Int("block", 128, "coherence block size")
 	sched := flag.Bool("sched", true, "print instantiated schedules")
+	lint := flag.Bool("lint", false, "run the static incoherence-safety verifier over every optimization level and exit non-zero on errors")
 	calls := flag.Bool("calls", false, "print the run-time call sequence (Figure 2) each node executes per loop")
 	printSrc := flag.Bool("print", false, "pretty-print the program as canonical mini-HPF source and exit")
 	node := flag.Int("node", 0, "node whose calls to print with -calls")
@@ -64,6 +71,17 @@ func main() {
 		return
 	}
 	mc := config.Default().WithNodes(*nodes).WithBlockSize(*blockSize)
+	if *lint {
+		rep, err := analysis.Verify(prog, mc, analysis.Levels()...)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep)
+		if rep.HasErrors() {
+			os.Exit(1)
+		}
+		return
+	}
 	layouts := map[*ir.Array]sections.Layout{}
 	base := 0
 	for _, arr := range prog.Arrays {

@@ -5,6 +5,7 @@
 // Examples:
 //
 //	hpfrun -app jacobi -opt rtelim
+//	hpfrun -app jacobi -opt pre -verify -check
 //	hpfrun -app lu -nodes 4 -cpus 1 -size paper
 //	hpfrun -app cg -backend mp
 //	hpfrun -file prog.hpf -param N=512 -param ITERS=10 -stats
@@ -17,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hpfdsm/internal/analysis"
 	"hpfdsm/internal/apps"
 	"hpfdsm/internal/bench"
 	"hpfdsm/internal/compiler"
@@ -59,6 +61,7 @@ func main() {
 	reorder := flag.Float64("reorder", 0, "fault injection: probability a message is delayed past later traffic (0..1)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injection PRNG seed")
 	check := flag.Bool("check", false, "audit coherence invariants at every barrier and reduction")
+	verify := flag.Bool("verify", false, "statically verify the schedules at the selected level before running; refuse to simulate on hard errors")
 	profile := flag.Bool("profile", false, "print a per-loop time profile")
 	gantt := flag.Int("gantt", 0, "print an ASCII timeline this many characters wide (implies -profile)")
 	profileJSON := flag.String("profile-json", "", "write the per-loop profile as JSON to this file (implies -profile)")
@@ -143,6 +146,19 @@ func main() {
 	}
 	opts := runtime.Options{Machine: mc, Opt: opt, Check: *check,
 		Profile: *profile || *gantt > 0 || *profileJSON != ""}
+	if *verify {
+		rep, err := analysis.Verify(prog, mc, opt)
+		if err != nil {
+			fail(err)
+		}
+		if rep.HasErrors() {
+			fmt.Fprint(os.Stderr, rep)
+			fail(fmt.Errorf("static verification failed with %d error(s); refusing to simulate", rep.Errors()))
+		}
+		fmt.Printf("verified  %d loop(s), %d schedule instance(s) at level %v: clean\n",
+			rep.Loops, rep.Instances, opt)
+		opts.Verified = rep
+	}
 	if *backend == "mp" {
 		opts.Backend = runtime.MessagePassing
 	} else if *backend != "sm" {

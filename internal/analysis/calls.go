@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/protocol"
+)
+
+// Op identifies one run-time call of the Section 4.2 sequence (plus the
+// OpBody marker separating a loop's pre- and post-communication).
+type Op int
+
+// Call kinds, in the order the executor emits them around a loop.
+const (
+	OpMkWritable Op = iota
+	OpImplicitWritable
+	OpExpect
+	OpSend
+	OpReadyToRecv
+	OpBody
+	OpFlush
+	OpImplicitInvalidate
+	OpBarrier
+)
+
+func (o Op) String() string {
+	return [...]string{"mk_writable", "implicit_writable", "expect", "send",
+		"ready_to_recv", "<body>", "flush", "implicit_invalidate", "barrier"}[o]
+}
+
+// Call is one modeled run-time call on one node.
+type Call struct {
+	Op     Op
+	Node   int
+	Dst    int                 // Send / Flush destination
+	Blocks []protocol.BlockRun // block operand
+	N      int                 // Expect block count
+}
+
+func (c Call) String() string {
+	switch c.Op {
+	case OpSend, OpFlush:
+		return fmt.Sprintf("%v -> node %d %v", c.Op, c.Dst, c.Blocks)
+	case OpExpect:
+		return fmt.Sprintf("%v %d", c.Op, c.N)
+	case OpMkWritable, OpImplicitWritable, OpImplicitInvalidate:
+		return fmt.Sprintf("%v %v", c.Op, c.Blocks)
+	default:
+		return c.Op.String()
+	}
+}
+
+// SkippedTransfer records a transfer a higher optimization level
+// elided, with the walker's independently derived judgement of whether
+// the elision was sound at that point (Live: the previously delivered
+// copy is still valid — no intervening write to the array).
+type SkippedTransfer struct {
+	T    compiler.Transfer
+	Live bool
+}
+
+// LoopCalls is the modeled call sequence of one loop instance: per
+// node, the run-time calls in program order, plus the (PRE-filtered)
+// transfers the sequence implements and the transfers that were elided.
+type LoopCalls struct {
+	Key      any
+	Site     Site
+	Sched    *compiler.Schedule  // nil at OptNone
+	Reads    []compiler.Transfer // active read transfers (after filtering)
+	Writes   []compiler.Transfer // active write transfers
+	Skipped  []SkippedTransfer   // transfers elided by OptPRE
+	IsReduce bool
+	Nodes    [][]Call
+}
+
+// transferKey identifies a transfer's delivered content, mirroring the
+// executor's PRE key: array, section, receiver.
+func transferKey(t compiler.Transfer) string {
+	return fmt.Sprintf("%s|%v|>%d", t.Array.Name, t.Sec, t.Receiver)
+}
+
+// sigOf renders a rule's symbol valuation for provenance ("" when the
+// schedule is constant).
+func sigOf(rule *compiler.LoopRule, env map[string]int) string {
+	if len(rule.UsedSym) == 0 {
+		return ""
+	}
+	parts := make([]string, len(rule.UsedSym))
+	for i, v := range rule.UsedSym {
+		parts[i] = fmt.Sprintf("%s=%d", v, env[v])
+	}
+	return strings.Join(parts, ",")
+}
+
+// BuildLoopCalls models the executor's communication emission for one
+// loop (or reduction) instance at the model's optimization level: the
+// exact mk_writable / implicit_writable / expect / send / ready_to_recv
+// / flush / implicit_invalidate / barrier sequence each node would run,
+// including run-time elimination's call and barrier elisions and PRE's
+// transfer skips. The model state (persistent frames, delivered
+// sections, last schedule per loop) advances exactly as the replicated
+// executor state would.
+func (m *Model) BuildLoopCalls(key any, label string, rule *compiler.LoopRule, env map[string]int, isReduce bool) *LoopCalls {
+	np := m.an.NP
+	lc := &LoopCalls{
+		Key:      key,
+		IsReduce: isReduce,
+		Nodes:    make([][]Call, np),
+		Site: Site{
+			App:   m.an.Prog.Name,
+			Loop:  label,
+			Env:   sigOf(rule, env),
+			Level: m.level,
+		},
+	}
+	add := func(n int, c Call) {
+		c.Node = n
+		lc.Nodes[n] = append(lc.Nodes[n], c)
+	}
+
+	if m.level == compiler.OptNone {
+		// Default protocol only: the loop body bracketed by its closing
+		// barrier (a reduction's AllReduce plays the same role).
+		for n := 0; n < np; n++ {
+			add(n, Call{Op: OpBody})
+			add(n, Call{Op: OpBarrier})
+		}
+		return lc
+	}
+
+	sched := m.an.Schedule(key, rule, env)
+	lc.Sched = sched
+	sameSched := m.lastSched[key] == sched
+	m.lastSched[key] = sched
+	rtElim := m.level >= compiler.OptRTElim
+
+	// PRE filtering, replicated (node-independent), mirroring the
+	// executor's active(): a redundant transfer is skipped once its
+	// section has been delivered; all-edge transfers (no block-aligned
+	// interior) emit no calls at all.
+	filter := func(ts []compiler.Transfer) []compiler.Transfer {
+		var out []compiler.Transfer
+		for _, t := range ts {
+			if t.NumBlocks == 0 {
+				continue
+			}
+			tk := transferKey(t)
+			if m.level >= compiler.OptPRE && t.Redundant && m.delivered[tk] {
+				lc.Skipped = append(lc.Skipped, SkippedTransfer{T: t, Live: m.live[tk]})
+				continue
+			}
+			if !m.delivered[tk] {
+				m.delivered[tk] = true
+				m.bump()
+			}
+			out = append(out, t)
+		}
+		return out
+	}
+	reads := filter(sched.Reads)
+	writes := filter(sched.Writes)
+	lc.Reads, lc.Writes = reads, writes
+
+	if len(reads)+len(writes) > 0 {
+		for n := 0; n < np; n++ {
+			var sendOut, takeOut, recvIn, flushIn []protocol.BlockRun
+			recvBlocks := 0
+			for _, t := range reads {
+				if t.Sender == n {
+					sendOut = append(sendOut, t.Blocks...)
+				}
+				if t.Receiver == n {
+					recvIn = append(recvIn, t.Blocks...)
+					recvBlocks += t.NumBlocks
+				}
+			}
+			for _, t := range writes {
+				if t.Sender == n {
+					takeOut = append(takeOut, t.Blocks...)
+				}
+				if t.Receiver == n {
+					flushIn = append(flushIn, t.Blocks...)
+				}
+			}
+			// Step 1: senders and non-owner writers take blocks writable;
+			// run-time elimination drops the read-side call (the owner
+			// already holds its blocks) but never the write-side one.
+			if !rtElim && len(sendOut) > 0 {
+				add(n, Call{Op: OpMkWritable, Blocks: sendOut})
+			}
+			if len(takeOut) > 0 {
+				add(n, Call{Op: OpMkWritable, Blocks: takeOut})
+			}
+			if !rtElim || len(writes) > 0 {
+				add(n, Call{Op: OpBarrier})
+			}
+			// Step 2: receivers open frames; flush targets likewise.
+			if len(recvIn) > 0 {
+				add(n, Call{Op: OpImplicitWritable, Blocks: recvIn})
+			}
+			if len(flushIn) > 0 {
+				add(n, Call{Op: OpImplicitWritable, Blocks: flushIn})
+			}
+			if recvBlocks > 0 {
+				add(n, Call{Op: OpExpect, N: recvBlocks})
+			}
+			// Both sides ready before the transfer; a repeat of the
+			// identical schedule under run-time elimination skips this
+			// barrier (the frames persist).
+			if !rtElim || !sameSched {
+				add(n, Call{Op: OpBarrier})
+			}
+			for _, t := range reads {
+				if t.Sender == n {
+					add(n, Call{Op: OpSend, Dst: t.Receiver, Blocks: t.Blocks})
+				}
+			}
+			if recvBlocks > 0 {
+				add(n, Call{Op: OpReadyToRecv})
+			}
+		}
+	}
+
+	for n := 0; n < np; n++ {
+		add(n, Call{Op: OpBody})
+	}
+
+	for n := 0; n < np; n++ {
+		flushInCount := 0
+		for _, t := range writes {
+			if t.Receiver == n {
+				flushInCount += t.NumBlocks
+			}
+		}
+		if isReduce {
+			// The AllReduce synchronizes before the post-loop sequence.
+			add(n, Call{Op: OpBarrier})
+		}
+		for _, t := range writes {
+			if t.Sender == n && t.NumBlocks > 0 {
+				add(n, Call{Op: OpFlush, Dst: t.Receiver, Blocks: t.Blocks})
+			}
+		}
+		if !isReduce {
+			add(n, Call{Op: OpBarrier}) // the loop's closing barrier
+		}
+		if flushInCount > 0 {
+			add(n, Call{Op: OpExpect, N: flushInCount})
+			add(n, Call{Op: OpReadyToRecv})
+		}
+		// Readers re-invalidate their frames so the directory's belief
+		// holds again; eliminated under the whole-program assumptions.
+		if !rtElim && len(sched.Reads) > 0 {
+			var recvIn []protocol.BlockRun
+			for _, t := range sched.Reads {
+				if t.Receiver == n {
+					recvIn = append(recvIn, t.Blocks...)
+				}
+			}
+			if len(recvIn) > 0 {
+				add(n, Call{Op: OpImplicitInvalidate, Blocks: recvIn})
+			}
+			add(n, Call{Op: OpBarrier})
+		}
+	}
+	return lc
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpfdsm/internal/compiler"
+)
+
+// ProvIndex maps coherence-block numbers back to compiler decisions:
+// which array the block belongs to and which scheduled call (send or
+// flush of which loop, section, and valuation) most recently created
+// expectations about it. The runtime records schedules as it
+// instantiates them and hands Describe to the protocol's invariant
+// auditor, so a dynamic violation prints "loop L3: send a(1:64,8:8)
+// 0->1" instead of a raw block address. When Report is set, the
+// description also cites the contract rules the static verifier proved
+// for that loop — the dynamic failure names the static guarantee it
+// broke.
+type ProvIndex struct {
+	Report *Report // optional: the -verify pre-flight's report
+
+	blockSize int
+	spans     []provSpan
+	last      map[int]provEntry
+}
+
+type provSpan struct {
+	name   string
+	lo, hi int // block range [lo, hi)
+}
+
+type provEntry struct {
+	loop string
+	text string
+}
+
+// NewProvIndex builds the array→block map for a compiled program.
+func NewProvIndex(an *compiler.Analysis) *ProvIndex {
+	px := &ProvIndex{blockSize: an.BlockSize, last: map[int]provEntry{}}
+	for _, arr := range an.Prog.Arrays {
+		lay := an.Layouts[arr]
+		px.spans = append(px.spans, provSpan{
+			name: arr.Name,
+			lo:   lay.Base / an.BlockSize,
+			hi:   (lay.Base + lay.SizeBytes() + an.BlockSize - 1) / an.BlockSize,
+		})
+	}
+	sort.Slice(px.spans, func(i, j int) bool { return px.spans[i].lo < px.spans[j].lo })
+	return px
+}
+
+// RecordSchedule notes, for every block of every transfer in a just-
+// instantiated schedule, the call that governs it.
+func (px *ProvIndex) RecordSchedule(label string, sched *compiler.Schedule) {
+	if px == nil || sched == nil {
+		return
+	}
+	note := func(ts []compiler.Transfer, kind string) {
+		for _, t := range ts {
+			e := provEntry{
+				loop: label,
+				text: fmt.Sprintf("loop %s: %s %s%v %d->%d", label, kind, t.Array.Name, t.Sec, t.Sender, t.Receiver),
+			}
+			for _, r := range t.Blocks {
+				for b := r.Start; b < r.Start+r.N; b++ {
+					px.last[b] = e
+				}
+			}
+		}
+	}
+	note(sched.Reads, "send")
+	note(sched.Writes, "flush")
+}
+
+// Describe renders a block's provenance, or "" when nothing is known.
+func (px *ProvIndex) Describe(b int) string {
+	if px == nil {
+		return ""
+	}
+	var parts []string
+	for _, s := range px.spans {
+		if b >= s.lo && b < s.hi {
+			parts = append(parts, s.name)
+			break
+		}
+	}
+	if e, ok := px.last[b]; ok {
+		parts = append(parts, e.text)
+		if px.Report != nil {
+			if rules := px.Report.RulesFor(e.loop); len(rules) > 0 {
+				short := make([]string, len(rules))
+				for i, r := range rules {
+					short[i] = strings.TrimPrefix(strings.TrimPrefix(r, "contract/"), "race/")
+				}
+				parts = append(parts, "statically verified: "+strings.Join(short, ","))
+			}
+		}
+	}
+	return strings.Join(parts, "; ")
+}

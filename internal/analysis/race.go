@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/sections"
+)
+
+// access is one bounded array access of a parallel loop body.
+type access struct {
+	ref   ir.ArrayRef
+	sec   sections.Section
+	subs  string // canonical subscript-vector text
+	write bool
+	stmt  int // body statement index, for provenance
+}
+
+// subsKey canonicalizes a reference's subscript vector: two accesses
+// with identical vectors touch the same element in the same iteration,
+// which the sequential body orders — not a race.
+func subsKey(r ir.ArrayRef) string {
+	parts := make([]string, len(r.Subs))
+	for i, s := range r.Subs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// boundRef bounds a reference over the loop's iteration space, clipped
+// to the array extents. ok is false when the access space is empty.
+func boundRef(r ir.ArrayRef, ranges map[string][2]int, env map[string]int) (sections.Section, bool) {
+	sec := sections.Section{Dims: make([]sections.Dim, len(r.Subs))}
+	for d, sub := range r.Subs {
+		lo, hi := compiler.EvalRange(sub, ranges, env)
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > r.Array.Extents[d] {
+			hi = r.Array.Extents[d]
+		}
+		if lo > hi {
+			return sec, false
+		}
+		sec.Dims[d] = sections.Dim{Lo: lo, Hi: hi}
+	}
+	return sec, true
+}
+
+// CheckRaces runs the IR-level happens-before analysis for one loop
+// instance: inside a parallel loop no barrier separates iterations, so
+// any overlap between writer sections on different processors, or
+// between a write and a read of different elements, is unordered. The
+// concurrency structure comes from the work partition: only the
+// distributed loop variable spreads iterations across processors;
+// loops partitioned to a single processor run their iterations
+// sequentially.
+func (m *Model) CheckRaces(key any, rule *compiler.LoopRule, env map[string]int, site Site, body []*ir.Assign, reduceExpr ir.Expr) {
+	diag := func(sev Severity, ruleID string, s Site, format string, args ...any) {
+		m.addDiag(Diag{Severity: sev, Rule: ruleID, Site: s, Msg: fmt.Sprintf(format, args...)})
+		if sev == Error {
+			m.report.markBroken(s.Loop, ruleID)
+		}
+	}
+
+	for _, arr := range rule.IndirectArrays {
+		s := site
+		s.Array = arr.Name
+		diag(Info, RuleRaceIndir, s,
+			"irregular subscript: section analysis does not apply; the reference stays with the default coherence protocol")
+	}
+
+	ranges := m.an.VarRanges(rule, env)
+	pt := m.an.Partition(key, rule, env)
+	procs := 0
+	for p := 0; p < m.an.NP; p++ {
+		if pt.Executes(p) {
+			procs++
+		}
+	}
+	concurrent := rule.DistVar != "" && procs > 1
+
+	var accs []access
+	addRef := func(r ir.ArrayRef, write bool, stmt int) {
+		sec, ok := boundRef(r, ranges, env)
+		if !ok {
+			return
+		}
+		accs = append(accs, access{ref: r, sec: sec, subs: subsKey(r), write: write, stmt: stmt})
+	}
+	for i, as := range body {
+		addRef(as.LHS, true, i)
+		for _, r := range ir.Refs(as.RHS) {
+			addRef(r, false, i)
+		}
+	}
+	if reduceExpr != nil {
+		for _, r := range ir.Refs(reduceExpr) {
+			addRef(r, false, 0)
+		}
+	}
+
+	m.report.markChecked(site.Loop, RuleRaceWrite)
+	m.report.markChecked(site.Loop, RuleRaceRW)
+
+	// A write whose last subscript ignores the distributed variable is
+	// executed by every owning processor of the anchor — the same
+	// elements are stormed from all sides.
+	if concurrent {
+		for _, a := range accs {
+			if !a.write {
+				continue
+			}
+			last := a.ref.Subs[len(a.ref.Subs)-1]
+			if last.Coef(rule.DistVar) == 0 {
+				s := site
+				s.Array = a.ref.Array.Name
+				s.Sec = secString(a.sec)
+				diag(Error, RuleRaceWrite, s,
+					"the write's subscripts do not involve the distributed variable %s: every executing processor writes the same section concurrently",
+					rule.DistVar)
+			}
+		}
+	}
+
+	for i := 0; i < len(accs); i++ {
+		for j := i + 1; j < len(accs); j++ {
+			a, b := accs[i], accs[j]
+			if a.ref.Array != b.ref.Array || (!a.write && !b.write) {
+				continue
+			}
+			if a.subs == b.subs {
+				continue // same element, same iteration: body order applies
+			}
+			ov := sections.Intersect(a.sec, b.sec)
+			if ov.Empty() {
+				continue
+			}
+			s := site
+			s.Array = a.ref.Array.Name
+			s.Sec = secString(ov)
+			sev := Error
+			if !concurrent {
+				sev = Warn // sequential execution orders it, but iteration-order dependences defeat the FORALL contract
+			}
+			if a.write && b.write {
+				diag(sev, RuleRaceWrite, s,
+					"writes %s%v and %s%v overlap on %s — no barrier separates iterations of a parallel loop",
+					a.ref.Array.Name, subsText(a.ref), b.ref.Array.Name, subsText(b.ref), secString(ov))
+			} else {
+				w, r := a, b
+				if !w.write {
+					w, r = b, a
+				}
+				diag(sev, RuleRaceRW, s,
+					"the loop writes %s%v while reading %s%v: the overlap %s is read and written with no separating barrier — iterations are not independent",
+					w.ref.Array.Name, subsText(w.ref), r.ref.Array.Name, subsText(r.ref), secString(ov))
+			}
+		}
+	}
+}
+
+func subsText(r ir.ArrayRef) string {
+	return "(" + subsKey(r) + ")"
+}

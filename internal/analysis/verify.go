@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/memory"
+	"hpfdsm/internal/sections"
+)
+
+// Model is the per-level verification state: it replays the program's
+// control flow symbolically (SPMD control flow is replicated, so one
+// walk stands for all nodes), rebuilding the executor's call emission
+// per loop instance and checking each against the contract. The state
+// that the checks depend on persists across loop instances exactly as
+// it does at run time: open implicit_writable frames per node, the
+// global barrier phase, the delivered-section memo PRE consults, and
+// each loop's last instantiated schedule.
+type Model struct {
+	an     *compiler.Analysis
+	level  compiler.Level
+	report *Report
+	races  bool // run the (level-independent) race analysis on this pass
+
+	phase     int             // global barrier phase counter
+	frames    []map[int]int   // per node: open frame block -> opening phase
+	delivered map[string]bool // transfer keys ever delivered (mirrors exec's PRE memo)
+	live      map[string]bool // transfer keys delivered and not since invalidated by a write
+	lastSched map[any]*compiler.Schedule
+
+	env     map[string]int
+	checked map[string]bool // loop|sig instances already diagnosed
+	seen    map[string]bool // diagnostic dedup
+	gen     int             // bumped on any state/diagnostic change (fixpoint detection)
+}
+
+// NewModel builds a fresh verification state for one optimization
+// level, accumulating into rep.
+func NewModel(an *compiler.Analysis, level compiler.Level, rep *Report) *Model {
+	m := &Model{
+		an:        an,
+		level:     level,
+		report:    rep,
+		frames:    make([]map[int]int, an.NP),
+		delivered: map[string]bool{},
+		live:      map[string]bool{},
+		lastSched: map[any]*compiler.Schedule{},
+		env:       map[string]int{},
+		checked:   map[string]bool{},
+		seen:      map[string]bool{},
+	}
+	for n := range m.frames {
+		m.frames[n] = map[int]int{}
+	}
+	for k, v := range an.Prog.Params {
+		m.env[k] = v
+	}
+	return m
+}
+
+func (m *Model) bump() { m.gen++ }
+
+// addDiag records a diagnostic, dropping exact duplicates (repeated
+// instances of the same loop produce identical findings).
+func (m *Model) addDiag(d Diag) {
+	key := d.Rule + "|" + d.Site.String() + "|" + d.Msg
+	if m.seen[key] {
+		return
+	}
+	m.seen[key] = true
+	m.report.add(d)
+	m.bump()
+}
+
+// walk replays a statement list.
+func (m *Model) walk(stmts []ir.Stmt) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.ParLoop:
+			rule := m.an.LoopRuleOf(st)
+			m.instance(st, st.Label, rule, st.Body, nil)
+		case *ir.Reduce:
+			rule := m.an.ReduceRuleOf(st)
+			m.instance(st, st.Label, rule, nil, st.Expr)
+		case *ir.SeqLoop:
+			m.seqLoop(st)
+		case *ir.ScalarAssign, *ir.ExitIf:
+			// Scalar flow and early exits do not change schedules: the
+			// verifier walks the full bounds (a superset of any actual
+			// execution, so every reachable schedule is checked).
+		case *ir.StartTimer:
+			m.phase++ // the timer's synchronizing barrier
+		case *ir.Block:
+			m.walk(st.Body)
+		default:
+			panic(fmt.Sprintf("analysis: unknown statement %T", s))
+		}
+	}
+}
+
+// seqLoop replays a sequential loop to a fixpoint: once an iteration
+// neither checks a new schedule instance nor changes any model state,
+// every further iteration is identical and verification can stop early.
+func (m *Model) seqLoop(sl *ir.SeqLoop) {
+	lo, hi := sl.Lo.Eval(m.env), sl.Hi.Eval(m.env)
+	saved, had := m.env[sl.Var]
+	for v := lo; v <= hi; v++ {
+		m.env[sl.Var] = v
+		before := m.gen
+		m.walk(sl.Body)
+		if m.gen == before {
+			break
+		}
+	}
+	if had {
+		m.env[sl.Var] = saved
+	} else {
+		delete(m.env, sl.Var)
+	}
+}
+
+// instance verifies one loop/reduction instantiation and advances the
+// model state.
+func (m *Model) instance(key any, label string, rule *compiler.LoopRule, body []*ir.Assign, reduceExpr ir.Expr) {
+	sig := label + "|" + sigOf(rule, m.env)
+	lc := m.BuildLoopCalls(key, label, rule, m.env, reduceExpr != nil)
+	if !m.checked[sig] {
+		m.checked[sig] = true
+		m.bump()
+		m.CheckLoopCalls(lc)
+		if m.races {
+			m.CheckRaces(key, rule, m.env, lc.Site, body, reduceExpr)
+		}
+	} else {
+		// Repeat instance: the checks would repeat verbatim, but the
+		// happens-before state must still advance.
+		m.advance(lc)
+	}
+	// PRE liveness: executed read transfers deliver their sections ...
+	for _, t := range lc.Reads {
+		tk := transferKey(t)
+		if !m.live[tk] {
+			m.live[tk] = true
+			m.bump()
+		}
+	}
+	// ... and any write to an array invalidates every delivered copy of
+	// it (the kill set markRedundant reasons about, re-derived here).
+	written := map[string]bool{}
+	for _, as := range body {
+		written[as.LHS.Array.Name] = true
+	}
+	for _, t := range lc.Writes {
+		written[t.Array.Name] = true
+	}
+	for name := range written {
+		prefix := name + "|"
+		for tk := range m.live {
+			if strings.HasPrefix(tk, prefix) {
+				delete(m.live, tk)
+				m.bump()
+			}
+		}
+	}
+}
+
+// advance replays a repeat instance's effect on the happens-before
+// state (frames open, phase advances) without re-diagnosing.
+func (m *Model) advance(lc *LoopCalls) {
+	bc := 0
+	for _, c := range lc.Nodes[0] {
+		if c.Op == OpBarrier {
+			bc++
+		}
+	}
+	for n := range lc.Nodes {
+		b := 0
+		for _, c := range lc.Nodes[n] {
+			switch c.Op {
+			case OpBarrier:
+				b++
+			case OpImplicitWritable:
+				for _, r := range c.Blocks {
+					for blk := r.Start; blk < r.Start+r.N; blk++ {
+						if _, ok := m.frames[n][blk]; !ok {
+							m.frames[n][blk] = m.phase + b
+							m.bump()
+						}
+					}
+				}
+			case OpImplicitInvalidate:
+				for _, r := range c.Blocks {
+					for blk := r.Start; blk < r.Start+r.N; blk++ {
+						delete(m.frames[n], blk)
+					}
+				}
+			}
+		}
+	}
+	m.phase += bc
+}
+
+// Levels returns every optimization level, in ascending order.
+func Levels() []compiler.Level {
+	return []compiler.Level{compiler.OptNone, compiler.OptBase, compiler.OptBulk, compiler.OptRTElim, compiler.OptPRE}
+}
+
+// VerifyAnalysis runs the verifier over an existing compilation at the
+// given levels (race analysis runs once, on the first). It never runs
+// the simulator.
+func VerifyAnalysis(an *compiler.Analysis, levels ...compiler.Level) *Report {
+	rep := NewReport(an.Prog.Name)
+	for i, lv := range levels {
+		rep.Levels = append(rep.Levels, lv)
+		m := NewModel(an, lv, rep)
+		m.races = i == 0
+		m.walk(an.Prog.Body)
+	}
+	loops := map[string]bool{}
+	ir.WalkStmts(an.Prog.Body, func(s ir.Stmt) {
+		switch st := s.(type) {
+		case *ir.ParLoop:
+			loops[st.Label] = true
+		case *ir.Reduce:
+			loops[st.Label] = true
+		}
+	})
+	rep.Loops = len(loops)
+	return rep
+}
+
+// Verify compiles prog for the machine exactly as the runtime would
+// (same shared-segment layout, same block size) and verifies it at the
+// given levels; with no levels it checks all of them.
+func Verify(prog *ir.Program, mc config.Machine, levels ...compiler.Level) (*Report, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	sp := memory.NewSpace(mc)
+	layouts := make(map[*ir.Array]sections.Layout)
+	for _, arr := range prog.Arrays {
+		base := sp.Alloc(arr.Name, arr.Elems()*8)
+		layouts[arr] = sections.Layout{Base: base, Extents: arr.Extents, ElemSize: 8}
+	}
+	an, err := compiler.New(prog, mc.Nodes, layouts, mc.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	if len(levels) == 0 {
+		levels = Levels()
+	}
+	return VerifyAnalysis(an, levels...), nil
+}

@@ -86,24 +86,26 @@ func (a *Analysis) buildSchedule(key any, rule *LoopRule, env map[string]int) *S
 	return s
 }
 
-// varRanges builds the value ranges of all loop and inner-reduction
-// variables for row-section bounding.
-func (a *Analysis) varRanges(rule *LoopRule, env map[string]int) map[string][2]int {
+// VarRanges builds the value ranges of all loop and inner-reduction
+// variables of a rule under a symbol environment — the bounding
+// information row-section computation uses, also consumed by the static
+// verifier's race analysis.
+func (a *Analysis) VarRanges(rule *LoopRule, env map[string]int) map[string][2]int {
 	ranges := map[string][2]int{}
 	for _, ix := range rule.Indexes {
 		ranges[ix.Var] = [2]int{ix.Lo.Eval(env), ix.Hi.Eval(env)}
 	}
 	for v, rg := range rule.inner {
-		lo, _ := evalRange(rg.lo, ranges, env)
-		_, hi := evalRange(rg.hi, ranges, env)
+		lo, _ := EvalRange(rg.lo, ranges, env)
+		_, hi := EvalRange(rg.hi, ranges, env)
 		ranges[v] = [2]int{lo, hi}
 	}
 	return ranges
 }
 
-// evalRange bounds an affine expression over variable ranges: variables
+// EvalRange bounds an affine expression over variable ranges: variables
 // in ranges contribute their interval, others are looked up in env.
-func evalRange(e ir.AffExpr, ranges map[string][2]int, env map[string]int) (int, int) {
+func EvalRange(e ir.AffExpr, ranges map[string][2]int, env map[string]int) (int, int) {
 	lo, hi := e.Const, e.Const
 	for _, t := range e.Terms {
 		if r, ok := ranges[t.Var]; ok {
@@ -130,13 +132,13 @@ func evalRange(e ir.AffExpr, ranges map[string][2]int, env map[string]int) (int,
 func (a *Analysis) refTransfers(rule *LoopRule, rr *RefRule, pt *Partition, env map[string]int) []Transfer {
 	arr := rr.Ref.Array
 	d := a.dists[arr]
-	ranges := a.varRanges(rule, env)
+	ranges := a.VarRanges(rule, env)
 
 	// Row section: dimensions 0..rank-2 bounded over the iteration
 	// space and clipped to the array extents.
 	rows := make([]sections.Dim, arr.Rank()-1)
 	for dim := 0; dim < arr.Rank()-1; dim++ {
-		lo, hi := evalRange(rr.Ref.Subs[dim], ranges, env)
+		lo, hi := EvalRange(rr.Ref.Subs[dim], ranges, env)
 		if lo < 1 {
 			lo = 1
 		}

@@ -89,14 +89,28 @@ func Refs(e Expr) []ArrayRef {
 	return out
 }
 
+// WalkStmts applies f to every statement in the list and, recursively,
+// to the bodies of sequential loops and blocks. Parallel-loop bodies
+// are assignments, not statements, and are not visited.
+func WalkStmts(stmts []Stmt, f func(Stmt)) {
+	for _, s := range stmts {
+		f(s)
+		switch st := s.(type) {
+		case *SeqLoop:
+			WalkStmts(st.Body, f)
+		case *Block:
+			WalkStmts(st.Body, f)
+		}
+	}
+}
+
 // HasIndirect reports whether the program contains any irregular
 // reference — such programs are outside the reach of a purely
 // message-passing compilation (no inspector-executor), which is the
 // paper's motivation for shared memory.
 func HasIndirect(p *Program) bool {
 	found := false
-	var walkExprs func(s Stmt)
-	walkExprs = func(s Stmt) {
+	WalkStmts(p.Body, func(s Stmt) {
 		switch st := s.(type) {
 		case *ParLoop:
 			for _, as := range st.Body {
@@ -108,19 +122,8 @@ func HasIndirect(p *Program) bool {
 			if len(Indirects(st.Expr)) > 0 {
 				found = true
 			}
-		case *SeqLoop:
-			for _, b := range st.Body {
-				walkExprs(b)
-			}
-		case *Block:
-			for _, b := range st.Body {
-				walkExprs(b)
-			}
 		}
-	}
-	for _, s := range p.Body {
-		walkExprs(s)
-	}
+	})
 	return found
 }
 

@@ -58,8 +58,8 @@ func (p *Proto) audit(quiescent bool) error {
 		e, ok := home.dir[b]
 		if ok && (e.busy || e.pending != 0 || len(e.waitQ) != 0 || e.cur != nil) {
 			if quiescent {
-				return fmt.Errorf("block %d: directory entry not quiescent (busy=%v pending=%d queued=%d)",
-					b, e.busy, e.pending, len(e.waitQ))
+				return fmt.Errorf("block %d%s: directory entry not quiescent (busy=%v pending=%d queued=%d)",
+					b, p.blockInfo(b), e.busy, e.pending, len(e.waitQ))
 			}
 			continue // mid-transaction at a barrier instant; nothing to audit
 		}
@@ -78,11 +78,11 @@ func (p *Proto) audit(quiescent bool) error {
 			d := np.n.Mem.Dirty(b)
 			if d != 0 {
 				if d&dirtyMask != 0 {
-					return fmt.Errorf("block %d: overlapping dirty words across nodes (mask %016b at node %d)", b, d, i)
+					return fmt.Errorf("block %d%s: overlapping dirty words across nodes (mask %016b at node %d)", b, p.blockInfo(b), d, i)
 				}
 				dirtyMask |= d
 				if writers&bit(i) == 0 && homeID != i && (quiescent || !cc) {
-					return fmt.Errorf("block %d: node %d holds dirty words but is not a directory writer", b, i)
+					return fmt.Errorf("block %d%s: node %d holds dirty words but is not a directory writer", b, p.blockInfo(b), i)
 				}
 			}
 			if np.n.Mem.Tag(b) != memory.ReadOnly || homeID == i {
@@ -90,7 +90,7 @@ func (p *Proto) audit(quiescent bool) error {
 			}
 			if (writers|sharers)&bit(i) == 0 {
 				if quiescent || !cc {
-					return fmt.Errorf("block %d: node %d holds an untracked readonly copy", b, i)
+					return fmt.Errorf("block %d%s: node %d holds an untracked readonly copy", b, p.blockInfo(b), i)
 				}
 				continue
 			}
@@ -105,13 +105,26 @@ func (p *Proto) audit(quiescent bool) error {
 					continue // legitimately divergent: someone owns this word
 				}
 				if !bytes.Equal(hd[w*8:w*8+8], cd[w*8:w*8+8]) {
-					return fmt.Errorf("block %d word %d: node %d's readonly copy disagrees with home %d (copy %x, home %x)",
-						b, w, i, homeID, cd[w*8:w*8+8], hd[w*8:w*8+8])
+					return fmt.Errorf("block %d word %d%s: node %d's readonly copy disagrees with home %d (copy %x, home %x)",
+						b, w, p.blockInfo(b), i, homeID, cd[w*8:w*8+8], hd[w*8:w*8+8])
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// blockInfo renders the optional BlockInfo provenance for a block,
+// bracketed for inline use in an audit message ("" when no provider is
+// installed or it has nothing to say).
+func (p *Proto) blockInfo(b int) string {
+	if p.BlockInfo == nil {
+		return ""
+	}
+	if s := p.BlockInfo(b); s != "" {
+		return " [" + s + "]"
+	}
+	return ""
 }
 
 // isCC reports whether any node ever moved block b through a
@@ -166,7 +179,7 @@ func (p *Proto) DumpOutstanding() string {
 		sort.Ints(busy)
 		for _, b := range busy {
 			e := np.dir[b]
-			lines = append(lines, fmt.Sprintf("directory block %d busy (pending=%d queued=%d)", b, e.pending, len(e.waitQ)))
+			lines = append(lines, fmt.Sprintf("directory block %d%s busy (pending=%d queued=%d)", b, p.blockInfo(b), e.pending, len(e.waitQ)))
 		}
 		for _, l := range lines {
 			fmt.Fprintf(&out, "  node %d: %s\n", np.id, l)

@@ -60,6 +60,14 @@ const ctrlSize = 8 // payload bytes of a control message
 type Proto struct {
 	C     *tempest.Cluster
 	nodes []*nodeProto
+
+	// BlockInfo, when set, renders schedule provenance for a block
+	// number (which array it belongs to and which compiler-emitted call
+	// last created expectations for it). Invariant-audit failures and
+	// the stall watchdog's dump append it to their block addresses. The
+	// runtime installs analysis.ProvIndex.Describe here; the hook is a
+	// plain function so the protocol does not import the verifier.
+	BlockInfo func(b int) string
 }
 
 // nodeProto is the per-node protocol state: the directory for blocks

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"hpfdsm/internal/analysis"
 	"hpfdsm/internal/compiler"
 	"hpfdsm/internal/ir"
 	"hpfdsm/internal/memory"
@@ -36,6 +37,10 @@ type exec struct {
 	mp      *mpState // non-nil in the message-passing backend
 
 	prof *trace.Profile // shared per-loop profile, nil unless enabled
+
+	// prov records instantiated schedules for block-provenance in audit
+	// diagnostics (shared across execs; recording is idempotent).
+	prov *analysis.ProvIndex
 
 	// Replicated PRE state: sections already delivered to CC frames.
 	delivered map[string]bool
@@ -179,6 +184,7 @@ func (e *exec) parLoop(p *sim.Proc, pl *ir.ParLoop) {
 	var sched *compiler.Schedule
 	if e.opt >= compiler.OptBase {
 		sched = e.an.Schedule(pl, rule, e.env)
+		e.prov.RecordSchedule(pl.Label, sched)
 		e.invalidateIndirectFrames(p, rule)
 		e.preLoopComm(p, pl, sched)
 	}
@@ -652,6 +658,7 @@ func (e *exec) reduce(p *sim.Proc, rd *ir.Reduce) {
 		e.mpPreLoop(p, e.an.Schedule(rd, rule, e.env))
 	} else if e.opt >= compiler.OptBase {
 		sched = e.an.Schedule(rd, rule, e.env)
+		e.prov.RecordSchedule(rd.Label, sched)
 		e.preLoopComm(p, rd, sched)
 	}
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hpfdsm/internal/analysis"
 	"hpfdsm/internal/compiler"
 	"hpfdsm/internal/config"
 	"hpfdsm/internal/ir"
@@ -45,6 +46,11 @@ type Options struct {
 	// addition to the always-on post-run quiescent audit. Shared-memory
 	// backend only.
 	Check bool
+	// Verified is the static verifier's report from an hpfrun -verify
+	// pre-flight (may be nil). When set, invariant-audit diagnostics
+	// cite the contract rules the verifier proved for the loop whose
+	// schedule governs the failing block.
+	Verified *analysis.Report
 }
 
 // Result is the outcome of one simulated run.
@@ -138,11 +144,18 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 		prof = trace.NewProfile()
 		res.Profile = prof
 	}
+	// Block-level provenance for audit diagnostics: schedules are
+	// recorded as execs instantiate them; the hook stays cheap (a map
+	// lookup) and is only consulted when an audit fails.
+	prov := analysis.NewProvIndex(an)
+	prov.Report = opt.Verified
+	proto.BlockInfo = prov.Describe
 	for i := 0; i < mc.Nodes; i++ {
 		execs[i] = newExec(prog, an, layouts, cluster, cluster.Nodes[i], proto.Node(i), opt.Opt)
 		execs[i].prof = prof
 		execs[i].edgePf = opt.EdgePrefetch
 		execs[i].inspect = opt.InspectIndirect
+		execs[i].prov = prov
 	}
 	if opt.Backend == MessagePassing {
 		installMP(execs)

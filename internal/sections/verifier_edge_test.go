@@ -1,0 +1,211 @@
+package sections
+
+import (
+	"testing"
+)
+
+// Edge cases the static verifier leans on: the contract checker
+// recomputes shmem_limits shrinks and the race detector intersects
+// strided ownership lattices, so the corner behavior of IntersectS /
+// BlockAlign / RunsToBlocks must be exact.
+
+// TestIntersectSEmptyAndDisjoint: empty inputs and disjoint windows
+// both produce the canonical empty range.
+func TestIntersectSEmptyAndDisjoint(t *testing.T) {
+	empty := SDim{Lo: 1, Hi: 0, Step: 1}
+	cases := []struct{ a, b SDim }{
+		{empty, NewSDim(1, 10, 1)},
+		{NewSDim(1, 10, 1), empty},
+		{empty, empty},
+		{NewSDim(1, 5, 1), NewSDim(6, 10, 1)},   // disjoint windows
+		{NewSDim(1, 9, 4), NewSDim(10, 20, 4)},  // windows touch, members don't
+		{NewSDim(0, 100, 2), NewSDim(1, 99, 2)}, // even vs odd lattice
+	}
+	for _, c := range cases {
+		got := IntersectS(c.a, c.b)
+		if !got.Empty() {
+			t.Errorf("IntersectS(%v, %v) = %v, want empty", c.a, c.b, got)
+		}
+	}
+}
+
+// TestIntersectSNonCoprime: CRT over non-coprime strides. With
+// gcd(4,6)=2 the congruences are solvable only when the origins agree
+// mod 2; when they do, the result steps by lcm=12.
+func TestIntersectSNonCoprime(t *testing.T) {
+	a := NewSDim(2, 100, 4)  // 2, 6, 10, ...   ≡ 2 (mod 4)
+	b := NewSDim(6, 100, 6)  // 6, 12, 18, ...  ≡ 0 (mod 6)
+	got := IntersectS(a, b)  // solutions: 6, 18, 30, ... step 12
+	want := NewSDim(6, 90, 12)
+	if got != want {
+		t.Fatalf("IntersectS(%v, %v) = %v, want %v", a, b, got, want)
+	}
+	// Exhaustive cross-check.
+	for i := 0; i <= 100; i++ {
+		if got.Contains(i) != (a.Contains(i) && b.Contains(i)) {
+			t.Fatalf("membership of %d disagrees with brute force", i)
+		}
+	}
+
+	// Origins differing mod gcd: unsolvable, must be empty.
+	c := NewSDim(3, 100, 4) // ≡ 3 (mod 4), odd
+	if got := IntersectS(c, b); !got.Empty() {
+		t.Fatalf("IntersectS(%v, %v) = %v, want empty (parity mismatch)", c, b, got)
+	}
+}
+
+// TestIntersectSSingleton: one-member ranges intersect to that member
+// or to nothing.
+func TestIntersectSSingleton(t *testing.T) {
+	p := NewSDim(7, 7, 1)
+	lat := NewSDim(1, 100, 3) // 1, 4, 7, ...
+	if got := IntersectS(p, lat); got.Count() != 1 || !got.Contains(7) {
+		t.Fatalf("point-on-lattice intersection = %v, want {7}", got)
+	}
+	off := NewSDim(8, 8, 1)
+	if got := IntersectS(off, lat); !got.Empty() {
+		t.Fatalf("point-off-lattice intersection = %v, want empty", got)
+	}
+}
+
+// TestNewSDimRejectsNonPositiveStep: negative-step (reversed) index
+// triplets are normalized by the frontend before reaching sections;
+// the algebra itself refuses them loudly rather than computing with a
+// descending lattice.
+func TestNewSDimRejectsNonPositiveStep(t *testing.T) {
+	for _, step := range []int{0, -1, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSDim(1, 10, %d) did not panic", step)
+				}
+			}()
+			NewSDim(1, 10, step)
+		}()
+	}
+}
+
+// TestSubtractSCoverAndSplit: subtracting a superset yields nothing;
+// subtracting an interior window splits into head and tail.
+func TestSubtractSCoverAndSplit(t *testing.T) {
+	a := NewSDim(10, 50, 5)
+	if got := SubtractS(a, NewSDim(0, 100, 5)); len(got) != 0 {
+		t.Fatalf("a \\ superset = %v, want empty", got)
+	}
+	parts := SubtractS(a, NewSDim(25, 35, 5))
+	want := map[int]bool{10: true, 15: true, 20: true, 40: true, 45: true, 50: true}
+	got := map[int]bool{}
+	for _, d := range parts {
+		d.Each(func(i int) { got[i] = true })
+	}
+	if len(got) != len(want) {
+		t.Fatalf("a \\ interior = %v members, want %v", got, want)
+	}
+	for i := range want {
+		if !got[i] {
+			t.Fatalf("member %d missing from %v", i, parts)
+		}
+	}
+}
+
+// TestBlockAlignMidBlock: runs ending mid-block are truncated to the
+// last boundary; runs contained within one block vanish entirely (the
+// paper's shmem_limits leaves those elements to the default protocol).
+func TestBlockAlignMidBlock(t *testing.T) {
+	const bs = 128
+	cases := []struct {
+		name string
+		in   Run
+		want []Run
+	}{
+		{"aligned", Run{Addr: 256, Bytes: 384}, []Run{{Addr: 256, Bytes: 384}}},
+		{"head unaligned", Run{Addr: 200, Bytes: 440}, []Run{{Addr: 256, Bytes: 384}}},
+		{"tail mid-block", Run{Addr: 256, Bytes: 400}, []Run{{Addr: 256, Bytes: 384}}},
+		{"both ends mid-block", Run{Addr: 130, Bytes: 500}, []Run{{Addr: 256, Bytes: 256}}},
+		{"sub-block vanishes", Run{Addr: 130, Bytes: 60}, nil},
+		{"spans boundary but under a block", Run{Addr: 100, Bytes: 100}, nil},
+		{"exactly one block after shrink", Run{Addr: 127, Bytes: 130}, []Run{{Addr: 128, Bytes: 128}}},
+	}
+	for _, c := range cases {
+		got := BlockAlign([]Run{c.in}, bs)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: BlockAlign(%+v) = %v, want %v", c.name, c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: BlockAlign(%+v) = %v, want %v", c.name, c.in, got, c.want)
+			}
+		}
+	}
+}
+
+// TestRunsToBlocksPanicsUnaligned: feeding unshrunk runs to the block
+// converter is a programming error, not a silent truncation.
+func TestRunsToBlocksPanicsUnaligned(t *testing.T) {
+	bad := []Run{
+		{Addr: 100, Bytes: 128}, // unaligned start
+		{Addr: 128, Bytes: 100}, // unaligned length
+	}
+	for _, r := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RunsToBlocks(%+v) did not panic", r)
+				}
+			}()
+			RunsToBlocks([]Run{r}, 128)
+		}()
+	}
+}
+
+// FuzzBlockAlign: for arbitrary runs and block sizes, the shrink must
+// return block-aligned runs that are subsets of their inputs, and the
+// result must always be accepted by RunsToBlocks. This is the
+// shmem_limits safety property the static verifier's alignment rule
+// (contract/shmem-limits) re-checks per schedule.
+func FuzzBlockAlign(f *testing.F) {
+	f.Add(200, 440, 128)
+	f.Add(0, 1024, 128)
+	f.Add(130, 60, 128)
+	f.Add(5, 5, 32)
+	f.Add(1023, 4097, 4096)
+	f.Fuzz(func(t *testing.T, addr, bytes, bs int) {
+		if bs < 1 || bs > 1<<16 || addr < 0 || addr > 1<<30 || bytes < 0 || bytes > 1<<24 {
+			t.Skip()
+		}
+		in := Run{Addr: addr, Bytes: bytes}
+		out := BlockAlign([]Run{in}, bs)
+		if len(out) > 1 {
+			t.Fatalf("one input run produced %d output runs", len(out))
+		}
+		for _, r := range out {
+			if r.Addr%bs != 0 || r.Bytes%bs != 0 {
+				t.Fatalf("BlockAlign(%+v, %d) = %+v not block aligned", in, bs, r)
+			}
+			if r.Bytes <= 0 {
+				t.Fatalf("BlockAlign(%+v, %d) = %+v empty run emitted", in, bs, r)
+			}
+			if r.Addr < in.Addr || r.End() > in.End() {
+				t.Fatalf("BlockAlign(%+v, %d) = %+v escapes the input run", in, bs, r)
+			}
+		}
+		// The shrink drops less than one block off each end.
+		if len(out) == 0 && bytes >= 2*bs {
+			t.Fatalf("BlockAlign(%+v, %d) dropped a run holding a full block", in, bs)
+		}
+		blocks := RunsToBlocks(out, bs) // must not panic
+		total := 0
+		for _, b := range blocks {
+			total += b[1]
+		}
+		if want := 0; len(out) == 1 {
+			want = out[0].Bytes / bs
+			if total != want {
+				t.Fatalf("RunsToBlocks count %d, want %d", total, want)
+			}
+		} else if total != want {
+			t.Fatalf("RunsToBlocks of empty shrink returned %d blocks", total)
+		}
+	})
+}
