@@ -36,8 +36,22 @@ lint:
 # Everything the CI gate runs.
 check: build vet test race lint
 
+# Perf trajectory: run the short regression suite and write the next
+# BENCH_<n>.json in sequence. Compare any two files entry-by-entry;
+# the sim-ms fields must not drift between them (same model, faster
+# simulator).
 bench:
-	$(GO) run ./cmd/paperbench -size scaled
+	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	echo "writing BENCH_$$n.json"; \
+	$(GO) run ./cmd/paperbench -bench BENCH_$$n.json
+
+# CI gate: rerun the suite and fail on >2x ns/op regression (or any
+# sim-ms drift) against the newest committed BENCH_<n>.json.
+bench-check:
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
+	if [ -z "$$base" ]; then echo "no committed BENCH_*.json baseline"; exit 1; fi; \
+	echo "baseline $$base"; \
+	$(GO) run ./cmd/paperbench -bench BENCH_ci.json -bench-baseline $$base
 
 fmt:
 	gofmt -w .

@@ -25,6 +25,7 @@ import (
 	"hpfdsm/internal/config"
 	"hpfdsm/internal/ir"
 	"hpfdsm/internal/lang"
+	"hpfdsm/internal/profiling"
 	"hpfdsm/internal/runtime"
 )
 
@@ -65,9 +66,22 @@ func main() {
 	profile := flag.Bool("profile", false, "print a per-loop time profile")
 	gantt := flag.Int("gantt", 0, "print an ASCII timeline this many characters wide (implies -profile)")
 	profileJSON := flag.String("profile-json", "", "write the per-loop profile as JSON to this file (implies -profile)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	params := paramFlags{}
 	flag.Var(params, "param", "override a PARAM (NAME=VALUE, repeatable)")
 	flag.Parse()
+
+	stopProf, err0 := profiling.Start(*cpuProfile, *memProfile, *traceFile)
+	if err0 != nil {
+		fail(err0)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "hpfrun: profiling:", err)
+		}
+	}()
 
 	var prog *ir.Program
 	var err error

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	goruntime "runtime"
 
 	"hpfdsm/internal/bench"
+	"hpfdsm/internal/profiling"
 )
 
 func main() {
@@ -25,7 +27,39 @@ func main() {
 	size := flag.String("size", "bench", "problem sizes: bench, paper, scaled")
 	nodes := flag.Int("nodes", 8, "cluster size for suite experiments")
 	verbose := flag.Bool("v", false, "log each run")
+	workers := flag.Int("j", goruntime.GOMAXPROCS(0), "max concurrent simulations in sweeps")
+	benchOut := flag.String("bench", "", "run the short regression suite and write BENCH json to this file (skips -exp)")
+	benchBase := flag.String("bench-baseline", "", "with -bench: compare against this BENCH json; exit 1 on >2x ns/op regression or sim-ms drift")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	if *workers < 1 {
+		*workers = 1
+	}
+	bench.SuiteWorkers = *workers
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	exitCode := 0
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+			if exitCode == 0 {
+				exitCode = 1
+			}
+		}
+		os.Exit(exitCode)
+	}()
+
+	if *benchOut != "" {
+		exitCode = runRegression(*benchOut, *benchBase)
+		return
+	}
 
 	var sizing bench.Sizing
 	switch *size {
@@ -138,4 +172,49 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+// runRegression runs the short benchmark suite, writes the BENCH json,
+// and (optionally) gates against a committed baseline. Returns the
+// process exit code.
+func runRegression(outFile, baseFile string) int {
+	rep := bench.RunRegression(os.Stderr)
+	f, err := os.Create(outFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", outFile, len(rep.Entries))
+	if baseFile == "" {
+		return 0
+	}
+	bf, err := os.Open(baseFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	base, err := bench.ReadReport(bf)
+	bf.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	if bad := bench.Compare(base, rep, 2.0); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchmark regression vs %s:\n", baseFile)
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		return 1
+	}
+	fmt.Printf("no regression vs %s\n", baseFile)
+	return 0
 }

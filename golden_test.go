@@ -1,0 +1,63 @@
+// Golden-stats determinism tests: the fast-path simulator core must be
+// bit-identical to the pre-optimization model. The numbers below were
+// captured from the seed implementation (interface-boxed event heap,
+// uncached schedules, tree-walk interpreter) for all six applications
+// at level 3 (OptRTElim), 8 nodes, dual CPU, scaled sizes. Every
+// performance change must reproduce them exactly: a simulator
+// optimization that shifts any simulated quantity is a model change
+// and a bug.
+package hpfdsm_test
+
+import (
+	"testing"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/bench"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/sim"
+)
+
+var goldenOptRTElim = []struct {
+	app     string
+	elapsed sim.Time
+	misses  int64
+	msgs    int64
+	bytes   int64
+}{
+	{"pde", 584296130, 8680, 61660, 5020592},
+	{"shallow", 117996820, 1342, 9724, 1064616},
+	{"grav", 54934230, 214, 3312, 169488},
+	{"lu", 77808310, 609, 5584, 403200},
+	{"cg", 53001890, 543, 3748, 226544},
+	{"jacobi", 25817670, 224, 2028, 182704},
+}
+
+func TestGoldenStatsOptRTElim(t *testing.T) {
+	for _, g := range goldenOptRTElim {
+		g := g
+		t.Run(g.app, func(t *testing.T) {
+			a, err := apps.ByName(g.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := bench.RunApp(a, a.ScaledParams,
+				bench.Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptRTElim})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Elapsed != g.elapsed {
+				t.Errorf("elapsed %d, golden %d", r.Elapsed, g.elapsed)
+			}
+			if m := r.Stats.TotalMisses(); m != g.misses {
+				t.Errorf("misses %d, golden %d", m, g.misses)
+			}
+			if m := r.Stats.TotalMessages(); m != g.msgs {
+				t.Errorf("messages %d, golden %d", m, g.msgs)
+			}
+			if b := r.Stats.TotalBytes(); b != g.bytes {
+				t.Errorf("bytes %d, golden %d", b, g.bytes)
+			}
+		})
+	}
+}

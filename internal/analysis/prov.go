@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/protocol"
 )
 
 // ProvIndex maps coherence-block numbers back to compiler decisions:
@@ -23,7 +24,13 @@ type ProvIndex struct {
 
 	blockSize int
 	spans     []provSpan
-	last      map[int]provEntry
+	last      []*provEntry // per block; nil = nothing recorded
+
+	// stamps caches the formatted per-transfer entries of each
+	// instantiated (label, schedule) pair: schedules are memoized by the
+	// compiler, so after the first instantiation a repeat record is just
+	// slice stores — no formatting, no allocation.
+	stamps map[provKey][]provStamp
 }
 
 type provSpan struct {
@@ -36,17 +43,33 @@ type provEntry struct {
 	text string
 }
 
+type provKey struct {
+	label string
+	sched *compiler.Schedule
+}
+
+type provStamp struct {
+	e      *provEntry
+	blocks []protocol.BlockRun
+}
+
 // NewProvIndex builds the array→block map for a compiled program.
 func NewProvIndex(an *compiler.Analysis) *ProvIndex {
-	px := &ProvIndex{blockSize: an.BlockSize, last: map[int]provEntry{}}
+	px := &ProvIndex{blockSize: an.BlockSize, stamps: map[provKey][]provStamp{}}
+	maxB := 0
 	for _, arr := range an.Prog.Arrays {
 		lay := an.Layouts[arr]
+		hi := (lay.Base + lay.SizeBytes() + an.BlockSize - 1) / an.BlockSize
 		px.spans = append(px.spans, provSpan{
 			name: arr.Name,
 			lo:   lay.Base / an.BlockSize,
-			hi:   (lay.Base + lay.SizeBytes() + an.BlockSize - 1) / an.BlockSize,
+			hi:   hi,
 		})
+		if hi > maxB {
+			maxB = hi
+		}
 	}
+	px.last = make([]*provEntry, maxB)
 	sort.Slice(px.spans, func(i, j int) bool { return px.spans[i].lo < px.spans[j].lo })
 	return px
 }
@@ -57,21 +80,31 @@ func (px *ProvIndex) RecordSchedule(label string, sched *compiler.Schedule) {
 	if px == nil || sched == nil {
 		return
 	}
-	note := func(ts []compiler.Transfer, kind string) {
-		for _, t := range ts {
-			e := provEntry{
-				loop: label,
-				text: fmt.Sprintf("loop %s: %s %s%v %d->%d", label, kind, t.Array.Name, t.Sec, t.Sender, t.Receiver),
+	k := provKey{label: label, sched: sched}
+	stamps, ok := px.stamps[k]
+	if !ok {
+		note := func(ts []compiler.Transfer, kind string) {
+			for _, t := range ts {
+				stamps = append(stamps, provStamp{
+					e: &provEntry{
+						loop: label,
+						text: fmt.Sprintf("loop %s: %s %s%v %d->%d", label, kind, t.Array.Name, t.Sec, t.Sender, t.Receiver),
+					},
+					blocks: t.Blocks,
+				})
 			}
-			for _, r := range t.Blocks {
-				for b := r.Start; b < r.Start+r.N; b++ {
-					px.last[b] = e
-				}
+		}
+		note(sched.Reads, "send")
+		note(sched.Writes, "flush")
+		px.stamps[k] = stamps
+	}
+	for _, s := range stamps {
+		for _, r := range s.blocks {
+			for b := r.Start; b < r.Start+r.N; b++ {
+				px.last[b] = s.e
 			}
 		}
 	}
-	note(sched.Reads, "send")
-	note(sched.Writes, "flush")
 }
 
 // Describe renders a block's provenance, or "" when nothing is known.
@@ -86,7 +119,7 @@ func (px *ProvIndex) Describe(b int) string {
 			break
 		}
 	}
-	if e, ok := px.last[b]; ok {
+	if e := px.entryAt(b); e != nil {
 		parts = append(parts, e.text)
 		if px.Report != nil {
 			if rules := px.Report.RulesFor(e.loop); len(rules) > 0 {
@@ -99,4 +132,11 @@ func (px *ProvIndex) Describe(b int) string {
 		}
 	}
 	return strings.Join(parts, "; ")
+}
+
+func (px *ProvIndex) entryAt(b int) *provEntry {
+	if b < 0 || b >= len(px.last) {
+		return nil
+	}
+	return px.last[b]
 }

@@ -10,6 +10,9 @@ package apps
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"hpfdsm/internal/ir"
 	"hpfdsm/internal/lang"
@@ -42,13 +45,45 @@ type App struct {
 	Tol         float64
 }
 
-// Program parses the app with the given parameter overrides.
+// progCache memoizes parsed programs per (app, parameter valuation).
+// Returned programs are shared and must be treated as read-only — the
+// compiler and runtime already do, and the stable pointer is what lets
+// the compiler's cross-run analysis cache hit across repeated runs and
+// concurrent sweep workers.
+var (
+	progMu    sync.Mutex
+	progCache = map[string]*ir.Program{}
+)
+
+// Program parses the app with the given parameter overrides. Parses are
+// memoized: the same app and parameters return the same *ir.Program.
 func (a *App) Program(params map[string]int) (*ir.Program, error) {
+	key := progKey(a.Name, params)
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p, ok := progCache[key]; ok {
+		return p, nil
+	}
 	p, err := lang.ParseWithOverrides(a.Source, params)
 	if err != nil {
 		return nil, fmt.Errorf("apps: %s: %w", a.Name, err)
 	}
+	progCache[key] = p
 	return p, nil
+}
+
+func progKey(name string, params map[string]int) string {
+	ks := make([]string, 0, len(params))
+	for k := range params {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range ks {
+		fmt.Fprintf(&b, "|%s=%d", k, params[k])
+	}
+	return b.String()
 }
 
 // MemMB returns the shared-data footprint (in MiB) of the app at the

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"hpfdsm/internal/apps"
 	"hpfdsm/internal/compiler"
@@ -69,6 +70,55 @@ func Variants(nodes int) []Variant {
 	}
 }
 
+// SuiteWorkers bounds how many independent simulations RunSuite and
+// the grid experiments may run concurrently. Each sim.Env is fully
+// self-contained, so runs only share the (read-only, internally
+// locked) compiled-program caches. 1 = serial.
+var SuiteWorkers = 1
+
+// forEachLimit runs f(0)..f(n-1) on at most `workers` goroutines and
+// returns the lowest-index error. With workers <= 1 it runs inline, in
+// order — the streaming path the CLIs use by default. Results must be
+// written to per-index storage by f; output ordering is the caller's
+// job (grid experiments collect first, then print rows in grid order,
+// so parallel output is byte-identical to serial).
+func forEachLimit(n, workers int, f func(int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RunApp executes one app under one variant.
 func RunApp(a *apps.App, params map[string]int, v Variant) (*runtime.Result, error) {
 	prog, err := a.Program(params)
@@ -91,24 +141,51 @@ func (s *SuiteResults) Get(app, key string) *runtime.Result {
 }
 
 // RunSuite runs every app under every variant, logging progress to w
-// (which may be nil).
+// (which may be nil). With SuiteWorkers > 1 the (app, variant) grid
+// runs on a bounded worker pool; results and log lines still come out
+// in grid order, identical to the serial run.
 func RunSuite(sizing Sizing, nodes int, w io.Writer) (*SuiteResults, error) {
+	type job struct {
+		a *apps.App
+		v Variant
+	}
+	var jobs []job
 	out := &SuiteResults{Sizing: sizing, Results: map[string]map[string]*runtime.Result{}}
 	for _, a := range apps.All() {
 		out.Results[a.Name] = map[string]*runtime.Result{}
-		params := ParamsFor(a, sizing)
 		for _, v := range Variants(nodes) {
-			if w != nil {
-				fmt.Fprintf(w, "running %-8s %-13s ... ", a.Name, v.Key)
+			jobs = append(jobs, job{a, v})
+		}
+	}
+	workers := SuiteWorkers
+	streaming := workers <= 1 && w != nil
+	results := make([]*runtime.Result, len(jobs))
+	err := forEachLimit(len(jobs), workers, func(i int) error {
+		j := jobs[i]
+		if streaming {
+			fmt.Fprintf(w, "running %-8s %-13s ... ", j.a.Name, j.v.Key)
+		}
+		res, err := RunApp(j.a, ParamsFor(j.a, sizing), j.v)
+		if err != nil {
+			if streaming {
+				fmt.Fprintln(w, "error")
 			}
-			res, err := RunApp(a, params, v)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", a.Name, v.Key, err)
-			}
-			out.Results[a.Name][v.Key] = res
-			if w != nil {
-				fmt.Fprintf(w, "%8.2f ms, %7d misses\n", ms(res.Elapsed), res.Stats.TotalMisses())
-			}
+			return fmt.Errorf("%s/%s: %w", j.a.Name, j.v.Key, err)
+		}
+		results[i] = res
+		if streaming {
+			fmt.Fprintf(w, "%8.2f ms, %7d misses\n", ms(res.Elapsed), res.Stats.TotalMisses())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		out.Results[j.a.Name][j.v.Key] = results[i]
+		if w != nil && !streaming {
+			fmt.Fprintf(w, "running %-8s %-13s ... %8.2f ms, %7d misses\n",
+				j.a.Name, j.v.Key, ms(results[i].Elapsed), results[i].Stats.TotalMisses())
 		}
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -112,6 +113,51 @@ func TestExperimentsRenderAtScaledSize(t *testing.T) {
 		if s <= 0 || s > 8.5 {
 			t.Errorf("%s: implausible speedup %.2f", app, s)
 		}
+	}
+}
+
+// TestParallelSuiteMatchesSerial is the correctness statement for the
+// sweep pool: a concurrent sweep must produce bit-identical statistics
+// and log output to the serial one. Run under -race it also checks the
+// pool and the shared compiled-program caches for data races.
+func TestParallelSuiteMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite sweep is slow")
+	}
+	old := SuiteWorkers
+	defer func() { SuiteWorkers = old }()
+
+	SuiteWorkers = 1
+	var serialLog bytes.Buffer
+	serial, err := RunSuite(Scaled, 2, &serialLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SuiteWorkers = 4
+	var parLog bytes.Buffer
+	par, err := RunSuite(Scaled, 2, &parLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, app := range AppNames() {
+		for _, v := range Variants(2) {
+			s, p := serial.Get(app, v.Key), par.Get(app, v.Key)
+			if s.Elapsed != p.Elapsed {
+				t.Errorf("%s/%s: elapsed %d (serial) != %d (parallel)", app, v.Key, s.Elapsed, p.Elapsed)
+			}
+			if s.Stats.TotalMisses() != p.Stats.TotalMisses() ||
+				s.Stats.TotalMessages() != p.Stats.TotalMessages() ||
+				s.Stats.TotalBytes() != p.Stats.TotalBytes() {
+				t.Errorf("%s/%s: stats diverge: serial (%d misses, %d msgs, %d B) vs parallel (%d, %d, %d)",
+					app, v.Key,
+					s.Stats.TotalMisses(), s.Stats.TotalMessages(), s.Stats.TotalBytes(),
+					p.Stats.TotalMisses(), p.Stats.TotalMessages(), p.Stats.TotalBytes())
+			}
+		}
+	}
+	if serialLog.String() != parLog.String() {
+		t.Errorf("log output diverges:\nserial:\n%s\nparallel:\n%s", serialLog.String(), parLog.String())
 	}
 }
 

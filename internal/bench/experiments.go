@@ -467,31 +467,39 @@ func BlockSize(sizing Sizing) (string, error) {
 	var b strings.Builder
 	b.WriteString("Ablation: coherence block size (jacobi + grav, dual-cpu)\n\n")
 	fmt.Fprintf(&b, "  %-9s %6s | %12s %12s | %9s\n", "App", "Block", "unopt", "rtelim", "miss red")
-	for _, name := range []string{"jacobi", "grav"} {
+	names := []string{"jacobi", "grav"}
+	sizes := []int{32, 64, 128}
+	type cell struct{ un, op *runtime.Result }
+	cells := make([]cell, len(names)*len(sizes))
+	err := forEachLimit(len(cells), SuiteWorkers, func(i int) error {
+		name, bs := names[i/len(sizes)], sizes[i%len(sizes)]
 		a, err := apps.ByName(name)
 		if err != nil {
-			return "", err
+			return err
 		}
-		for _, bs := range []int{32, 64, 128} {
-			params := ParamsFor(a, sizing)
-			prog, err := a.Program(params)
-			if err != nil {
-				return "", err
-			}
-			mc := config.Default().WithBlockSize(bs)
-			un, err := runtime.Run(prog, runtime.Options{Machine: mc, Opt: compiler.OptNone})
-			if err != nil {
-				return "", err
-			}
-			prog2, _ := a.Program(params)
-			op, err := runtime.Run(prog2, runtime.Options{Machine: mc, Opt: compiler.OptRTElim})
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(&b, "  %-9s %5dB | %10.2fms %10.2fms | %8.1f%%\n",
-				name, bs, ms(un.Elapsed), ms(op.Elapsed),
-				100*(1-op.Stats.AvgMissesPerNode()/un.Stats.AvgMissesPerNode()))
+		prog, err := a.Program(ParamsFor(a, sizing))
+		if err != nil {
+			return err
 		}
+		mc := config.Default().WithBlockSize(bs)
+		un, err := runtime.Run(prog, runtime.Options{Machine: mc, Opt: compiler.OptNone})
+		if err != nil {
+			return err
+		}
+		op, err := runtime.Run(prog, runtime.Options{Machine: mc, Opt: compiler.OptRTElim})
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{un, op}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, c := range cells {
+		fmt.Fprintf(&b, "  %-9s %5dB | %10.2fms %10.2fms | %8.1f%%\n",
+			names[i/len(sizes)], sizes[i%len(sizes)], ms(c.un.Elapsed), ms(c.op.Elapsed),
+			100*(1-c.op.Stats.AvgMissesPerNode()/c.un.Stats.AvgMissesPerNode()))
 	}
 	return b.String(), nil
 }
@@ -524,34 +532,39 @@ func Faults(sizing Sizing) (string, error) {
 		{"1%+0.5%", 0.01, 0.005},
 		{"5%+2%", 0.05, 0.02},
 	}
-	for _, name := range []string{"jacobi", "lu", "cg"} {
+	names := []string{"jacobi", "lu", "cg"}
+	results := make([]*runtime.Result, len(names)*len(levels))
+	err := forEachLimit(len(results), SuiteWorkers, func(i int) error {
+		name, lv := names[i/len(levels)], levels[i%len(levels)]
 		a, err := apps.ByName(name)
 		if err != nil {
-			return "", err
+			return err
 		}
-		params := ParamsFor(a, sizing)
-		var base sim.Time
-		for _, lv := range levels {
-			prog, err := a.Program(params)
-			if err != nil {
-				return "", err
-			}
-			mc := config.Default()
-			if lv.drop > 0 {
-				mc = mc.WithFaults(config.Faults{Drop: lv.drop, Dup: lv.dup, Seed: 1})
-			}
-			r, err := runtime.Run(prog, runtime.Options{Machine: mc, Opt: compiler.OptRTElim, Check: true})
-			if err != nil {
-				return "", fmt.Errorf("%s at %s: %w", name, lv.name, err)
-			}
-			if lv.drop == 0 {
-				base = r.Elapsed
-			}
-			fmt.Fprintf(&b, "  %-8s %-12s | %8.2fms %8d %11d %8d %11d | %7.2fx\n",
-				name, lv.name, ms(r.Elapsed), r.Stats.TotalMessages(),
-				r.Stats.TotalRetransmits(), r.Stats.TotalWireDrops(), r.Stats.TotalDupsDropped(),
-				float64(r.Elapsed)/float64(base))
+		prog, err := a.Program(ParamsFor(a, sizing))
+		if err != nil {
+			return err
 		}
+		mc := config.Default()
+		if lv.drop > 0 {
+			mc = mc.WithFaults(config.Faults{Drop: lv.drop, Dup: lv.dup, Seed: 1})
+		}
+		r, err := runtime.Run(prog, runtime.Options{Machine: mc, Opt: compiler.OptRTElim, Check: true})
+		if err != nil {
+			return fmt.Errorf("%s at %s: %w", name, lv.name, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, r := range results {
+		name, lv := names[i/len(levels)], levels[i%len(levels)]
+		base := results[i-i%len(levels)].Elapsed // the app's lossless run
+		fmt.Fprintf(&b, "  %-8s %-12s | %8.2fms %8d %11d %8d %11d | %7.2fx\n",
+			name, lv.name, ms(r.Elapsed), r.Stats.TotalMessages(),
+			r.Stats.TotalRetransmits(), r.Stats.TotalWireDrops(), r.Stats.TotalDupsDropped(),
+			float64(r.Elapsed)/float64(base))
 	}
 	return b.String(), nil
 }

@@ -1,0 +1,203 @@
+// Benchmark-regression harness. `make bench` (via paperbench -bench)
+// runs a short, fixed suite of simulator benchmarks with
+// testing.Benchmark and writes BENCH_<n>.json: ns/op, allocs/op and
+// the *simulated* milliseconds of each experiment. Successive files
+// record the repository's perf trajectory; the sim-ms fields double as
+// a bit-identity witness, because any optimization that changes the
+// modeled machine (rather than the simulator implementing it) shows up
+// as a sim-ms diff between two BENCH files.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	goruntime "runtime"
+	"sort"
+	"testing"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/runtime"
+)
+
+// Entry is one benchmark's outcome.
+type Entry struct {
+	Name        string             `json:"name"`
+	N           int                `json:"n"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_<n>.json payload.
+type Report struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"suite_workers"`
+	Entries    []Entry `json:"entries"`
+}
+
+// regressionBenchmarks is the fixed short suite. Names are stable
+// across BENCH files so runs can be compared entry-by-entry.
+func regressionBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	fig3 := func(app string) func(b *testing.B) {
+		return func(b *testing.B) {
+			a, err := apps.ByName(app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var uni, opt *runtime.Result
+			for i := 0; i < b.N; i++ {
+				uni, err = RunApp(a, a.ScaledParams, Variant{Nodes: 1, CPUMode: config.DualCPU, Opt: compiler.OptNone})
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt, err = RunApp(a, a.ScaledParams, Variant{Nodes: 8, CPUMode: config.DualCPU, Opt: compiler.OptRTElim})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(ms(opt.Elapsed), "sim-ms")
+			b.ReportMetric(float64(opt.Stats.TotalMisses()), "misses")
+			b.ReportMetric(float64(opt.Stats.TotalMessages()), "msgs")
+			b.ReportMetric(float64(uni.Elapsed)/float64(opt.Elapsed), "speedup-8n")
+		}
+	}
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"readmiss", func(b *testing.B) {
+			b.ReportAllocs()
+			var stall int64
+			for i := 0; i < b.N; i++ {
+				stall = MeasureReadMiss()
+			}
+			b.ReportMetric(float64(stall)/1e3, "us-miss")
+		}},
+		{"fig3-jacobi", fig3("jacobi")},
+		{"fig3-lu", fig3("lu")},
+		{"suite-scaled", func(b *testing.B) {
+			b.ReportAllocs()
+			var suite *SuiteResults
+			var err error
+			for i := 0; i < b.N; i++ {
+				suite, err = RunSuite(Scaled, 8, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Sum of simulated time over the whole (app, variant)
+			// grid: one number that witnesses bit-identity of all 54
+			// experiments at once.
+			var total float64
+			var misses, msgs int64
+			for _, app := range AppNames() {
+				for _, v := range Variants(8) {
+					r := suite.Get(app, v.Key)
+					total += ms(r.Elapsed)
+					misses += r.Stats.TotalMisses()
+					msgs += r.Stats.TotalMessages()
+				}
+			}
+			b.ReportMetric(total, "sim-ms")
+			b.ReportMetric(float64(misses), "misses")
+			b.ReportMetric(float64(msgs), "msgs")
+		}},
+	}
+}
+
+// RunRegression runs the fixed suite and assembles the report,
+// logging one line per benchmark to w (which may be nil).
+func RunRegression(w io.Writer) *Report {
+	rep := &Report{
+		Schema:     "hpfdsm-bench/1",
+		GoVersion:  goruntime.Version(),
+		GOOS:       goruntime.GOOS,
+		GOARCH:     goruntime.GOARCH,
+		NumCPU:     goruntime.NumCPU(),
+		GOMAXPROCS: goruntime.GOMAXPROCS(0),
+		Workers:    SuiteWorkers,
+	}
+	for _, bm := range regressionBenchmarks() {
+		r := testing.Benchmark(bm.fn)
+		e := Entry{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			e.Metrics = map[string]float64{}
+			for k, v := range r.Extra {
+				e.Metrics[k] = v
+			}
+		}
+		rep.Entries = append(rep.Entries, e)
+		if w != nil {
+			fmt.Fprintf(w, "bench %-14s %12d ns/op %9d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+			for _, k := range sortedKeys(e.Metrics) {
+				fmt.Fprintf(w, "  %s=%.4g", k, e.Metrics[k])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return rep
+}
+
+// WriteJSON serializes the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport loads a BENCH_<n>.json.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Compare checks cur against a baseline: every entry present in both
+// whose ns/op grew by more than factor is a regression. It also flags
+// sim-ms drift, which means the *model* changed, not just the
+// simulator. Returns human-readable violations (empty = pass).
+func Compare(baseline, cur *Report, factor float64) []string {
+	var bad []string
+	old := map[string]Entry{}
+	for _, e := range baseline.Entries {
+		old[e.Name] = e
+	}
+	for _, e := range cur.Entries {
+		o, ok := old[e.Name]
+		if !ok {
+			continue
+		}
+		if o.NsPerOp > 0 && float64(e.NsPerOp) > factor*float64(o.NsPerOp) {
+			bad = append(bad, fmt.Sprintf("%s: %d ns/op vs baseline %d (> %.1fx)",
+				e.Name, e.NsPerOp, o.NsPerOp, factor))
+		}
+		if o.Metrics["sim-ms"] != 0 && e.Metrics["sim-ms"] != o.Metrics["sim-ms"] {
+			bad = append(bad, fmt.Sprintf("%s: sim-ms %.6g vs baseline %.6g (simulated results drifted)",
+				e.Name, e.Metrics["sim-ms"], o.Metrics["sim-ms"]))
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}

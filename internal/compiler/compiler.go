@@ -16,6 +16,7 @@ package compiler
 
 import (
 	"fmt"
+	"sync"
 
 	"hpfdsm/internal/distribute"
 	"hpfdsm/internal/ir"
@@ -83,14 +84,25 @@ type Analysis struct {
 	loops map[*ir.ParLoop]*LoopRule
 	reds  map[*ir.Reduce]*LoopRule
 
+	// mu guards schedCache and partCache: an Analysis may be shared by
+	// concurrent sweep workers (see Cached). Rules, distributions, and
+	// layouts are immutable after New.
+	mu         sync.RWMutex
 	schedCache map[schedKey]*Schedule
 	partCache  map[schedKey]*Partition
 	shared     map[*LoopRule]bool // rules reachable from >1 call site
 }
 
+// schedKey memoizes per-loop instantiations. The valuation of the
+// rule's used symbols is inlined as a fixed array for the common case
+// (no allocation, comparable key); rules with more symbols spill to a
+// formatted string.
 type schedKey struct {
 	loop any
-	sig  string
+	kind uint8 // 0 = partition, 1 = schedule
+	n    uint8
+	vals [8]int
+	sig  string // only when n > 8
 }
 
 // New analyzes prog for an np-processor machine. Layouts maps each
@@ -124,6 +136,63 @@ func New(prog *ir.Program, np int, layouts map[*ir.Array]sections.Layout, blockS
 
 // Dist returns the distribution of an array.
 func (a *Analysis) Dist(arr *ir.Array) distribute.Dist { return a.dists[arr] }
+
+// analysisKey identifies one compiled configuration for the cross-run
+// cache: program identity, machine shape, and a fingerprint of the
+// array placement (layouts are derived deterministically from the
+// machine configuration, but the fingerprint guards against a caller
+// with a different allocation policy).
+type analysisKey struct {
+	prog      *ir.Program
+	np        int
+	blockSize int
+	layoutSig uint64
+}
+
+var (
+	cachedMu sync.Mutex
+	cached   = map[analysisKey]*Analysis{}
+)
+
+// Cached returns a memoized Analysis for (prog, np, layouts,
+// blockSize), building one on first use. Programs obtained from the
+// same source and parameters share a pointer (see apps.Program), so
+// repeated runs — and every variant of a sweep at the same node count —
+// reuse one Analysis and its instantiation caches: section arithmetic
+// for a given (loop, valuation) runs once per process, not once per
+// run. The returned Analysis is safe for concurrent use.
+func Cached(prog *ir.Program, np int, layouts map[*ir.Array]sections.Layout, blockSize int) (*Analysis, error) {
+	k := analysisKey{prog: prog, np: np, blockSize: blockSize, layoutSig: layoutSig(prog, layouts)}
+	cachedMu.Lock()
+	a, ok := cached[k]
+	cachedMu.Unlock()
+	if ok {
+		return a, nil
+	}
+	a, err := New(prog, np, layouts, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	cachedMu.Lock()
+	if a2, ok := cached[k]; ok {
+		a = a2 // a concurrent builder won; converge on one instance
+	} else {
+		cached[k] = a
+	}
+	cachedMu.Unlock()
+	return a, nil
+}
+
+// layoutSig is an FNV-style fold of the arrays' placements.
+func layoutSig(prog *ir.Program, layouts map[*ir.Array]sections.Layout) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, arr := range prog.Arrays {
+		l := layouts[arr]
+		h = h*1099511628211 ^ uint64(l.Base)
+		h = h*1099511628211 ^ uint64(l.ElemSize)
+	}
+	return h
+}
 
 // LoopRule is the compiled form of one parallel loop (or global
 // reduction): its anchor reference (the owner-computes pivot), the

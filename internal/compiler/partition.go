@@ -27,10 +27,18 @@ func (pt *Partition) Executes(p int) bool {
 	return len(pt.Ranges[p]) > 0
 }
 
-// envSig builds the memoization signature from the used symbols.
-func envSig(used []string, env map[string]int) string {
-	if len(used) == 0 {
-		return ""
+// envKey builds the memoization key from the used symbols' valuation.
+func envKey(loop any, kind uint8, used []string, env map[string]int) schedKey {
+	k := schedKey{loop: loop, kind: kind, n: uint8(len(used))}
+	if len(used) <= len(k.vals) {
+		for i, v := range used {
+			val, ok := env[v]
+			if !ok {
+				panic(fmt.Sprintf("compiler: symbol %q unbound at schedule instantiation", v))
+			}
+			k.vals[i] = val
+		}
+		return k
 	}
 	var b strings.Builder
 	for _, v := range used {
@@ -40,19 +48,29 @@ func envSig(used []string, env map[string]int) string {
 		}
 		fmt.Fprintf(&b, "%s=%d;", v, val)
 	}
-	return b.String()
+	k.sig = b.String()
+	return k
 }
 
 // Partition computes (and memoizes) the work partition for a loop rule
 // under the given symbol environment. key identifies the loop (the
 // *ir.ParLoop or *ir.Reduce pointer).
 func (a *Analysis) Partition(key any, rule *LoopRule, env map[string]int) *Partition {
-	ck := schedKey{loop: key, sig: "part|" + envSig(rule.UsedSym, env)}
-	if pt, ok := a.partCache[ck]; ok {
+	ck := envKey(key, 0, rule.UsedSym, env)
+	a.mu.RLock()
+	pt, ok := a.partCache[ck]
+	a.mu.RUnlock()
+	if ok {
 		return pt
 	}
-	pt := a.buildPartition(rule, env)
-	a.partCache[ck] = pt
+	pt = a.buildPartition(rule, env)
+	a.mu.Lock()
+	if pt2, ok := a.partCache[ck]; ok {
+		pt = pt2
+	} else {
+		a.partCache[ck] = pt
+	}
+	a.mu.Unlock()
 	return pt
 }
 

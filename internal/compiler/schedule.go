@@ -25,6 +25,11 @@ type Transfer struct {
 	// the targets of the advisory edge-prefetch extension.
 	EdgeBlocks []protocol.BlockRun
 	Redundant  bool
+	// Key identifies the transfer's data content (array section ->
+	// receiver) for PRE's replicated delivered-set; precomputed here so
+	// the runtime's per-instance filter allocates nothing. Schedules are
+	// memoized, so the formatting cost is paid once per valuation.
+	Key string
 }
 
 func (t Transfer) String() string {
@@ -65,12 +70,21 @@ func filterBy(ts []Transfer, p int, sender bool) []Transfer {
 // Schedule instantiates (and memoizes) the communication schedule of a
 // loop rule under a symbol environment. key identifies the loop.
 func (a *Analysis) Schedule(key any, rule *LoopRule, env map[string]int) *Schedule {
-	ck := schedKey{loop: key, sig: "sched|" + envSig(rule.UsedSym, env)}
-	if s, ok := a.schedCache[ck]; ok {
+	ck := envKey(key, 1, rule.UsedSym, env)
+	a.mu.RLock()
+	s, ok := a.schedCache[ck]
+	a.mu.RUnlock()
+	if ok {
 		return s
 	}
-	s := a.buildSchedule(key, rule, env)
-	a.schedCache[ck] = s
+	s = a.buildSchedule(key, rule, env)
+	a.mu.Lock()
+	if s2, ok := a.schedCache[ck]; ok {
+		s = s2
+	} else {
+		a.schedCache[ck] = s
+	}
+	a.mu.Unlock()
 	return s
 }
 
@@ -273,5 +287,6 @@ func (a *Analysis) makeTransfer(arr *ir.Array, from, to int, sec sections.Sectio
 		EdgeBytes:  total - alignedBytes,
 		EdgeBlocks: edges,
 		Redundant:  redundant,
+		Key:        fmt.Sprintf("%s|%v|>%d", arr.Name, sec, to),
 	}
 }

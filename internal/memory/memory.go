@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	mbits "math/bits"
 
 	"hpfdsm/internal/config"
 )
@@ -54,6 +55,21 @@ type Space struct {
 	mc     config.Machine
 	size   int // current segment size in bytes (page aligned)
 	allocs []Alloc
+
+	// Cached geometry for the executor's per-access fast paths: block
+	// and page arithmetic reduce to shifts when the sizes are powers of
+	// two (shift == 0 on the rare non-power-of-two configuration, which
+	// falls back to division).
+	blockShift uint
+	pageShift  uint
+}
+
+// log2of returns log2(n) when n is a power of two, else 0.
+func log2of(n int) uint {
+	if n > 0 && n&(n-1) == 0 {
+		return uint(mbits.TrailingZeros(uint(n)))
+	}
+	return 0
 }
 
 // NewSpace returns an empty shared segment for machine mc.
@@ -61,7 +77,11 @@ func NewSpace(mc config.Machine) *Space {
 	if err := mc.Validate(); err != nil {
 		panic(err)
 	}
-	return &Space{mc: mc}
+	return &Space{
+		mc:         mc,
+		blockShift: log2of(mc.BlockSize),
+		pageShift:  log2of(mc.PageSize),
+	}
 }
 
 // Machine returns the machine configuration the space was built for.
@@ -97,16 +117,26 @@ func (s *Space) Alloc(name string, bytes int) int {
 func (s *Space) Allocs() []Alloc { return s.allocs }
 
 // Block returns the block number containing addr.
-func (s *Space) Block(addr int) int { return addr / s.mc.BlockSize }
+func (s *Space) Block(addr int) int {
+	if s.blockShift != 0 {
+		return addr >> s.blockShift
+	}
+	return addr / s.mc.BlockSize
+}
 
 // BlockBase returns the byte address of block b.
 func (s *Space) BlockBase(b int) int { return b * s.mc.BlockSize }
 
 // Page returns the page number containing addr.
-func (s *Space) Page(addr int) int { return addr / s.mc.PageSize }
+func (s *Space) Page(addr int) int {
+	if s.pageShift != 0 {
+		return addr >> s.pageShift
+	}
+	return addr / s.mc.PageSize
+}
 
 // Home returns the home node of addr's page (round-robin assignment).
-func (s *Space) Home(addr int) int { return (addr / s.mc.PageSize) % s.mc.Nodes }
+func (s *Space) Home(addr int) int { return s.Page(addr) % s.mc.Nodes }
 
 // HomeOfBlock returns the home node of block b.
 func (s *Space) HomeOfBlock(b int) int { return s.Home(b * s.mc.BlockSize) }
@@ -129,6 +159,11 @@ type NodeMem struct {
 	tags   []Tag
 	dirty  []uint16 // bit i set => word i of block modified locally
 	mapped []bool
+
+	// Cached block geometry so the per-access check/translate path
+	// never chases m.sp.mc and divides by a shift where possible.
+	bs     int  // block size in bytes
+	bshift uint // log2(bs), 0 if bs is not a power of two
 }
 
 // NewNodeMem creates node id's memory image. Blocks on pages homed at
@@ -144,6 +179,8 @@ func NewNodeMem(sp *Space, id int) *NodeMem {
 		tags:   make([]Tag, nb),
 		dirty:  make([]uint16, nb),
 		mapped: make([]bool, np),
+		bs:     sp.mc.BlockSize,
+		bshift: log2of(sp.mc.BlockSize),
 	}
 	bpp := sp.mc.PageSize / sp.mc.BlockSize
 	for pg := 0; pg < np; pg++ {
@@ -193,12 +230,20 @@ func (m *NodeMem) ReadF64(addr int) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(m.data[addr:]))
 }
 
+// block is the inlined block-number translation for the hot paths.
+func (m *NodeMem) block(addr int) int {
+	if m.bshift != 0 {
+		return addr >> m.bshift
+	}
+	return addr / m.bs
+}
+
 // WriteF64 writes the float64 at addr with no access check and records
 // the word in the containing block's dirty mask.
 func (m *NodeMem) WriteF64(addr int, v float64) {
 	binary.LittleEndian.PutUint64(m.data[addr:], math.Float64bits(v))
-	b := addr / m.sp.mc.BlockSize
-	m.dirty[b] |= 1 << uint((addr%m.sp.mc.BlockSize)/8)
+	b := m.block(addr)
+	m.dirty[b] |= 1 << uint((addr-b*m.bs)>>3)
 }
 
 // BlockData returns the live bytes of block b (aliasing the node image).
@@ -242,10 +287,10 @@ func (m *NodeMem) InstallClean(b int, data []byte) {
 
 // CheckLoad reports whether a load of addr would fault (tag invalid).
 func (m *NodeMem) CheckLoad(addr int) bool {
-	return m.tags[addr/m.sp.mc.BlockSize] != Invalid
+	return m.tags[m.block(addr)] != Invalid
 }
 
 // CheckStore reports whether a store to addr would fault.
 func (m *NodeMem) CheckStore(addr int) bool {
-	return m.tags[addr/m.sp.mc.BlockSize] == ReadWrite
+	return m.tags[m.block(addr)] == ReadWrite
 }

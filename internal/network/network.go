@@ -21,6 +21,11 @@ type Kind uint8
 // metadata; Data carries block payloads. Size is the payload size in
 // bytes used for timing and byte accounting (header accounted
 // separately); Data may be nil for control messages.
+//
+// Messages obtained from Network.NewMessage are recycled automatically
+// after their delivery handler returns; a handler that keeps a
+// reference past its own return must call Retain. Messages built
+// directly with a literal are never recycled.
 type Message struct {
 	Src, Dst int
 	Kind     Kind
@@ -30,7 +35,21 @@ type Message struct {
 	Data     []byte
 	Size     int
 	Seq      int64 // reliable-delivery sequence number (0 = unsequenced)
+
+	// DataPooled marks Data as borrowed from the network's block-buffer
+	// pool (AllocBlock); the buffer is reclaimed when the delivered
+	// message is recycled.
+	DataPooled bool
+
+	net      *Network // owning network, set at creation or first Send
+	pooled   bool     // recycle after the delivery handler returns
+	retained bool     // handler kept the message; skip recycling
 }
+
+// Retain marks a delivered message (and its Data) as kept by the
+// handler beyond its return, exempting both from recycling. Required
+// whenever a handler queues or defers the message.
+func (m *Message) Retain() { m.retained = true }
 
 func (m *Message) String() string {
 	return fmt.Sprintf("msg{%d->%d kind=%d addr=%#x arg=%d arg2=%d seq=%d size=%d}",
@@ -55,6 +74,15 @@ type Network struct {
 	linkFree []sim.Time // sender-link next-free time
 	st       *stats.Cluster
 	rel      *reliable // nil unless fault injection is active
+
+	// Freelists for zero-steady-state-allocation messaging. A network
+	// belongs to exactly one single-threaded Env, so plain slices beat
+	// sync.Pool (no locking, no per-P shards). Pooling is disabled when
+	// the reliable layer is active: duplication and retransmission keep
+	// references past delivery.
+	pool    bool
+	free    []*Message
+	bufFree [][]byte // BlockSize-sized payload buffers
 }
 
 // New creates a network for mc.Nodes endpoints. Endpoints must be bound
@@ -66,11 +94,55 @@ func New(env *sim.Env, mc config.Machine, st *stats.Cluster) *Network {
 		eps:      make([]Endpoint, mc.Nodes),
 		linkFree: make([]sim.Time, mc.Nodes),
 		st:       st,
+		pool:     !mc.Faults.Active(),
 	}
 	if mc.Faults.Active() {
 		n.rel = newReliable(n, mc.Faults)
 	}
 	return n
+}
+
+// NewMessage returns a zeroed message owned by this network, reusing a
+// recycled one when the pool is active. Callers fill the fields and
+// Send it; after the delivery handler returns, the message goes back
+// to the pool unless the handler Retained it.
+func (n *Network) NewMessage() *Message {
+	if n.pool {
+		if k := len(n.free); k > 0 {
+			m := n.free[k-1]
+			n.free = n.free[:k-1]
+			m.pooled = true
+			return m
+		}
+		return &Message{net: n, pooled: true}
+	}
+	return &Message{}
+}
+
+// AllocBlock returns a coherence-block-sized payload buffer, reusing a
+// recycled one when possible. Senders attach it to a message with
+// DataPooled set so delivery can reclaim it.
+func (n *Network) AllocBlock() []byte {
+	if k := len(n.bufFree); k > 0 {
+		b := n.bufFree[k-1]
+		n.bufFree = n.bufFree[:k-1]
+		return b
+	}
+	return make([]byte, n.mc.BlockSize)
+}
+
+// Recycle returns a delivered pool-owned message (and its pooled
+// payload buffer) to the freelists. Called by the delivery layer after
+// the handler returns; a no-op for literal-built or Retained messages.
+func (n *Network) Recycle(m *Message) {
+	if !m.pooled || m.retained {
+		return
+	}
+	if m.DataPooled && len(m.Data) == n.mc.BlockSize {
+		n.bufFree = append(n.bufFree, m.Data)
+	}
+	*m = Message{net: n}
+	n.free = append(n.free, m)
 }
 
 // Bind installs the delivery endpoint for node id.
@@ -84,6 +156,7 @@ func (n *Network) Send(m *Message) {
 	if m.Src < 0 || m.Src >= len(n.eps) || m.Dst < 0 || m.Dst >= len(n.eps) {
 		panic(fmt.Sprintf("network: bad endpoints in %v", m))
 	}
+	m.net = n
 	if m.Data != nil && m.Size == 0 {
 		m.Size = len(m.Data)
 	}
@@ -92,7 +165,7 @@ func (n *Network) Send(m *Message) {
 		// touches the wire, so it bypasses fault injection.
 		n.accountSend(m)
 		n.accountRecv(m)
-		n.env.After(sim.Time(m.Size)*n.mc.NsPerByte/4+1, func() { n.deliver(m) })
+		n.env.ScheduleArg(n.env.Now()+sim.Time(m.Size)*n.mc.NsPerByte/4+1, deliverEvent, m)
 		return
 	}
 	if n.rel != nil {
@@ -101,8 +174,23 @@ func (n *Network) Send(m *Message) {
 	}
 	n.accountSend(m)
 	n.accountRecv(m)
-	arrive := n.wireArrival(m)
-	n.env.Schedule(arrive, func() { n.deliver(m) })
+	n.env.ScheduleArg(n.wireArrival(m), deliverEvent, m)
+}
+
+// deliverEvent and sendEvent are the shared event functions for
+// ScheduleArg: one package-level func value each, so scheduling a
+// delivery or a delayed departure allocates nothing.
+var (
+	deliverEvent = func(a any) { m := a.(*Message); m.net.deliver(m) }
+	sendEvent    = func(a any) { m := a.(*Message); m.net.Send(m) }
+)
+
+// SendAt injects m at absolute virtual time t (a delayed departure,
+// e.g. a reply leaving when the protocol engine's queued work
+// completes).
+func (n *Network) SendAt(t sim.Time, m *Message) {
+	m.net = n
+	n.env.ScheduleArg(t, sendEvent, m)
 }
 
 // accountSend records one wire transmission in the sender's counters.
@@ -154,6 +242,9 @@ func (n *Network) Broadcast(m *Message, dsts []int) {
 	for _, d := range dsts {
 		c := *m
 		c.Dst = d
+		// Copies share Data and are independently delivered: none may
+		// carry pool ownership of the original or its buffer.
+		c.pooled, c.retained, c.DataPooled = false, false, false
 		n.Send(&c)
 	}
 }

@@ -1,0 +1,77 @@
+// Package profiling wires the standard pprof/trace escape hatches
+// into the CLIs. Every performance fix in this repository started
+// from a profile; -cpuprofile/-memprofile/-trace keep that loop one
+// flag away.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins CPU profiling and execution tracing according to the
+// (possibly empty) file names, and returns a stop function that ends
+// them and writes the heap profile. Callers must run stop before
+// exiting, including on the error path.
+func Start(cpuFile, memFile, traceFile string) (stop func() error, err error) {
+	var cpu, tr *os.File
+	if cpuFile != "" {
+		if cpu, err = os.Create(cpuFile); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	if traceFile != "" {
+		if tr, err = os.Create(traceFile); err != nil {
+			if cpu != nil {
+				pprof.StopCPUProfile()
+				cpu.Close()
+			}
+			return nil, err
+		}
+		if err = trace.Start(tr); err != nil {
+			if cpu != nil {
+				pprof.StopCPUProfile()
+				cpu.Close()
+			}
+			tr.Close()
+			return nil, fmt.Errorf("start trace: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			firstErr = cpu.Close()
+		}
+		if tr != nil {
+			trace.Stop()
+			if err := tr.Close(); firstErr == nil {
+				firstErr = err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				runtime.GC() // materialize the final live set
+				if err := pprof.WriteHeapProfile(f); firstErr == nil {
+					firstErr = err
+				}
+				if err := f.Close(); firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -75,7 +75,7 @@ func (np *nodeProto) entry(b int) *dirEntry {
 // holder's own — progress is guaranteed because the held store retires
 // at the already-scheduled resume time.
 func (np *nodeProto) enqueue(r *dirReq) {
-	if np.scHold[r.block] && r.src != np.id {
+	if np.scHold.get(r.block) && r.src != np.id {
 		np.n.Env.After(2*sim.Microsecond, func() { np.enqueue(r) })
 		return
 	}
@@ -114,7 +114,9 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 		if invalidate {
 			arg = 1
 		}
-		np.send(&network.Message{Dst: w, Kind: KPutDataReq, Addr: r.block, Arg: arg, Size: ctrlSize})
+		m := np.n.Net.NewMessage()
+		m.Dst, m.Kind, m.Addr, m.Arg, m.Size = w, KPutDataReq, r.block, arg, ctrlSize
+		np.send(m)
 		need++
 	}
 	invalSharer := func(s int) {
@@ -124,7 +126,9 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 			e.sharers &^= bit(np.id)
 			return
 		}
-		np.send(&network.Message{Dst: s, Kind: KInval, Addr: r.block, Size: ctrlSize})
+		m := np.n.Net.NewMessage()
+		m.Dst, m.Kind, m.Addr, m.Size = s, KInval, r.block, ctrlSize
+		np.send(m)
 		need++
 	}
 
@@ -212,10 +216,9 @@ func (np *nodeProto) drain(b int, e *dirEntry) {
 func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 	mem := np.n.Mem
 	mc := np.n.MC
-	bs := mem.Space().BlockSize()
 
 	blockData := func() []byte {
-		d := make([]byte, bs)
+		d := np.n.Net.AllocBlock()
 		copy(d, mem.BlockData(r.block))
 		return d
 	}
@@ -232,7 +235,9 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 			return
 		}
 		np.occupy(mc.BlockCopy)
-		np.send(&network.Message{Dst: r.src, Kind: KReadResp, Addr: r.block, Data: blockData()})
+		rm := np.n.Net.NewMessage()
+		rm.Dst, rm.Kind, rm.Addr, rm.Data, rm.DataPooled = r.src, KReadResp, r.block, blockData(), true
+		np.send(rm)
 
 	case KWriteReq:
 		e.writers = bit(r.src)
@@ -248,7 +253,9 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 			return
 		}
 		np.occupy(mc.BlockCopy)
-		np.send(&network.Message{Dst: r.src, Kind: KWriteResp, Addr: r.block, Data: blockData()})
+		rm := np.n.Net.NewMessage()
+		rm.Dst, rm.Kind, rm.Addr, rm.Data, rm.DataPooled = r.src, KWriteResp, r.block, blockData(), true
+		np.send(rm)
 
 	case KUpgradeReq:
 		hadCopy := e.sharers&bit(r.src) != 0 || e.writers&bit(r.src) != 0
@@ -270,7 +277,10 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 			np.occupy(mc.BlockCopy)
 			data = blockData()
 		}
-		np.send(&network.Message{Dst: r.src, Kind: KWriteGrant, Addr: r.block, Data: data, Size: maxInt(len(data), ctrlSize)})
+		rm := np.n.Net.NewMessage()
+		rm.Dst, rm.Kind, rm.Addr = r.src, KWriteGrant, r.block
+		rm.Data, rm.DataPooled, rm.Size = data, data != nil, maxInt(len(data), ctrlSize)
+		np.send(rm)
 
 	case KMkWritableReq:
 		e.writers = bit(r.src)

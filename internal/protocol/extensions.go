@@ -132,7 +132,9 @@ func (x *Ext) MkWritable(p *sim.Proc, runs []BlockRun) {
 			off += 9
 		}
 		p.Sleep(mc.SendOver)
-		n.Net.Send(&network.Message{Src: np.id, Dst: home, Kind: KMkWritableReq, Data: payload})
+		m := n.Net.NewMessage()
+		m.Src, m.Dst, m.Kind, m.Data = np.id, home, KMkWritableReq, payload
+		n.Net.Send(m)
 	}
 	np.mkwCount.WaitFor(p, total)
 }
@@ -182,17 +184,26 @@ func (a *mkwAgg) blockDone(np *nodeProto, r *dirReq) {
 				nb = maxBlocks
 			}
 			start := dr.Start + off
-			data := make([]byte, nb*bs)
+			var data []byte
+			pooled := false
+			if nb == 1 {
+				data = np.n.Net.AllocBlock()
+				pooled = true
+			} else {
+				data = make([]byte, nb*bs)
+			}
 			copy(data, mem.Bytes(start*bs, nb*bs))
 			np.occupy(sim.Time(nb) * mc.BulkPerBlock)
-			np.send(&network.Message{
-				Dst: a.src, Kind: KMkWritableData,
-				Addr: start * bs, Arg: int64(nb), Data: data,
-			})
+			dm := np.n.Net.NewMessage()
+			dm.Dst, dm.Kind = a.src, KMkWritableData
+			dm.Addr, dm.Arg, dm.Data, dm.DataPooled = start*bs, int64(nb), data, pooled
+			np.send(dm)
 		}
 	}
 	if a.upgraded > 0 {
-		np.send(&network.Message{Dst: a.src, Kind: KMkWritableAck, Arg: int64(a.upgraded), Size: ctrlSize})
+		m := np.n.Net.NewMessage()
+		m.Dst, m.Kind, m.Arg, m.Size = a.src, KMkWritableAck, int64(a.upgraded), ctrlSize
+		np.send(m)
 	}
 }
 
@@ -263,7 +274,7 @@ func (x *Ext) ImplicitWritable(p *sim.Proc, runs []BlockRun, firstTimeOnly bool)
 	did := false
 	for _, r := range runs {
 		for b := r.Start; b < r.Start+r.N; b++ {
-			np.ccFrames[b] = true
+			np.ccFrames.set(b)
 		}
 		if firstTimeOnly {
 			if np.iwDone[[2]int{r.Start, r.N}] {
@@ -352,10 +363,10 @@ func (x *Ext) FlushBlocks(p *sim.Proc, owner int, runs []BlockRun, bulk bool) {
 				continue
 			}
 			p.Sleep(n.MC.SendOver)
-			n.Net.Send(&network.Message{
-				Src: np.id, Dst: h, Kind: KCCFlushDir,
-				Addr: hr.start, Arg: int64(hr.n), Arg2: int64(owner), Size: ctrlSize,
-			})
+			m := n.Net.NewMessage()
+			m.Src, m.Dst, m.Kind = np.id, h, KCCFlushDir
+			m.Addr, m.Arg, m.Arg2, m.Size = hr.start, int64(hr.n), int64(owner), ctrlSize
+			n.Net.Send(m)
 		}
 	}
 }
@@ -400,7 +411,7 @@ func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, bulk bool, kind 
 	}
 	for _, r := range runs {
 		for b := r.Start; b < r.Start+r.N; b++ {
-			np.ccTouched[b] = true
+			np.ccTouched.set(b)
 			// The contract requires a valid local copy. ReadWrite is the
 			// usual state (mk_writable / steady ownership); ReadOnly can
 			// occur when an advisory prefetch or an edge read downgraded
@@ -418,13 +429,20 @@ func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, bulk bool, kind 
 				nb = maxBlocks
 			}
 			start := r.Start + off
-			data := make([]byte, nb*bs)
+			var data []byte
+			pooled := false
+			if nb == 1 {
+				data = n.Net.AllocBlock()
+				pooled = true
+			} else {
+				data = make([]byte, nb*bs)
+			}
 			copy(data, mem.Bytes(start*bs, nb*bs))
 			p.Sleep(mc.SendOver + sim.Time(nb)*mc.BulkPerBlock)
-			n.Net.Send(&network.Message{
-				Src: np.id, Dst: dst, Kind: kind,
-				Addr: start * bs, Arg: int64(nb), Data: data,
-			})
+			m := n.Net.NewMessage()
+			m.Src, m.Dst, m.Kind = np.id, dst, kind
+			m.Addr, m.Arg, m.Data, m.DataPooled = start*bs, int64(nb), data, pooled
+			n.Net.Send(m)
 		}
 	}
 }
@@ -436,7 +454,7 @@ func (np *nodeProto) installCC(m *network.Message, markDirty bool) {
 	np.occupy(sim.Time(nb) * np.n.MC.BulkPerBlock)
 	b0 := m.Addr / bs
 	for b := b0; b < b0+nb; b++ {
-		np.ccTouched[b] = true
+		np.ccTouched.set(b)
 		if mem.Tag(b) != memory.ReadWrite {
 			// A frame the receiver once opened may have been torn down
 			// by an eager invalidation racing through an adjacent
@@ -444,7 +462,7 @@ func (np *nodeProto) installCC(m *network.Message, markDirty bool) {
 			// tagged message carries the contract's permission to
 			// reopen it. Data for a frame never opened is a compiler
 			// bug and still trips the check.
-			if !np.ccFrames[b] {
+			if !np.ccFrames.get(b) {
 				panic(fmt.Sprintf("protocol: compiler-directed data for block %d arrived at node %d without readwrite frame (tag %v); implicit_writable missing",
 					b, np.id, mem.Tag(b)))
 			}
@@ -507,14 +525,16 @@ func (x *Ext) Prefetch(p *sim.Proc, runs []BlockRun) {
 				p.Sleep(mc.PageMapCost)
 				mem.SetMapped(pg)
 			}
-			np.send(&network.Message{Dst: home, Kind: KReadReq, Addr: b, Size: ctrlSize})
+			m := n.Net.NewMessage()
+			m.Dst, m.Kind, m.Addr, m.Size = home, KReadReq, b, ctrlSize
+			np.send(m)
 		}
 	}
 }
 
 // IsFrame reports whether this node ever opened block b as a
 // compiler-controlled frame.
-func (x *Ext) IsFrame(b int) bool { return x.np.ccFrames[b] }
+func (x *Ext) IsFrame(b int) bool { return x.np.ccFrames.get(b) }
 
 // ExpectBlocks announces n incoming compiler-controlled blocks for this
 // node's next ReadyToRecv (the schedule knows exactly what will

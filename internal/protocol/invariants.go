@@ -133,7 +133,7 @@ func (p *Proto) blockInfo(b int) string {
 // business; directory-based audits skip them at barrier instants.
 func (p *Proto) isCC(b int) bool {
 	for _, np := range p.nodes {
-		if np.ccFrames[b] || np.ccTouched[b] {
+		if np.ccFrames.get(b) || np.ccTouched.get(b) {
 			return true
 		}
 	}

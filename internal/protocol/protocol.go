@@ -86,15 +86,39 @@ type nodeProto struct {
 	ccExpected int64        // cumulative blocks announced via ExpectBlocks
 	mkwCount   *sim.Counter // blocks confirmed for the current mk_writable
 	iwDone     map[[2]int]bool
-	ccFrames   map[int]bool // blocks ever opened by implicit_writable
-	ccTouched  map[int]bool // blocks ever sent/received via send/flush
+	ccFrames   blockFlags // blocks ever opened by implicit_writable
+	ccTouched  blockFlags // blocks ever sent/received via send/flush
 
 	// scHold marks blocks between a sequentially-consistent write
 	// grant and the retirement of the blocked store: invalidations and
 	// flush requests are deferred briefly so the store always makes
 	// progress (otherwise two false-sharing writers can livelock
 	// stealing the block from each other).
-	scHold map[int]bool
+	scHold blockFlags
+}
+
+// blockFlags is a dense per-block flag set indexed by block number —
+// the bookkeeping sits on the access-fault and data-install hot paths,
+// where the former map[int]bool lookups cost hashing on every block.
+// It is sized to the shared segment at Attach and grows on demand
+// should a block past the initial segment ever appear.
+type blockFlags []bool
+
+func (f blockFlags) get(b int) bool { return b < len(f) && f[b] }
+
+func (f *blockFlags) set(b int) {
+	if b >= len(*f) {
+		nf := make(blockFlags, b+64)
+		copy(nf, *f)
+		*f = nf
+	}
+	(*f)[b] = true
+}
+
+func (f blockFlags) clear(b int) {
+	if b < len(f) {
+		f[b] = false
+	}
 }
 
 // Attach installs the protocol on every node of the cluster and
@@ -102,14 +126,15 @@ type nodeProto struct {
 // shared memory.
 func Attach(c *tempest.Cluster) *Proto {
 	p := &Proto{C: c}
+	nb := c.Space.NumBlocks()
 	for _, n := range c.Nodes {
 		np := &nodeProto{
 			p: p, n: n, id: n.ID,
 			dir:       make(map[int]*dirEntry),
 			fill:      make(map[int]*sim.Signal),
-			scHold:    map[int]bool{},
-			ccFrames:  map[int]bool{},
-			ccTouched: map[int]bool{},
+			scHold:    make(blockFlags, nb),
+			ccFrames:  make(blockFlags, nb),
+			ccTouched: make(blockFlags, nb),
 			ccRecv:    sim.NewCounter(),
 			mkwCount:  sim.NewCounter(),
 			iwDone:    make(map[[2]int]bool),
@@ -202,7 +227,7 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 				p.Sleep(d)
 				np.enqueue(&dirReq{kind: kind, block: b, src: np.id, local: func(bool) {
 					n.Mem.SetTag(b, memory.ReadWrite)
-					np.scHold[b] = true
+					np.scHold.set(b)
 					sig.Fire()
 				}})
 			} else {
@@ -211,12 +236,14 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 					panic(fmt.Sprintf("protocol: node %d has two blocking misses on block %d", np.id, b))
 				}
 				np.fill[b] = sig
-				n.Net.Send(&network.Message{Src: np.id, Dst: home, Kind: kind, Addr: b, Size: ctrlSize})
+				rq := n.Net.NewMessage()
+				rq.Src, rq.Dst, rq.Kind, rq.Addr, rq.Size = np.id, home, kind, b, ctrlSize
+				n.Net.Send(rq)
 			}
 			sig.Wait(p)
 			// The store retires now (no yield between here and the
 			// write); release the hold taken at grant time.
-			delete(np.scHold, b)
+			np.scHold.clear(b)
 			return
 		}
 		// Eager release consistency: the writer does not wait for
@@ -234,7 +261,9 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 			}})
 		} else {
 			p.Sleep(d + mc.SendOver)
-			n.Net.Send(&network.Message{Src: np.id, Dst: home, Kind: kind, Addr: b, Size: ctrlSize})
+			rq := n.Net.NewMessage()
+			rq.Src, rq.Dst, rq.Kind, rq.Addr, rq.Size = np.id, home, kind, b, ctrlSize
+			n.Net.Send(rq)
 		}
 		return
 	}
@@ -249,7 +278,9 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 			panic(fmt.Sprintf("protocol: node %d has two blocking misses on block %d (%v)", np.id, b, prev))
 		}
 		np.fill[b] = sig
-		n.Net.Send(&network.Message{Src: np.id, Dst: home, Kind: KReadReq, Addr: b, Size: ctrlSize})
+		rq := n.Net.NewMessage()
+		rq.Src, rq.Dst, rq.Kind, rq.Addr, rq.Size = np.id, home, KReadReq, b, ctrlSize
+		n.Net.Send(rq)
 	}
 	sig.Wait(p)
 }
@@ -287,7 +318,7 @@ func (np *nodeProto) hWriteResp(hc *tempest.HContext, m *network.Message) {
 	np.n.Mem.InstallClean(b, m.Data)
 	if np.n.MC.Consistency == config.SequentiallyConsistent {
 		np.n.Mem.SetTag(b, memory.ReadWrite)
-		np.scHold[b] = true
+		np.scHold.set(b)
 		np.n.Env.Schedule(np.n.ProtoBusyUntil(), func() { np.fillDone(b) })
 		return
 	}
@@ -314,7 +345,7 @@ func (np *nodeProto) hWriteGrant(hc *tempest.HContext, m *network.Message) {
 	}
 	if np.n.MC.Consistency == config.SequentiallyConsistent {
 		np.n.Mem.SetTag(b, memory.ReadWrite)
-		np.scHold[b] = true
+		np.scHold.set(b)
 		np.n.Env.Schedule(np.n.ProtoBusyUntil(), func() { np.fillDone(b) })
 		return
 	}
@@ -325,7 +356,7 @@ func (np *nodeProto) hWriteGrant(hc *tempest.HContext, m *network.Message) {
 // Arg==1 additionally invalidates (a writer is taking ownership).
 func (np *nodeProto) hPutDataReq(hc *tempest.HContext, m *network.Message) {
 	b := m.Addr
-	if np.scHold[b] {
+	if np.scHold.get(b) {
 		np.deferMsg(m, np.hPutDataReq)
 		return
 	}
@@ -340,18 +371,18 @@ func (np *nodeProto) hPutDataReq(hc *tempest.HContext, m *network.Message) {
 	} else {
 		mem.SetTag(b, memory.ReadOnly)
 	}
-	data := make([]byte, mem.Space().BlockSize())
+	data := np.n.Net.AllocBlock()
 	copy(data, mem.BlockData(b))
 	mem.ClearDirty(b)
-	np.send(&network.Message{
-		Dst: m.Src, Kind: KPutDataResp, Addr: b,
-		Arg: int64(mask), Arg2: keeps, Data: data,
-	})
+	rm := np.n.Net.NewMessage()
+	rm.Dst, rm.Kind, rm.Addr = m.Src, KPutDataResp, b
+	rm.Arg, rm.Arg2, rm.Data, rm.DataPooled = int64(mask), keeps, data, true
+	np.send(rm)
 }
 
 func (np *nodeProto) hInval(hc *tempest.HContext, m *network.Message) {
 	b := m.Addr
-	if np.scHold[b] {
+	if np.scHold.get(b) {
 		np.deferMsg(m, np.hInval)
 		return
 	}
@@ -360,24 +391,27 @@ func (np *nodeProto) hInval(hc *tempest.HContext, m *network.Message) {
 	np.occupy(mc.HandlerCost + mc.TagChange)
 	if mask := mem.Dirty(b); mask != 0 {
 		// We upgraded concurrently; flush our words with the ack.
-		data := make([]byte, mem.Space().BlockSize())
+		data := np.n.Net.AllocBlock()
 		copy(data, mem.BlockData(b))
 		mem.SetTag(b, memory.Invalid)
 		mem.ClearDirty(b)
-		np.send(&network.Message{
-			Dst: m.Src, Kind: KPutDataResp, Addr: b,
-			Arg: int64(mask), Arg2: 0, Data: data,
-		})
+		rm := np.n.Net.NewMessage()
+		rm.Dst, rm.Kind, rm.Addr = m.Src, KPutDataResp, b
+		rm.Arg, rm.Arg2, rm.Data, rm.DataPooled = int64(mask), 0, data, true
+		np.send(rm)
 		return
 	}
 	mem.SetTag(b, memory.Invalid)
-	np.send(&network.Message{Dst: m.Src, Kind: KInvalAck, Addr: b, Size: ctrlSize})
+	rm := np.n.Net.NewMessage()
+	rm.Dst, rm.Kind, rm.Addr, rm.Size = m.Src, KInvalAck, b, ctrlSize
+	np.send(rm)
 }
 
 // deferMsg re-delivers a message to its own handler shortly, used to
 // hold off coherence actions on a block whose granted store has not
 // yet retired.
 func (np *nodeProto) deferMsg(m *network.Message, h func(*tempest.HContext, *network.Message)) {
+	m.Retain() // the message outlives this delivery
 	np.n.Env.After(2*sim.Microsecond, func() { h(&tempest.HContext{Node: np.n}, m) })
 }
 

@@ -49,6 +49,11 @@ type exec struct {
 	// instantiated schedule is unchanged — the paper's "same range of
 	// blocks" test.
 	lastSched map[any]*compiler.Schedule
+
+	// fast caches each loop's compiled form (see fastloop.go), keyed by
+	// the *ir.ParLoop / *ir.Reduce pointer; an entry with ok=false marks
+	// a loop that stays on the interpreter.
+	fast map[any]*fastLoop
 }
 
 func newExec(prog *ir.Program, an *compiler.Analysis, layouts map[*ir.Array]sections.Layout,
@@ -59,6 +64,7 @@ func newExec(prog *ir.Program, an *compiler.Analysis, layouts map[*ir.Array]sect
 		scalars:   map[string]float64{},
 		delivered: map[string]bool{},
 		lastSched: map[any]*compiler.Schedule{},
+		fast:      map[any]*fastLoop{},
 	}
 	for k, v := range prog.Params {
 		e.env[k] = v
@@ -328,26 +334,22 @@ func (e *exec) invalidateIndirectFrames(p *sim.Proc, rule *compiler.LoopRule) {
 	}
 }
 
-// transferKey identifies a transfer's data content for PRE: the array
-// section delivered to a receiver.
-func transferKey(t compiler.Transfer) string {
-	return fmt.Sprintf("%s|%v|>%d", t.Array.Name, t.Sec, t.Receiver)
-}
-
 // active filters a schedule's transfers under PRE: a redundant transfer
-// is skipped once its section has actually been delivered. All nodes
-// run this identically, keeping the replicated `delivered` maps equal.
+// is skipped once its section has actually been delivered (keyed by the
+// transfer's precomputed content key). All nodes run this identically,
+// keeping the replicated `delivered` maps equal.
 func (e *exec) active(ts []compiler.Transfer) []compiler.Transfer {
 	var out []compiler.Transfer
 	for _, t := range ts {
 		if t.NumBlocks == 0 {
 			continue // nothing block-aligned: all edges, default protocol
 		}
-		key := transferKey(t)
-		if e.opt >= compiler.OptPRE && t.Redundant && e.delivered[key] {
-			continue
+		if e.opt >= compiler.OptPRE {
+			if t.Redundant && e.delivered[t.Key] {
+				continue
+			}
+			e.delivered[t.Key] = true
 		}
-		e.delivered[key] = true
 		out = append(out, t)
 	}
 	return out
@@ -575,6 +577,11 @@ func (e *exec) runIterations(p *sim.Proc, pl *ir.ParLoop, rule *compiler.LoopRul
 	}
 	elemCost := e.n.MC.LoopOver + sim.Time(flops)*e.n.MC.NsPerFlop
 
+	if fl := e.fastOf(pl, pl.Indexes, pl.Body, nil); fl != nil {
+		fl.runBody(fl.newMach(e, p), pt, elemCost)
+		return
+	}
+
 	ev := &evalCtx{e: e, p: p}
 
 	// Execute the nest: index 0 fastest. The distributed variable's
@@ -662,10 +669,30 @@ func (e *exec) reduce(p *sim.Proc, rd *ir.Reduce) {
 		e.preLoopComm(p, rd, sched)
 	}
 
-	ev := &evalCtx{e: e, p: p}
 	flops := 1 + e.dynOps(rd.Expr)
 	elemCost := e.n.MC.LoopOver + sim.Time(flops)*e.n.MC.NsPerFlop
 
+	partial := e.reducePartial(p, rd, pt, elemCost)
+
+	op := map[ir.RedOp]tempest.ReduceOp{
+		ir.RedSum: tempest.OpSum, ir.RedMax: tempest.OpMax, ir.RedMin: tempest.OpMin,
+	}[rd.Op]
+	e.scalars[rd.Target] = e.cluster.AllReduce(p, e.n, op, partial)
+
+	if e.mp == nil && e.opt >= compiler.OptBase {
+		e.postLoopComm(p, sched, false)
+	}
+}
+
+// reducePartial computes this node's partial value of a reduction:
+// compiled nest when possible, interpreter otherwise.
+func (e *exec) reducePartial(p *sim.Proc, rd *ir.Reduce, pt *compiler.Partition, elemCost sim.Time) float64 {
+	if fl := e.fastOf(rd, rd.Indexes, nil, rd.Expr); fl != nil {
+		partial, _ := fl.runReduce(fl.newMach(e, p), pt, elemCost, rd.Op)
+		return partial
+	}
+
+	ev := &evalCtx{e: e, p: p}
 	partial := redIdentity(rd.Op)
 	seen := false
 	var nest func(d int)
@@ -707,15 +734,7 @@ func (e *exec) reduce(p *sim.Proc, rd *ir.Reduce) {
 	if !pt.Single || pt.Exec == e.n.ID {
 		nest(len(rd.Indexes) - 1)
 	}
-
-	op := map[ir.RedOp]tempest.ReduceOp{
-		ir.RedSum: tempest.OpSum, ir.RedMax: tempest.OpMax, ir.RedMin: tempest.OpMin,
-	}[rd.Op]
-	e.scalars[rd.Target] = e.cluster.AllReduce(p, e.n, op, partial)
-
-	if e.mp == nil && e.opt >= compiler.OptBase {
-		e.postLoopComm(p, sched, false)
-	}
+	return partial
 }
 
 func redIdentity(op ir.RedOp) float64 {

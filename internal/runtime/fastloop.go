@@ -1,0 +1,444 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/ir"
+	"hpfdsm/internal/sim"
+)
+
+// This file is the executor's compiled fast path. The tree-walking
+// interpreter in eval.go resolves every loop variable through a
+// map[string]int environment and every subscript through Layout.Addr —
+// per shared-memory access, in the innermost loop of the simulation.
+// Here each parallel loop (or reduction) is compiled once per run into
+// slot-indexed form: loop variables, inner-reduction variables, and
+// outer symbols live in a flat []int frame; affine subscripts fold into
+// a single linearized byte-address expression over those slots; scalar
+// reads resolve to float slots refreshed once per loop instance (the
+// body cannot assign scalars, so they are loop-invariant). Loops the
+// compiler cannot handle (indirect references) fall back to the
+// interpreter unchanged.
+//
+// The compiled path preserves the interpreter's evaluation order
+// exactly — RHS before LHS address, left operand before right, inner
+// reductions low to high — so the simulated fault sequence, and with it
+// every statistic, is bit-identical.
+
+// fmach is the per-instance machine state of a compiled loop.
+type fmach struct {
+	e    *exec
+	p    *sim.Proc
+	vals []int     // slot-indexed integer variables
+	fv   []float64 // slot-indexed loop-invariant scalars
+}
+
+// fexpr is a compiled floating-point expression.
+type fexpr func(m *fmach) float64
+
+// affC is a compiled affine expression: c + Σ coef*vals[slot].
+type affC struct {
+	c     int
+	terms []affTerm
+}
+
+type affTerm struct{ slot, coef int }
+
+func (a affC) eval(vals []int) int {
+	v := a.c
+	for _, t := range a.terms {
+		v += t.coef * vals[t.slot]
+	}
+	return v
+}
+
+// addTerm merges a term into the expression, combining slots.
+func (a *affC) addTerm(slot, coef int) {
+	for i := range a.terms {
+		if a.terms[i].slot == slot {
+			a.terms[i].coef += coef
+			return
+		}
+	}
+	a.terms = append(a.terms, affTerm{slot, coef})
+}
+
+// faddr is a compiled array-element address: the linearized affine
+// byte address plus the array's segment bounds as a safety net (the
+// interpreter's per-dimension range check collapses to one interval
+// test; a subscript error still faults the run, with the array named).
+type faddr struct {
+	a         affC
+	base, end int
+	name      string
+}
+
+func (f faddr) addr(vals []int) int {
+	ad := f.a.eval(vals)
+	if ad < f.base || ad >= f.end {
+		panic(fmt.Sprintf("runtime: compiled subscript for %s out of bounds: addr %#x not in [%#x,%#x)",
+			f.name, ad, f.base, f.end))
+	}
+	return ad
+}
+
+// fidx is one compiled nest index.
+type fidx struct {
+	name   string
+	slot   int
+	lo, hi affC
+	step   int
+}
+
+// fassign is one compiled body assignment.
+type fassign struct {
+	lhs faddr
+	rhs fexpr
+}
+
+// fvarBind maps an instance-setup source (env symbol or scalar) to its
+// slot.
+type fvarBind struct {
+	slot int
+	name string
+}
+
+// fastLoop is one compiled loop nest. ok=false marks a nest the
+// compiler declined (it stays on the interpreter).
+type fastLoop struct {
+	ok      bool
+	nvals   int
+	nfv     int
+	outerI  []fvarBind // env-sourced integer slots, refreshed per instance
+	outerF  []fvarBind // scalar-sourced float slots, refreshed per instance
+	idx     []fidx     // nest indexes, same order as the IR (0 fastest)
+	assigns []fassign  // parallel-loop body
+	expr    fexpr      // reduction body
+	mp      bool       // message-passing backend: unchecked private memory
+}
+
+// fcomp is the compile-time context: variable-name → slot bindings.
+type fcomp struct {
+	e      *exec
+	slots  map[string]int
+	n      int
+	fslots map[string]int
+	nf     int
+	outerI []fvarBind
+	outerF []fvarBind
+	ok     bool
+}
+
+// bind registers a loop-bound variable (nest or inner-reduction),
+// shadowing any outer binding; pop restores it.
+func (fc *fcomp) bind(name string) (slot, prev int, had bool) {
+	prev, had = fc.slots[name]
+	slot = fc.n
+	fc.n++
+	fc.slots[name] = slot
+	return
+}
+
+func (fc *fcomp) pop(name string, prev int, had bool) {
+	if had {
+		fc.slots[name] = prev
+	} else {
+		delete(fc.slots, name)
+	}
+}
+
+// slotOf resolves a variable: loop-bound slots win; anything else is an
+// outer symbol resolved from the env at instance setup.
+func (fc *fcomp) slotOf(name string) int {
+	if s, ok := fc.slots[name]; ok {
+		return s
+	}
+	s := fc.n
+	fc.n++
+	fc.slots[name] = s
+	fc.outerI = append(fc.outerI, fvarBind{slot: s, name: name})
+	return s
+}
+
+// fslotOf resolves a scalar to its float slot.
+func (fc *fcomp) fslotOf(name string) int {
+	if s, ok := fc.fslots[name]; ok {
+		return s
+	}
+	s := fc.nf
+	fc.nf++
+	fc.fslots[name] = s
+	fc.outerF = append(fc.outerF, fvarBind{slot: s, name: name})
+	return s
+}
+
+func (fc *fcomp) aff(a ir.AffExpr) affC {
+	out := affC{c: a.Const}
+	for _, t := range a.Terms {
+		out.addTerm(fc.slotOf(t.Var), t.Coef)
+	}
+	return out
+}
+
+// addr linearizes an affine array reference into one byte-address
+// affine expression (column-major, 1-based indices).
+func (fc *fcomp) addr(r ir.ArrayRef) faddr {
+	lay := fc.e.layouts[r.Array]
+	acc := affC{c: lay.Base}
+	stride := lay.ElemSize
+	for d, s := range r.Subs {
+		acc.c += (s.Const - 1) * stride
+		for _, t := range s.Terms {
+			acc.addTerm(fc.slotOf(t.Var), t.Coef*stride)
+		}
+		stride *= lay.Extents[d]
+	}
+	return faddr{a: acc, base: lay.Base, end: lay.Base + lay.SizeBytes(), name: r.Array.Name}
+}
+
+func (fc *fcomp) expr(x ir.Expr) fexpr {
+	switch t := x.(type) {
+	case ir.Num:
+		v := t.V
+		return func(*fmach) float64 { return v }
+	case ir.ScalarRef:
+		s := fc.fslotOf(t.Name)
+		return func(m *fmach) float64 { return m.fv[s] }
+	case ir.IdxVal:
+		s := fc.slotOf(t.Name)
+		return func(m *fmach) float64 { return float64(m.vals[s]) }
+	case ir.ArrayRef:
+		ad := fc.addr(t)
+		if fc.e.mp != nil {
+			return func(m *fmach) float64 { return m.e.n.Mem.ReadF64(ad.addr(m.vals)) }
+		}
+		return func(m *fmach) float64 { return m.e.n.LoadF64(m.p, ad.addr(m.vals)) }
+	case ir.Bin:
+		l, r := fc.expr(t.L), fc.expr(t.R)
+		switch t.Op {
+		case ir.Add:
+			return func(m *fmach) float64 { return l(m) + r(m) }
+		case ir.Sub:
+			return func(m *fmach) float64 { return l(m) - r(m) }
+		case ir.Mul:
+			return func(m *fmach) float64 { return l(m) * r(m) }
+		case ir.Div:
+			return func(m *fmach) float64 { return l(m) / r(m) }
+		}
+		fc.ok = false
+		return nil
+	case ir.Call:
+		return fc.call(t)
+	case ir.InnerRed:
+		slot, prev, had := fc.bind(t.Var)
+		lo, hi := fc.aff(t.Lo), fc.aff(t.Hi)
+		body := fc.expr(t.Body)
+		fc.pop(t.Var, prev, had)
+		if body == nil {
+			return nil
+		}
+		op := t.Op
+		return func(m *fmach) float64 {
+			l, h := lo.eval(m.vals), hi.eval(m.vals)
+			acc := 0.0
+			seen := false
+			for v := l; v <= h; v++ {
+				m.vals[slot] = v
+				val := body(m)
+				if !seen {
+					acc, seen = val, true
+				} else {
+					acc = redCombine(op, acc, val)
+				}
+			}
+			return acc
+		}
+	default: // ir.Indirect and anything new: interpreter handles it
+		fc.ok = false
+		return nil
+	}
+}
+
+func (fc *fcomp) call(t ir.Call) fexpr {
+	args := make([]fexpr, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = fc.expr(a)
+		if args[i] == nil {
+			return nil
+		}
+	}
+	a0 := args[0]
+	switch t.Fn {
+	case "SQRT":
+		return func(m *fmach) float64 { return math.Sqrt(a0(m)) }
+	case "ABS":
+		return func(m *fmach) float64 { return math.Abs(a0(m)) }
+	case "EXP":
+		return func(m *fmach) float64 { return math.Exp(a0(m)) }
+	case "SIN":
+		return func(m *fmach) float64 { return math.Sin(a0(m)) }
+	case "COS":
+		return func(m *fmach) float64 { return math.Cos(a0(m)) }
+	}
+	if len(args) < 2 {
+		fc.ok = false
+		return nil
+	}
+	a1 := args[1]
+	switch t.Fn {
+	case "MIN":
+		return func(m *fmach) float64 { return math.Min(a0(m), a1(m)) }
+	case "MAX":
+		return func(m *fmach) float64 { return math.Max(a0(m), a1(m)) }
+	case "MOD":
+		return func(m *fmach) float64 { return math.Mod(a0(m), a1(m)) }
+	}
+	fc.ok = false
+	return nil
+}
+
+// compileNest compiles a loop nest: body for parallel loops, expr for
+// reductions (exactly one is non-nil).
+func compileNest(e *exec, indexes []ir.Index, body []*ir.Assign, expr ir.Expr) *fastLoop {
+	fc := &fcomp{e: e, slots: map[string]int{}, fslots: map[string]int{}, ok: true}
+	fl := &fastLoop{mp: e.mp != nil}
+	for _, ix := range indexes {
+		slot, _, _ := fc.bind(ix.Var)
+		fl.idx = append(fl.idx, fidx{name: ix.Var, slot: slot, step: ix.StepOr1()})
+	}
+	for i, ix := range indexes {
+		fl.idx[i].lo = fc.aff(ix.Lo)
+		fl.idx[i].hi = fc.aff(ix.Hi)
+	}
+	for _, as := range body {
+		rhs := fc.expr(as.RHS)
+		if rhs == nil {
+			return &fastLoop{}
+		}
+		fl.assigns = append(fl.assigns, fassign{lhs: fc.addr(as.LHS), rhs: rhs})
+	}
+	if expr != nil {
+		fl.expr = fc.expr(expr)
+	}
+	if !fc.ok {
+		return &fastLoop{}
+	}
+	fl.ok = true
+	fl.nvals = fc.n
+	fl.nfv = fc.nf
+	fl.outerI = fc.outerI
+	fl.outerF = fc.outerF
+	return fl
+}
+
+// fastOf returns (compiling and caching on first use) the compiled form
+// of a loop, or nil when the loop must stay on the interpreter.
+func (e *exec) fastOf(key any, indexes []ir.Index, body []*ir.Assign, expr ir.Expr) *fastLoop {
+	fl, ok := e.fast[key]
+	if !ok {
+		fl = compileNest(e, indexes, body, expr)
+		e.fast[key] = fl
+	}
+	if !fl.ok {
+		return nil
+	}
+	return fl
+}
+
+// newMach builds the per-instance frame and resolves the outer symbols
+// and scalars, with the interpreter's unbound-variable semantics.
+func (fl *fastLoop) newMach(e *exec, p *sim.Proc) *fmach {
+	m := &fmach{e: e, p: p, vals: make([]int, fl.nvals), fv: make([]float64, fl.nfv)}
+	for _, ov := range fl.outerI {
+		v, ok := e.env[ov.name]
+		if !ok {
+			panic(fmt.Sprintf("ir: unbound variable %q in affine expression", ov.name))
+		}
+		m.vals[ov.slot] = v
+	}
+	for _, ov := range fl.outerF {
+		v, ok := e.scalars[ov.name]
+		if !ok {
+			panic(fmt.Sprintf("runtime: undefined scalar %q", ov.name))
+		}
+		m.fv[ov.slot] = v
+	}
+	return m
+}
+
+// iterate walks the compiled nest (index 0 fastest) calling elem per
+// element — the slot-indexed mirror of the interpreter's nest.
+func (fl *fastLoop) iterate(m *fmach, pt *compiler.Partition, elem func()) {
+	e := m.e
+	var nest func(d int)
+	nest = func(d int) {
+		if d < 0 {
+			elem()
+			return
+		}
+		ix := &fl.idx[d]
+		step := ix.step
+		if ix.name == pt.DistVar && !pt.Single {
+			lo := ix.lo.eval(m.vals)
+			for _, r := range pt.Ranges[e.n.ID] {
+				start := r[0]
+				if off := (start - lo) % step; off != 0 {
+					start += step - off
+				}
+				for v := start; v <= r[1]; v += step {
+					m.vals[ix.slot] = v
+					nest(d - 1)
+				}
+			}
+			return
+		}
+		lo, hi := ix.lo.eval(m.vals), ix.hi.eval(m.vals)
+		for v := lo; v <= hi; v += step {
+			m.vals[ix.slot] = v
+			nest(d - 1)
+		}
+	}
+	if pt.Single && pt.Exec != e.n.ID {
+		return
+	}
+	nest(len(fl.idx) - 1)
+}
+
+// runBody executes a compiled parallel-loop instance.
+func (fl *fastLoop) runBody(m *fmach, pt *compiler.Partition, elemCost sim.Time) {
+	e := m.e
+	fl.iterate(m, pt, func() {
+		e.n.Compute(elemCost)
+		for i := range fl.assigns {
+			as := &fl.assigns[i]
+			v := as.rhs(m)
+			ad := as.lhs.addr(m.vals)
+			if fl.mp {
+				e.n.Mem.WriteF64(ad, v)
+			} else {
+				e.n.StoreF64(m.p, ad, v)
+			}
+		}
+	})
+}
+
+// runReduce executes a compiled reduction instance, returning this
+// node's partial value (seeded by the first element, like the
+// interpreter).
+func (fl *fastLoop) runReduce(m *fmach, pt *compiler.Partition, elemCost sim.Time, op ir.RedOp) (float64, bool) {
+	e := m.e
+	partial := redIdentity(op)
+	seen := false
+	fl.iterate(m, pt, func() {
+		e.n.Compute(elemCost)
+		v := fl.expr(m)
+		if !seen {
+			partial, seen = v, true
+		} else {
+			partial = redCombine(op, partial, v)
+		}
+	})
+	return partial, seen
+}

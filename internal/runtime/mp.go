@@ -55,6 +55,7 @@ func installMP(execs []*exec) {
 			if m.Arg2 != ee.mp.phase {
 				// Early arrival from a sender already in a later
 				// phase: hold it until this node catches up.
+				m.Retain()
 				ee.mp.queued[m.Arg2] = append(ee.mp.queued[m.Arg2], m)
 				return
 			}
@@ -89,10 +90,10 @@ func (e *exec) mpSend(p *sim.Proc, t compiler.Transfer) {
 			copy(data, e.n.Mem.Bytes(addr, nb))
 			e.n.Compute(mc.MPSendOver + sim.Time(nb)*mc.MPPackPerByte)
 			e.n.Sync(p)
-			e.n.Net.Send(&network.Message{
-				Src: e.n.ID, Dst: t.Receiver, Kind: KMPData,
-				Addr: addr, Arg2: e.mp.phase, Data: data,
-			})
+			m := e.n.Net.NewMessage()
+			m.Src, m.Dst, m.Kind = e.n.ID, t.Receiver, KMPData
+			m.Addr, m.Arg2, m.Data = addr, e.mp.phase, data
+			e.n.Net.Send(m)
 		}
 	}
 }

@@ -122,7 +122,7 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	}
 	cluster := tempest.NewCluster(env, sp)
 	proto := protocol.Attach(cluster)
-	an, err := compiler.New(prog, mc.Nodes, layouts, mc.BlockSize)
+	an, err := compiler.Cached(prog, mc.Nodes, layouts, mc.BlockSize)
 	if err != nil {
 		return nil, err
 	}

@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -32,28 +31,85 @@ const (
 	Second      Time = 1000 * 1000 * 1000
 )
 
+// event is one pending occurrence. Three mutually exclusive payloads
+// avoid per-event closure allocation on the hot paths: proc dispatches
+// (Sleep, wake, Spawn) carry the process directly, argument-style
+// events (network delivery) carry a shared function plus its argument,
+// and everything else uses a plain closure. Exactly one of proc, afn,
+// fn is set.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	seq  uint64
+	proc *Proc     // dispatch this process
+	afn  func(any) // shared function applied to arg
+	arg  any
+	fn   func()
 }
 
+// eventHeap is an index-free 4-ary min-heap ordered by (t, seq). The
+// (t, seq) keys are unique, so the heap order is a total order and the
+// pop sequence is identical to the seed's binary container/heap —
+// bit-reproducibility does not depend on heap shape. 4-ary halves the
+// tree depth, and the flat value slice avoids container/heap's
+// interface boxing (one allocation per Push/Pop in the seed).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func eventLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)    { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any      { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
 func (h eventHeap) peekTime() Time { return h[0].t }
 func (h eventHeap) empty() bool    { return len(h) == 0 }
-func (h *eventHeap) push(e event)  { heap.Push(h, e) }
-func (h *eventHeap) pop() event    { return heap.Pop(h).(event) }
+
+func (hp *eventHeap) push(e event) {
+	h := append(*hp, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	*hp = h
+}
+
+func (hp *eventHeap) pop() event {
+	h := *hp
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop references so the backing array doesn't pin them
+	h = h[:n]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !eventLess(&h[m], &h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	*hp = h
+	return top
+}
 
 // Env is a simulation environment: an event queue plus a virtual clock.
 // An Env is not safe for concurrent use; all interaction must come from
@@ -92,6 +148,36 @@ func (e *Env) Schedule(t Time, fn func()) {
 	}
 	e.seq++
 	e.events.push(event{t: t, seq: e.seq, fn: fn})
+}
+
+// ScheduleArg runs fn(arg) at absolute virtual time t. It is the
+// allocation-free variant of Schedule for hot paths: fn is typically a
+// shared package-level function and arg a pointer, so no closure is
+// built per event.
+func (e *Env) ScheduleArg(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: t=%d now=%d", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{t: t, seq: e.seq, afn: fn, arg: arg})
+}
+
+// scheduleProc enqueues a dispatch of p at time t without allocating.
+func (e *Env) scheduleProc(t Time, p *Proc) {
+	e.seq++
+	e.events.push(event{t: t, seq: e.seq, proc: p})
+}
+
+// run executes one popped event.
+func (e *Env) exec(ev *event) {
+	switch {
+	case ev.proc != nil:
+		e.dispatch(ev.proc)
+	case ev.afn != nil:
+		ev.afn(ev.arg)
+	default:
+		ev.fn()
+	}
 }
 
 // After runs fn after delay d.
@@ -145,7 +231,7 @@ func (e *Env) Run() error {
 	for !e.events.empty() {
 		ev := e.events.pop()
 		e.now = ev.t
-		ev.fn()
+		e.exec(&ev)
 		if e.stalled() {
 			return e.stallError()
 		}
@@ -168,7 +254,7 @@ func (e *Env) RunUntil(t Time) {
 	for !e.events.empty() && e.events.peekTime() <= t {
 		ev := e.events.pop()
 		e.now = ev.t
-		ev.fn()
+		e.exec(&ev)
 	}
 	if t > e.now {
 		e.now = t
@@ -233,7 +319,7 @@ func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 		p.done = true
 		e.yield <- struct{}{}
 	}()
-	e.Schedule(e.now, func() { e.dispatch(p) })
+	e.scheduleProc(e.now, p)
 	return p
 }
 
@@ -264,7 +350,7 @@ func (p *Proc) Sleep(d Time) {
 		panic("sim: negative sleep")
 	}
 	e := p.env
-	e.Schedule(e.now+d, func() { e.dispatch(p) })
+	e.scheduleProc(e.now+d, p)
 	p.yieldToScheduler()
 }
 
@@ -285,18 +371,32 @@ func (p *Proc) wake() {
 	}
 	p.waiting = false
 	p.env.blocked--
-	p.env.Schedule(p.env.now, func() { p.env.dispatch(p) })
+	p.env.scheduleProc(p.env.now, p)
 }
 
 // A Signal is a one-shot level-triggered condition. Waiting on a fired
-// signal returns immediately; firing wakes all current waiters.
+// signal returns immediately; firing wakes all current waiters. The
+// first waiter lives in an inline slot: almost every signal (a miss
+// fill, a barrier release) has exactly one, and the common case must
+// not allocate a slice.
 type Signal struct {
-	fired   bool
-	waiters []*Proc
+	fired  bool
+	waiter *Proc   // first waiter
+	more   []*Proc // rare extra waiters
 }
 
 // NewSignal returns an unfired signal.
 func NewSignal() *Signal { return &Signal{} }
+
+// Reset rearms a fired signal for reuse. Only legal when no waiter is
+// pending — i.e. strictly between one fire-and-wake cycle and the
+// next, as with a node's barrier-park signal.
+func (s *Signal) Reset() {
+	if s.waiter != nil || len(s.more) > 0 {
+		panic("sim: resetting a signal with pending waiters")
+	}
+	s.fired = false
+}
 
 // Fired reports whether the signal has fired.
 func (s *Signal) Fired() bool { return s.fired }
@@ -306,7 +406,11 @@ func (s *Signal) Wait(p *Proc) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	if s.waiter == nil {
+		s.waiter = p
+	} else {
+		s.more = append(s.more, p)
+	}
 	p.block()
 }
 
@@ -317,10 +421,14 @@ func (s *Signal) Fire() {
 		panic("sim: signal fired twice")
 	}
 	s.fired = true
-	for _, p := range s.waiters {
+	if s.waiter != nil {
+		s.waiter.wake()
+		s.waiter = nil
+	}
+	for _, p := range s.more {
 		p.wake()
 	}
-	s.waiters = nil
+	s.more = nil
 }
 
 // A Counter is a counting semaphore used for "wait until N things have

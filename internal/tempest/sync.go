@@ -104,7 +104,9 @@ func (c *Cluster) barrierArrived() {
 			continue
 		}
 		master.OccupyProto(c.MC.SendOver)
-		c.Net.Send(&network.Message{Src: 0, Dst: n.ID, Kind: KindBarrierRelease, Size: 4})
+		m := c.Net.NewMessage()
+		m.Src, m.Dst, m.Kind, m.Size = 0, n.ID, KindBarrierRelease, 4
+		c.Net.Send(m)
 	}
 }
 
@@ -116,12 +118,15 @@ func (c *Cluster) Barrier(p *sim.Proc, n *Node) {
 	n.Compute(c.MC.BarrierEntry)
 	n.Sync(p)
 	start := p.Now()
-	n.parked = sim.NewSignal()
+	n.parkSig.Reset()
+	n.parked = &n.parkSig
 	sig := n.parked
 	if n.ID == 0 {
 		c.barrierArrived()
 	} else {
-		n.SendFromCompute(&network.Message{Dst: 0, Kind: KindBarrierArrive, Size: 4})
+		m := c.Net.NewMessage()
+		m.Dst, m.Kind, m.Size = 0, KindBarrierArrive, 4
+		n.SendFromCompute(m)
 		n.Sync(p)
 	}
 	sig.Wait(p)
@@ -154,7 +159,9 @@ func (c *Cluster) reduceArrived(gen int64, op ReduceOp, v float64) {
 			continue
 		}
 		master.OccupyProto(c.MC.SendOver)
-		c.Net.Send(&network.Message{Src: 0, Dst: n.ID, Kind: KindReduceResult, Arg: bits, Size: 12})
+		m := c.Net.NewMessage()
+		m.Src, m.Dst, m.Kind, m.Arg, m.Size = 0, n.ID, KindReduceResult, bits, 12
+		c.Net.Send(m)
 	}
 }
 
@@ -167,15 +174,16 @@ func (c *Cluster) AllReduce(p *sim.Proc, n *Node, op ReduceOp, v float64) float6
 	n.Compute(c.MC.BarrierEntry)
 	n.Sync(p)
 	start := p.Now()
-	n.parked = sim.NewSignal()
+	n.parkSig.Reset()
+	n.parked = &n.parkSig
 	sig := n.parked
 	if n.ID == 0 {
 		c.reduceArrived(c.reduce.gen, op, v)
 	} else {
-		n.SendFromCompute(&network.Message{
-			Dst: 0, Kind: KindReduceContrib,
-			Addr: int(op), Arg: int64(math.Float64bits(v)), Arg2: c.reduce.gen, Size: 12,
-		})
+		m := c.Net.NewMessage()
+		m.Dst, m.Kind = 0, KindReduceContrib
+		m.Addr, m.Arg, m.Arg2, m.Size = int(op), int64(math.Float64bits(v)), c.reduce.gen, 12
+		n.SendFromCompute(m)
 		n.Sync(p)
 	}
 	sig.Wait(p)

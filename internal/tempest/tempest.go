@@ -69,7 +69,15 @@ type Node struct {
 
 	Fault FaultFn
 
-	handlers map[network.Kind]Handler
+	// handlers is indexed directly by message kind: a dispatch per
+	// message must not pay for hashing.
+	handlers [256]Handler
+
+	// hfree recycles handler-invocation records (receive schedules one
+	// event per message; the record carries the message, the reserved
+	// start time, and the handler context without a per-message closure
+	// or context allocation).
+	hfree []*hinvoke
 
 	protoFree sim.Time // protocol engine next-free time
 	stolen    sim.Time // handler time not yet charged to compute (SingleCPU)
@@ -77,8 +85,10 @@ type Node struct {
 
 	pending    int // outstanding non-blocking transactions (e.g. upgrades)
 	pendingSig *sim.Signal
+	pendSig    sim.Signal // the reusable signal pendingSig points at
 
 	parked       *sim.Signal // compute process parked at a barrier/reduction
+	parkSig      sim.Signal  // the reusable signal parked points at
 	reduceResult float64     // result delivered by KindReduceResult
 
 	proc *sim.Proc // the node's compute process, set by SetProc
@@ -92,11 +102,24 @@ func (n *Node) Proc() *sim.Proc { return n.proc }
 
 // On registers the handler for a message kind.
 func (n *Node) On(k network.Kind, h Handler) {
-	if _, dup := n.handlers[k]; dup {
+	if n.handlers[k] != nil {
 		panic(fmt.Sprintf("tempest: duplicate handler for kind %d on node %d", k, n.ID))
 	}
 	n.handlers[k] = h
 }
+
+// hinvoke is one queued handler execution. Records are recycled
+// through Node.hfree so the steady-state receive path allocates
+// nothing.
+type hinvoke struct {
+	n     *Node
+	m     *network.Message
+	start sim.Time
+	ctx   HContext
+}
+
+// hinvokeEvent is the shared ScheduleArg function for handler runs.
+var hinvokeEvent = func(a any) { a.(*hinvoke).run() }
 
 // receive is the network endpoint: it queues the message on the
 // protocol engine and runs the registered handler with RecvOver plus
@@ -109,26 +132,44 @@ func (n *Node) receive(m *network.Message) {
 	// Reserve a minimal slot now; the real cost is known after the
 	// handler body runs at start.
 	n.protoFree = start + n.MC.RecvOver
-	n.Env.Schedule(start, func() {
-		h, ok := n.handlers[m.Kind]
-		if !ok {
-			panic(fmt.Sprintf("tempest: node %d has no handler for kind %d", n.ID, m.Kind))
-		}
-		c := &HContext{Node: n}
-		h(c, m)
-		// The engine stays busy for the receive overhead plus the
-		// handler's declared cost (the body may also have extended
-		// protoFree directly via OccupyProto).
-		base := start + n.MC.RecvOver
-		if n.protoFree < base {
-			n.protoFree = base
-		}
-		n.protoFree += c.cost
-		if n.MC.CPUMode == config.SingleCPU {
-			n.stolen += n.MC.RecvOver + c.cost
-			n.St.StolenTime += n.MC.RecvOver + c.cost
-		}
-	})
+	var hv *hinvoke
+	if k := len(n.hfree); k > 0 {
+		hv = n.hfree[k-1]
+		n.hfree = n.hfree[:k-1]
+	} else {
+		hv = &hinvoke{n: n}
+	}
+	hv.m = m
+	hv.start = start
+	n.Env.ScheduleArg(start, hinvokeEvent, hv)
+}
+
+func (hv *hinvoke) run() {
+	n := hv.n
+	m := hv.m
+	h := n.handlers[m.Kind]
+	if h == nil {
+		panic(fmt.Sprintf("tempest: node %d has no handler for kind %d", n.ID, m.Kind))
+	}
+	hv.ctx = HContext{Node: n}
+	c := &hv.ctx
+	h(c, m)
+	// The engine stays busy for the receive overhead plus the
+	// handler's declared cost (the body may also have extended
+	// protoFree directly via OccupyProto).
+	base := hv.start + n.MC.RecvOver
+	if n.protoFree < base {
+		n.protoFree = base
+	}
+	n.protoFree += c.cost
+	if n.MC.CPUMode == config.SingleCPU {
+		n.stolen += n.MC.RecvOver + c.cost
+		n.St.StolenTime += n.MC.RecvOver + c.cost
+	}
+	// The handler is done with the message unless it Retained it.
+	n.Net.Recycle(m)
+	hv.m = nil
+	n.hfree = append(n.hfree, hv)
 }
 
 // SendFromCompute transmits a message from the compute processor,
@@ -155,7 +196,7 @@ func (n *Node) SendFromProto(m *network.Message) {
 		n.Net.Send(m)
 		return
 	}
-	n.Env.Schedule(depart, func() { n.Net.Send(m) })
+	n.Net.SendAt(depart, m)
 }
 
 // OccupyProto keeps the protocol engine busy for d more time.
@@ -236,7 +277,8 @@ func (n *Node) WaitPending(p *sim.Proc) {
 		return
 	}
 	if n.pendingSig == nil {
-		n.pendingSig = sim.NewSignal()
+		n.pendSig.Reset()
+		n.pendingSig = &n.pendSig
 	}
 	start := p.Now()
 	n.pendingSig.Wait(p)
@@ -355,13 +397,12 @@ func NewCluster(env *sim.Env, sp *memory.Space) *Cluster {
 	c := &Cluster{Env: env, MC: mc, Space: sp, Net: net, Stats: st}
 	for i := 0; i < mc.Nodes; i++ {
 		n := &Node{
-			ID:       i,
-			Env:      env,
-			Net:      net,
-			Mem:      memory.NewNodeMem(sp, i),
-			MC:       mc,
-			St:       &st.Nodes[i],
-			handlers: make(map[network.Kind]Handler),
+			ID:  i,
+			Env: env,
+			Net: net,
+			Mem: memory.NewNodeMem(sp, i),
+			MC:  mc,
+			St:  &st.Nodes[i],
 		}
 		net.Bind(i, n.receive)
 		c.Nodes = append(c.Nodes, n)
