@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race lint check bench fmt
+.PHONY: all build test vet race lint check bench fmt cover
 
 # Every shipped application, linted by the static incoherence-safety
 # verifier at every optimization level.
@@ -55,3 +55,16 @@ bench-check:
 
 fmt:
 	gofmt -w .
+
+# Statement coverage with per-package floors on the protocol-critical
+# packages (the profile is merged across all test packages, so a
+# package's floor counts coverage from anyone's tests, not just its
+# own). The floors sit well under current values; they catch a test
+# deletion or a big untested addition, not normal drift.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	$(GO) run ./cmd/covercheck -profile cover.out \
+		hpfdsm/internal/trace=90 \
+		hpfdsm/internal/protocol=85 \
+		hpfdsm/internal/network=85 \
+		hpfdsm/internal/profiling=75

@@ -1,0 +1,161 @@
+// Command covercheck enforces per-package statement-coverage floors
+// over a merged Go cover profile.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out -coverpkg=./... ./...
+//	covercheck -profile cover.out hpfdsm/internal/trace=80 hpfdsm/internal/network=60
+//
+// Each positional argument is IMPORTPATH=MINPERCENT. The profile may
+// contain the same block several times (once per test package that
+// exercised it); blocks are deduplicated, keeping the maximum count,
+// before percentages are computed. Exits 1 if any named package is
+// below its floor or absent from the profile.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// block identifies one profiled statement range within a file.
+type block struct {
+	file  string
+	span  string // "start.col,end.col" — opaque, only used as a key
+	stmts int
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "merged cover profile to read")
+	flag.Parse()
+
+	floors := map[string]float64{}
+	var order []string
+	for _, arg := range flag.Args() {
+		pkg, pct, ok := strings.Cut(arg, "=")
+		if !ok {
+			fatalf("bad floor %q: want IMPORTPATH=MINPERCENT", arg)
+		}
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			fatalf("bad floor %q: %v", arg, err)
+		}
+		floors[pkg] = v
+		order = append(order, pkg)
+	}
+	if len(floors) == 0 {
+		fatalf("no floors given")
+	}
+
+	covered, err := readProfile(*profile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	type agg struct{ total, hit int }
+	perPkg := map[string]*agg{}
+	for b, hit := range covered {
+		pkg := path.Dir(b.file)
+		a := perPkg[pkg]
+		if a == nil {
+			a = &agg{}
+			perPkg[pkg] = a
+		}
+		a.total += b.stmts
+		if hit {
+			a.hit += b.stmts
+		}
+	}
+
+	// Report every profiled package (sorted), then enforce the floors.
+	pkgs := make([]string, 0, len(perPkg))
+	for p := range perPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, p := range pkgs {
+		a := perPkg[p]
+		fmt.Printf("%-40s %6.1f%% (%d/%d statements)\n", p, pct(a.hit, a.total), a.hit, a.total)
+	}
+
+	failed := false
+	for _, pkg := range order {
+		a := perPkg[pkg]
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: not in profile %s\n", pkg, *profile)
+			failed = true
+			continue
+		}
+		if got := pct(a.hit, a.total); got < floors[pkg] {
+			fmt.Fprintf(os.Stderr, "FAIL %s: coverage %.1f%% below floor %.1f%%\n", pkg, got, floors[pkg])
+			failed = true
+		} else {
+			fmt.Printf("ok   %s: %.1f%% >= %.1f%%\n", pkg, got, floors[pkg])
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func pct(hit, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(hit) / float64(total)
+}
+
+// readProfile parses a cover profile into per-block hit flags,
+// deduplicating repeated blocks (a block is covered if any test
+// package covered it).
+func readProfile(name string) (map[block]bool, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	covered := map[block]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:S.C,E.C numStmts count
+		loc, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("%s: malformed line %q", name, line)
+		}
+		file, span, ok := strings.Cut(loc, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s: malformed location %q", name, loc)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s: malformed counts %q", name, rest)
+		}
+		stmts, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		count, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		b := block{file: file, span: span, stmts: stmts}
+		covered[b] = covered[b] || count > 0
+	}
+	return covered, sc.Err()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "covercheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ import (
 	"hpfdsm/internal/lang"
 	"hpfdsm/internal/profiling"
 	"hpfdsm/internal/runtime"
+	"hpfdsm/internal/trace"
 )
 
 type paramFlags map[string]int
@@ -69,6 +70,9 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
+	traceOut := flag.String("trace-out", "", "write the causal protocol-event trace (Chrome trace-event JSON, loadable in Perfetto) to this file")
+	heatmap := flag.Bool("heatmap", false, "print the per-block heat map and residual-miss provenance table")
+	heatmapJSON := flag.String("heatmap-json", "", "write the per-block heat map as JSON to this file")
 	params := paramFlags{}
 	flag.Var(params, "param", "override a PARAM (NAME=VALUE, repeatable)")
 	flag.Parse()
@@ -160,6 +164,11 @@ func main() {
 	}
 	opts := runtime.Options{Machine: mc, Opt: opt, Check: *check,
 		Profile: *profile || *gantt > 0 || *profileJSON != ""}
+	var tracer *trace.Tracer
+	if *traceOut != "" || *heatmap || *heatmapJSON != "" {
+		tracer = trace.New(mc.Nodes)
+		opts.Trace = tracer
+	}
 	if *verify {
 		rep, err := analysis.Verify(prog, mc, opt)
 		if err != nil {
@@ -227,6 +236,37 @@ func main() {
 			fail(err)
 		}
 		if err := res.Profile.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace     %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+	if *heatmap {
+		fmt.Println()
+		tracer.Heat.WriteText(os.Stdout, tracer.BlockInfo)
+		fmt.Println()
+		tracer.Heat.WriteMissTable(os.Stdout, tracer.BlockInfo)
+	}
+	if *heatmapJSON != "" {
+		f, err := os.Create(*heatmapJSON)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.Heat.WriteJSON(f); err != nil {
 			fail(err)
 		}
 		if err := f.Close(); err != nil {

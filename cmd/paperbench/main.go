@@ -33,6 +33,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
+	traceOut := flag.String("trace-out", "", "with -exp fig1: write the microbenchmark's causal protocol trace (Chrome trace-event JSON) to this file")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -98,6 +99,23 @@ func main() {
 		switch name {
 		case "fig1":
 			show(name, bench.Fig1())
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					os.Exit(1)
+				}
+				tr := bench.Fig1Trace(10)
+				if err := tr.WriteChrome(f); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					os.Exit(1)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s (open in https://ui.perfetto.dev)\n", *traceOut)
+			}
 		case "table1":
 			show(name, bench.Table1())
 		case "table2":

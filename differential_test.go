@@ -1,0 +1,87 @@
+// Differential correctness tests: every application, at every
+// optimization level the paper measures (unoptimized, bulk transfers,
+// run-time-test elimination), on both back ends, must compute the same
+// final arrays as the sequential Go reference.
+//
+// For five of the six apps the comparison is bit-exact: their parallel
+// value chains are reduction-free (reductions only feed convergence
+// tests or scalars), so the DSM run performs the identical sequence of
+// floating-point operations as the reference. cg is the exception —
+// its AllReduce results (dot products) feed back into the array
+// updates, and the protocol combines contributions in arrival order,
+// so reassociation shifts low-order bits; it is compared under the
+// app's documented tolerance instead.
+package hpfdsm_test
+
+import (
+	"math"
+	"testing"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/runtime"
+)
+
+func TestDifferentialAgainstReference(t *testing.T) {
+	exact := map[string]bool{
+		"pde": true, "shallow": true, "grav": true, "lu": true, "jacobi": true,
+		"cg": false, // reduce results feed array updates: reassociation
+	}
+	levels := []compiler.Level{compiler.OptNone, compiler.OptBulk, compiler.OptRTElim}
+	backends := []struct {
+		name string
+		b    runtime.Backend
+	}{
+		{"sm", runtime.SharedMemory},
+		{"mp", runtime.MessagePassing},
+	}
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			prog, err := a.Program(a.ScaledParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := a.Reference(a.ScaledParams)
+			for _, opt := range levels {
+				for _, be := range backends {
+					t.Run(opt.String()+"/"+be.name, func(t *testing.T) {
+						res, err := runtime.Run(prog, runtime.Options{
+							Machine: config.Default(), Opt: opt, Backend: be.b})
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, name := range a.CheckArrays {
+							got := res.ArrayData(name)
+							want := ref[name]
+							if len(got) != len(want) {
+								t.Fatalf("array %s: length %d vs reference %d", name, len(got), len(want))
+							}
+							if exact[a.Name] {
+								for i := range got {
+									if got[i] != want[i] {
+										t.Fatalf("array %s[%d] = %x, reference %x (expected bit-exact)",
+											name, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+									}
+								}
+								continue
+							}
+							worst, wi := 0.0, -1
+							for i := range got {
+								scale := math.Max(1, math.Abs(want[i]))
+								if d := math.Abs(got[i]-want[i]) / scale; d > worst {
+									worst, wi = d, i
+								}
+							}
+							if worst > a.Tol {
+								t.Fatalf("array %s diverges: rel err %g at %d (got %g want %g, tol %g)",
+									name, worst, wi, got[wi], want[wi], a.Tol)
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}

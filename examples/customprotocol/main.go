@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"hpfdsm/internal/config"
@@ -19,9 +20,12 @@ import (
 	"hpfdsm/internal/tempest"
 )
 
-const iters = 20
+var iters = 20
 
 func main() {
+	flag.IntVar(&iters, "iters", iters, "repetitions of the transfer")
+	flag.Parse()
+
 	defMsgs, defTime := defaultProtocol()
 	ccMsgs, ccTime := compilerDirected()
 
@@ -82,8 +86,8 @@ func defaultProtocol() (msgsPerIter, usPerIter float64) {
 		panic(err)
 	}
 	barrier := int64(2*iters) * 4 // 2 arrives + 2 releases per 3-node barrier
-	return float64(c.Stats.TotalMessages()-m0-barrier) / iters,
-		float64(end-start) / 1000 / iters
+	return float64(c.Stats.TotalMessages()-m0-barrier) / float64(iters),
+		float64(end-start) / 1000 / float64(iters)
 }
 
 func compilerDirected() (msgsPerIter, usPerIter float64) {
@@ -132,6 +136,6 @@ func compilerDirected() (msgsPerIter, usPerIter float64) {
 		panic(err)
 	}
 	barrier := int64(iters) * 4
-	return float64(c.Stats.TotalMessages()-m0-barrier) / iters,
-		float64(end-start) / 1000 / iters
+	return float64(c.Stats.TotalMessages()-m0-barrier) / float64(iters),
+		float64(end-start) / 1000 / float64(iters)
 }

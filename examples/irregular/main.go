@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -46,9 +47,14 @@ END
 `
 
 func main() {
+	n := flag.Int("n", 2048, "mesh size")
+	iters := flag.Int("iters", 10, "smoothing steps")
+	flag.Parse()
+	overrides := map[string]int{"N": *n, "ITERS": *iters}
+
 	// Shared memory: runs, at any optimization level.
 	for _, opt := range []hpfdsm.OptLevel{hpfdsm.OptNone, hpfdsm.OptRTElim} {
-		res, err := hpfdsm.RunSource(source, nil, hpfdsm.Options{
+		res, err := hpfdsm.RunSource(source, overrides, hpfdsm.Options{
 			Machine: hpfdsm.DefaultMachine(),
 			Opt:     opt,
 		})
@@ -60,7 +66,7 @@ func main() {
 	}
 
 	// Message passing: statically rejected.
-	_, err := hpfdsm.RunSource(source, nil, hpfdsm.Options{
+	_, err := hpfdsm.RunSource(source, overrides, hpfdsm.Options{
 		Machine: hpfdsm.DefaultMachine(),
 		Backend: hpfdsm.MessagePassing,
 	})

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -42,14 +43,14 @@ END
 `
 
 func main() {
-	prog, err := hpfdsm.Compile(source, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
+	n := flag.Int("n", 256, "grid size")
+	iters := flag.Int("iters", 20, "time steps")
+	flag.Parse()
+	overrides := map[string]int{"N": *n, "ITERS": *iters}
 
 	for _, opt := range []hpfdsm.OptLevel{hpfdsm.OptNone, hpfdsm.OptRTElim} {
 		// Recompile per run: a Program is bound to one run's layouts.
-		prog, err = hpfdsm.Compile(source, nil)
+		prog, err := hpfdsm.Compile(source, overrides)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,17 +66,16 @@ func main() {
 	}
 
 	// Read a result value back from the distributed array.
-	res, err := hpfdsm.Run(mustCompile(), hpfdsm.Options{Machine: hpfdsm.DefaultMachine(), Opt: hpfdsm.OptRTElim})
+	res, err := hpfdsm.Run(mustCompile(overrides), hpfdsm.Options{Machine: hpfdsm.DefaultMachine(), Opt: hpfdsm.OptRTElim})
 	if err != nil {
 		log.Fatal(err)
 	}
 	t := res.ArrayData("T")
-	n := 256
-	fmt.Printf("temperature at (2,2) after 20 steps: %.3f\n", t[(2-1)*n+(2-1)])
+	fmt.Printf("temperature at (2,2) after %d steps: %.3f\n", *iters, t[(2-1)**n+(2-1)])
 }
 
-func mustCompile() *hpfdsm.Program {
-	p, err := hpfdsm.Compile(source, nil)
+func mustCompile(overrides map[string]int) *hpfdsm.Program {
+	p, err := hpfdsm.Compile(source, overrides)
 	if err != nil {
 		log.Fatal(err)
 	}

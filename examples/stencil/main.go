@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,11 +14,21 @@ import (
 )
 
 func main() {
+	iters := flag.Int("iters", 0, "override the iteration count (0 = the app's scaled default)")
+	flag.Parse()
+
 	app, err := hpfdsm.AppByName("shallow")
 	if err != nil {
 		log.Fatal(err)
 	}
-	params := app.ScaledParams
+	// Copy before overriding: ScaledParams is shared app state.
+	params := map[string]int{}
+	for k, v := range app.ScaledParams {
+		params[k] = v
+	}
+	if *iters > 0 {
+		params["ITERS"] = *iters
+	}
 
 	run := func(mode hpfdsm.CPUMode, opt hpfdsm.OptLevel) *hpfdsm.Result {
 		prog, err := app.Program(params)

@@ -1,0 +1,63 @@
+// Smoke tests for the examples/ programs: each one must vet clean,
+// build, and run to completion with scaled-down parameters. The
+// examples are the package's de-facto API documentation; a refactor
+// that silently breaks one fails here, not in a user's editor.
+package hpfdsm_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example binaries in -short mode")
+	}
+	examples := []struct {
+		dir  string
+		args []string // scaled-down parameters
+	}{
+		{"compiler", nil},
+		{"customprotocol", []string{"-iters", "5"}},
+		{"irregular", []string{"-n", "512", "-iters", "3"}},
+		{"quickstart", []string{"-n", "64", "-iters", "4"}},
+		{"stencil", []string{"-iters", "2"}},
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(examples) {
+		t.Errorf("examples/ holds %d entries but the smoke test covers %d — add the new example here",
+			len(entries), len(examples))
+	}
+	bin := t.TempDir()
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex.dir, func(t *testing.T) {
+			pkg := "./examples/" + ex.dir
+
+			vet := exec.Command("go", "vet", pkg)
+			if out, err := vet.CombinedOutput(); err != nil {
+				t.Fatalf("go vet %s: %v\n%s", pkg, err, out)
+			}
+
+			exe := filepath.Join(bin, ex.dir)
+			build := exec.Command("go", "build", "-o", exe, pkg)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+			}
+
+			run := exec.Command(exe, ex.args...)
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", ex.dir, ex.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", ex.dir)
+			}
+		})
+	}
+}

@@ -9,10 +9,12 @@ import (
 	"hpfdsm/internal/config"
 	"hpfdsm/internal/lang"
 	"hpfdsm/internal/memory"
+	"hpfdsm/internal/network"
 	"hpfdsm/internal/protocol"
 	"hpfdsm/internal/runtime"
 	"hpfdsm/internal/sim"
 	"hpfdsm/internal/tempest"
+	"hpfdsm/internal/trace"
 )
 
 // Fig1 reproduces Figure 1's point with a microbenchmark: the number
@@ -26,22 +28,39 @@ func Fig1() string {
 	b.WriteString("Figure 1: messages per producer->consumer block transfer\n\n")
 
 	iters := 10
-	defaultMsgs := fig1Default(iters)
+	defaultMsgs := fig1Default(iters, nil)
 	ccMsgs := fig1CC(iters)
 	fmt.Fprintf(&b, "  default invalidation protocol : %.1f messages/transfer (paper: 8)\n", defaultMsgs)
 	fmt.Fprintf(&b, "  compiler-directed (send)      : %.1f messages/transfer (paper: 1 + amortized sync)\n", ccMsgs)
 	return b.String()
 }
 
+// Fig1Trace runs the default-protocol microbenchmark with the causal
+// tracer attached and returns the trace: node 0 produces, node 1
+// consumes, node 2 is the home, so every iteration exercises the full
+// 8-message chain of Figure 1(a). Used by `paperbench -exp fig1
+// -trace-out=...` and by the golden trace tests.
+func Fig1Trace(iters int) *trace.Tracer {
+	tr := trace.New(3)
+	tr.KindName = func(k uint8) string { return protocol.MsgKindName(network.Kind(k)) }
+	fig1Default(iters, tr)
+	return tr
+}
+
 // fig1Default measures steady-state messages per transfer when a
 // producer rewrites and a consumer rereads one block through the
-// default protocol (home on a third node).
-func fig1Default(iters int) float64 {
+// default protocol (home on a third node). tr, when non-nil, records
+// the run's causal trace.
+func fig1Default(iters int, tr *trace.Tracer) float64 {
 	mc := config.Default().WithNodes(3)
 	sp := memory.NewSpace(mc)
 	base := sp.Alloc("x", 4*mc.PageSize)
 	c := tempest.NewCluster(sim.NewEnv(), sp)
 	protocol.Attach(c)
+	if tr != nil {
+		tr.Heat.AddArray("x", base/mc.BlockSize, 4*mc.PageSize/mc.BlockSize)
+		c.SetTracer(tr)
+	}
 	addr := base + 2*mc.PageSize // homed at node 2
 
 	c.Env.Spawn("producer", func(p *sim.Proc) {

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"testing"
+
+	"hpfdsm/internal/trace"
+)
+
+// TestFig1TraceGolden pins the determinism guarantee: two runs of the
+// default-protocol microbenchmark produce byte-identical Chrome traces,
+// the output is valid JSON, non-metadata timestamps are monotone, and
+// every flow start has exactly one matching flow end that does not
+// precede it.
+func TestFig1TraceGolden(t *testing.T) {
+	var b1, b2 bytes.Buffer
+	if err := Fig1Trace(3).WriteChrome(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig1Trace(3).WriteChrome(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("identical fig1 runs produced different trace bytes")
+	}
+
+	var ct struct {
+		TraceEvents []struct {
+			Ph string  `json:"ph"`
+			Ts float64 `json:"ts"`
+			ID int64   `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b1.Bytes(), &ct); err != nil {
+		t.Fatalf("fig1 trace is not valid JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	lastTs := -1.0
+	starts := map[int64]int{}
+	ends := map[int64]int{}
+	startTs := map[int64]float64{}
+	for _, e := range ct.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Ts < lastTs {
+			t.Fatalf("timestamps not monotone: %v after %v", e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		switch e.Ph {
+		case "s":
+			starts[e.ID]++
+			startTs[e.ID] = e.Ts
+		case "f":
+			ends[e.ID]++
+		}
+	}
+	if len(starts) == 0 {
+		t.Fatal("no flow events in fig1 trace")
+	}
+	for id, n := range starts {
+		if n != 1 {
+			t.Errorf("flow %d started %d times", id, n)
+		}
+		if ends[id] != 1 {
+			t.Errorf("flow %d has %d ends, want 1", id, ends[id])
+		}
+	}
+	for id := range ends {
+		if starts[id] == 0 {
+			t.Errorf("flow %d ends without a start", id)
+		}
+	}
+	for _, e := range ct.TraceEvents {
+		if e.Ph == "f" && e.Ts < startTs[e.ID] {
+			t.Errorf("flow %d ends at %v before its start %v", e.ID, e.Ts, startTs[e.ID])
+		}
+	}
+}
+
+// TestFig1TraceEightMessageChain asserts the paper's Figure 1(a): in
+// steady state, one producer-to-consumer transfer under the default
+// protocol takes eight causally chained messages. The trace's handler
+// spans must contain, in timestamp order, the chain
+//
+//	read_req@home -> put_data_req@producer -> put_data_resp@home ->
+//	read_resp@consumer -> upgrade_req@home -> inval@consumer ->
+//	inval_ack@home -> write_grant@producer
+//
+// with producer=node 0, consumer=node 1, home=node 2.
+func TestFig1TraceEightMessageChain(t *testing.T) {
+	tr := Fig1Trace(4)
+
+	type step struct {
+		name string
+		pid  int
+	}
+	chain := []step{
+		{"h:read_req", 2},
+		{"h:put_data_req", 0},
+		{"h:put_data_resp", 2},
+		{"h:read_resp", 1},
+		{"h:upgrade_req", 2},
+		{"h:inval", 1},
+		{"h:inval_ack", 2},
+		{"h:write_grant", 0},
+	}
+	// Handler spans in emission order (the simulator emits them in
+	// execution order; ties share a timestamp but not an ordering
+	// hazard here).
+	next := 0
+	for _, e := range tr.Events() {
+		if e.Ph != trace.PhaseSpan || e.Cat != "handler" || next >= len(chain) {
+			continue
+		}
+		if e.Name == chain[next].name && e.Pid == chain[next].pid {
+			next++
+		}
+	}
+	if next != len(chain) {
+		var got []string
+		for _, e := range tr.Events() {
+			if e.Ph == trace.PhaseSpan && e.Cat == "handler" {
+				got = append(got, e.Name+"@"+strconv.Itoa(e.Pid))
+			}
+		}
+		t.Fatalf("eight-message chain broken at step %d (%s@%d); handler spans:\n%v",
+			next, chain[next].name, chain[next].pid, got)
+	}
+
+	// Each non-ack chain message rode a flow: the trace must contain at
+	// least 8 flow starts per steady-state iteration.
+	flows := 0
+	for _, e := range tr.Events() {
+		if e.Ph == trace.PhaseFlowStart {
+			flows++
+		}
+	}
+	if flows < len(chain) {
+		t.Fatalf("only %d flow starts, want >= %d", flows, len(chain))
+	}
+
+	// The microbenchmark's array is registered: the heat map must
+	// attribute the traffic to "x".
+	var buf bytes.Buffer
+	if err := tr.Heat.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"name":"x"`)) {
+		t.Fatalf("heat map lost the array registration:\n%s", buf.String())
+	}
+}

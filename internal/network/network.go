@@ -11,6 +11,7 @@ import (
 	"hpfdsm/internal/config"
 	"hpfdsm/internal/sim"
 	"hpfdsm/internal/stats"
+	"hpfdsm/internal/trace"
 )
 
 // Kind distinguishes message types; values are defined by the protocol
@@ -44,7 +45,13 @@ type Message struct {
 	net      *Network // owning network, set at creation or first Send
 	pooled   bool     // recycle after the delivery handler returns
 	retained bool     // handler kept the message; skip recycling
+	flow     uint64   // trace flow id of the latest transmission (0 = untraced)
 }
+
+// Flow returns the message's trace flow identifier: the id of the
+// physical transmission that carried it, linking the sender's wire span
+// to the receiving handler. Zero when tracing is off.
+func (m *Message) Flow() uint64 { return m.flow }
 
 // Retain marks a delivered message (and its Data) as kept by the
 // handler beyond its return, exempting both from recycling. Required
@@ -83,7 +90,15 @@ type Network struct {
 	pool    bool
 	free    []*Message
 	bufFree [][]byte // BlockSize-sized payload buffers
+
+	// tr, when non-nil, records wire spans and send→deliver flow links.
+	// Every use is nil-guarded: a disabled tracer costs one predictable
+	// branch per send and allocates nothing.
+	tr *trace.Tracer
 }
+
+// SetTracer installs the causal event tracer (nil disables tracing).
+func (n *Network) SetTracer(t *trace.Tracer) { n.tr = t }
 
 // New creates a network for mc.Nodes endpoints. Endpoints must be bound
 // with Bind before any Send.
@@ -165,7 +180,11 @@ func (n *Network) Send(m *Message) {
 		// touches the wire, so it bypasses fault injection.
 		n.accountSend(m)
 		n.accountRecv(m)
-		n.env.ScheduleArg(n.env.Now()+sim.Time(m.Size)*n.mc.NsPerByte/4+1, deliverEvent, m)
+		at := n.env.Now() + sim.Time(m.Size)*n.mc.NsPerByte/4 + 1
+		if n.tr != nil {
+			n.traceTx(m, n.env.Now(), at, false)
+		}
+		n.env.ScheduleArg(at, deliverEvent, m)
 		return
 	}
 	if n.rel != nil {
@@ -174,7 +193,37 @@ func (n *Network) Send(m *Message) {
 	}
 	n.accountSend(m)
 	n.accountRecv(m)
-	n.env.ScheduleArg(n.wireArrival(m), deliverEvent, m)
+	arrival := n.wireArrival(m)
+	if n.tr != nil {
+		ser := sim.Time(n.mc.MsgHeader+m.Size) * n.mc.NsPerByte
+		depart := arrival - n.mc.WireLatency - ser
+		n.traceTx(m, depart, depart+ser, false)
+	}
+	n.env.ScheduleArg(arrival, deliverEvent, m)
+}
+
+// traceTx records one physical transmission: a serialization span on
+// the sender's NIC lane and the start of the flow arrow that the
+// receiving handler's span will terminate. Retransmissions get a fresh
+// flow id with the superseded id as an argument, so every wire attempt
+// is its own span but the causal chain stays connected. Only called
+// with the tracer installed.
+func (n *Network) traceTx(m *Message, start, end sim.Time, retx bool) {
+	t := n.tr
+	name := t.MsgName(uint8(m.Kind))
+	args := []trace.Arg{trace.Int("dst", m.Dst), trace.Int("bytes", n.mc.MsgHeader+m.Size)}
+	if m.Seq != 0 {
+		args = append(args, trace.I64("seq", m.Seq))
+	}
+	if retx {
+		name = name + " (retx)"
+		args = append(args, trace.I64("supersedes_flow", int64(m.flow)))
+	}
+	if m.Kind != KindAck {
+		m.flow = t.FlowID()
+		t.FlowStart(m.Src, trace.LaneNIC, m.flow, start)
+	}
+	t.Span(m.Src, trace.LaneNIC, name, "tx", start, end, args...)
 }
 
 // deliverEvent and sendEvent are the shared event functions for

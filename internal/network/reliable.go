@@ -124,7 +124,7 @@ func (r *reliable) send(m *Message) {
 	c.nextSeq++
 	m.Seq = c.nextSeq
 	c.out[m.Seq] = &outstanding{m: m, rto: r.f.EffectiveRetransmitTimeout()}
-	arrive := r.transmit(m)
+	arrive := r.transmit(m, false)
 	r.armTimer(c, m.Seq, arrive)
 }
 
@@ -136,14 +136,18 @@ func (r *reliable) send(m *Message) {
 // Without the priority lane a backlogged link delays its own ACKs
 // behind minutes of queued data, every RTO fires spuriously, and the
 // retransmissions amplify the backlog into congestion collapse.
-func (r *reliable) transmit(m *Message) sim.Time {
+func (r *reliable) transmit(m *Message, retx bool) sim.Time {
 	r.n.accountSend(m)
+	ser := sim.Time(r.n.mc.MsgHeader+m.Size) * r.n.mc.NsPerByte
 	var arrive sim.Time
 	if m.Kind == KindAck {
-		ser := sim.Time(r.n.mc.MsgHeader+m.Size) * r.n.mc.NsPerByte
 		arrive = r.n.env.Now() + ser + r.n.mc.WireLatency
 	} else {
 		arrive = r.n.wireArrival(m)
+	}
+	if r.n.tr != nil {
+		depart := arrive - r.n.mc.WireLatency - ser
+		r.n.traceTx(m, depart, depart+ser, retx)
 	}
 	r.inject(m, arrive)
 	return arrive
@@ -245,7 +249,7 @@ func (r *reliable) scheduleAck(c *relChan) {
 		// The ACK travels the reverse direction, unsequenced, and takes
 		// its own chances with the fault model; a lost ACK is repaired
 		// by the sender's retransmission provoking a fresh one.
-		r.transmit(&Message{Src: c.dst, Dst: c.src, Kind: KindAck, Arg: c.expect - 1, Size: ackSize})
+		r.transmit(&Message{Src: c.dst, Dst: c.src, Kind: KindAck, Arg: c.expect - 1, Size: ackSize}, false)
 	})
 }
 
@@ -297,7 +301,7 @@ func (r *reliable) timeout(c *relChan, seq int64) {
 	if mb := r.f.EffectiveMaxBackoff(); o.rto > mb {
 		o.rto = mb
 	}
-	arrive := r.transmit(o.m)
+	arrive := r.transmit(o.m, true)
 	r.armTimer(c, seq, arrive)
 }
 

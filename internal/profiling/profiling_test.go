@@ -1,0 +1,86 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoopWhenDisabled(t *testing.T) {
+	stop, err := Start("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartCreatesAllFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	trc := filepath.Join(dir, "exec.trace")
+	stop, err := Start(cpu, mem, trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a little work so the profiles are non-degenerate.
+	sum := 0
+	for i := 0; i < 1_000_000; i++ {
+		sum += i
+	}
+	_ = sum
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem, trc} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Errorf("%s not created: %v", f, err)
+			continue
+		}
+		if st.Size() == 0 && f != cpu { // a quick CPU profile may be header-only but must exist
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestStartBadCPUPath(t *testing.T) {
+	dir := t.TempDir()
+	_, err := Start(filepath.Join(dir, "no-such-dir", "cpu.pprof"), "", "")
+	if err == nil {
+		t.Fatal("expected error for uncreatable cpu profile path")
+	}
+}
+
+// TestStartBadTracePathStopsCPUProfile exercises the cleanup path: when
+// the trace file cannot be created after CPU profiling already started,
+// Start must stop the profiler (or the next Start would fail).
+func TestStartBadTracePathStopsCPUProfile(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	_, err := Start(cpu, "", filepath.Join(dir, "no-such-dir", "exec.trace"))
+	if err == nil {
+		t.Fatal("expected error for uncreatable trace path")
+	}
+	// CPU profiling must have been stopped: starting again succeeds.
+	stop, err := Start(filepath.Join(dir, "cpu2.pprof"), "", "")
+	if err != nil {
+		t.Fatalf("profiler left running after failed Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopReportsBadMemPath(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start("", filepath.Join(dir, "no-such-dir", "mem.pprof"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop did not report the uncreatable heap profile path")
+	}
+}

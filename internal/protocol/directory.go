@@ -103,6 +103,9 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 			mem.ClearDirty(r.block)
 			e.writers &^= bit(np.id)
 			if invalidate {
+				if h := np.heat(); h != nil {
+					h.AddInval(r.block)
+				}
 				mem.SetTag(r.block, memory.Invalid)
 			} else {
 				mem.SetTag(r.block, memory.ReadOnly)
@@ -122,6 +125,9 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 	invalSharer := func(s int) {
 		if s == np.id {
 			np.occupy(mc.TagChange)
+			if h := np.heat(); h != nil {
+				h.AddInval(r.block)
+			}
 			mem.SetTag(r.block, memory.Invalid)
 			e.sharers &^= bit(np.id)
 			return

@@ -244,6 +244,9 @@ func (np *nodeProto) hMkWritableData(hc *tempest.HContext, m *network.Message) {
 	mem := np.n.Mem
 	bs := mem.Space().BlockSize()
 	nb := int(m.Arg)
+	if h := np.heat(); h != nil {
+		h.AddBytesRange(m.Addr/bs, nb, m.Size)
+	}
 	np.occupy(sim.Time(nb) * np.n.MC.BulkPerBlock)
 	mem.InstallRange(m.Addr, m.Data)
 	b0 := m.Addr / bs
@@ -304,11 +307,15 @@ func (x *Ext) ImplicitInvalidate(p *sim.Proc, runs []BlockRun) {
 	t0 := x.begin(p)
 	defer x.end(p, t0)
 
+	h := np.heat()
 	for _, r := range runs {
 		p.Sleep(sim.Time(r.N) * mc.TagChange)
 		for b := r.Start; b < r.Start+r.N; b++ {
 			if mem.Dirty(b) != 0 {
 				panic(fmt.Sprintf("protocol: implicit_invalidate of block %d on node %d would lose dirty words; flush first", b, np.id))
+			}
+			if h != nil && mem.Tag(b) != memory.Invalid {
+				h.AddInval(b)
 			}
 			mem.SetTag(b, memory.Invalid)
 		}
@@ -451,6 +458,9 @@ func (np *nodeProto) installCC(m *network.Message, markDirty bool) {
 	mem := np.n.Mem
 	bs := mem.Space().BlockSize()
 	nb := int(m.Arg)
+	if h := np.heat(); h != nil {
+		h.AddBytesRange(m.Addr/bs, nb, m.Size)
+	}
 	np.occupy(sim.Time(nb) * np.n.MC.BulkPerBlock)
 	b0 := m.Addr / bs
 	for b := b0; b < b0+nb; b++ {

@@ -30,6 +30,7 @@ import (
 	"hpfdsm/internal/network"
 	"hpfdsm/internal/sim"
 	"hpfdsm/internal/tempest"
+	"hpfdsm/internal/trace"
 )
 
 // Message kinds of the default protocol (Figure 1a) and the
@@ -55,6 +56,58 @@ const (
 )
 
 const ctrlSize = 8 // payload bytes of a control message
+
+// MsgKindName renders a message kind as a stable human-readable name
+// for traces and diagnostics. It covers the default protocol, the
+// compiler-directed extensions, the tempest synchronization kinds, and
+// the reliable-delivery acknowledgement.
+func MsgKindName(k network.Kind) string {
+	switch k {
+	case KReadReq:
+		return "read_req"
+	case KReadResp:
+		return "read_resp"
+	case KWriteReq:
+		return "write_req"
+	case KWriteResp:
+		return "write_resp"
+	case KUpgradeReq:
+		return "upgrade_req"
+	case KWriteGrant:
+		return "write_grant"
+	case KPutDataReq:
+		return "put_data_req"
+	case KPutDataResp:
+		return "put_data_resp"
+	case KInval:
+		return "inval"
+	case KInvalAck:
+		return "inval_ack"
+	case KMkWritableReq:
+		return "mk_writable_req"
+	case KMkWritableData:
+		return "mk_writable_data"
+	case KMkWritableAck:
+		return "mk_writable_ack"
+	case KCCData:
+		return "cc_data"
+	case KCCFlush:
+		return "cc_flush"
+	case KCCFlushDir:
+		return "cc_flush_dir"
+	case tempest.KindBarrierArrive:
+		return "barrier_arrive"
+	case tempest.KindBarrierRelease:
+		return "barrier_release"
+	case tempest.KindReduceContrib:
+		return "reduce_contrib"
+	case tempest.KindReduceResult:
+		return "reduce_result"
+	case network.KindAck:
+		return "ack"
+	}
+	return fmt.Sprintf("kind%d", k)
+}
 
 // Proto is the coherence protocol instance for one cluster.
 type Proto struct {
@@ -191,6 +244,16 @@ func bit(i int) uint64 { return 1 << uint(i) }
 // occupy charges protocol-engine time on this node.
 func (np *nodeProto) occupy(d sim.Time) { np.n.OccupyProto(d) }
 
+// heat returns the tracer's heat accumulator, or nil when tracing is
+// off — the per-block miss/invalidation/byte hooks below are all
+// guarded on it.
+func (np *nodeProto) heat() *trace.Heat {
+	if t := np.n.Trace; t != nil {
+		return t.Heat
+	}
+	return nil
+}
+
 // send transmits from the protocol engine, charging SendOver; the
 // message departs when the engine's queued work completes.
 func (np *nodeProto) send(m *network.Message) {
@@ -300,6 +363,9 @@ func (np *nodeProto) fillDone(b int) {
 
 func (np *nodeProto) hReadResp(hc *tempest.HContext, m *network.Message) {
 	b := m.Addr
+	if h := np.heat(); h != nil {
+		h.AddBytes(b, m.Size)
+	}
 	np.occupy(np.n.MC.BlockCopy + 2*np.n.MC.TagChange)
 	np.n.Mem.InstallBlock(b, m.Data)
 	np.n.Mem.SetTag(b, memory.ReadOnly)
@@ -314,6 +380,9 @@ func (np *nodeProto) hReadResp(hc *tempest.HContext, m *network.Message) {
 // blocked store resumes.
 func (np *nodeProto) hWriteResp(hc *tempest.HContext, m *network.Message) {
 	b := m.Addr
+	if h := np.heat(); h != nil {
+		h.AddBytes(b, m.Size)
+	}
 	np.occupy(np.n.MC.BlockCopy + np.n.MC.TagChange)
 	np.n.Mem.InstallClean(b, m.Data)
 	if np.n.MC.Consistency == config.SequentiallyConsistent {
@@ -338,6 +407,9 @@ func (np *nodeProto) hWriteGrant(hc *tempest.HContext, m *network.Message) {
 	if m.Data != nil && np.n.Mem.Tag(b) == memory.Invalid {
 		// We were invalidated while the upgrade was in flight; the
 		// grant carries fresh data.
+		if h := np.heat(); h != nil {
+			h.AddBytes(b, m.Size)
+		}
 		np.occupy(np.n.MC.BlockCopy)
 		np.n.Mem.InstallBlock(b, m.Data)
 		np.n.Mem.SetTag(b, memory.ReadWrite)
@@ -366,6 +438,9 @@ func (np *nodeProto) hPutDataReq(hc *tempest.HContext, m *network.Message) {
 	mask := mem.Dirty(b)
 	keeps := int64(1)
 	if m.Arg == 1 || mem.Tag(b) == memory.Invalid {
+		if h := np.heat(); h != nil && m.Arg == 1 {
+			h.AddInval(b)
+		}
 		mem.SetTag(b, memory.Invalid)
 		keeps = 0
 	} else {
@@ -385,6 +460,9 @@ func (np *nodeProto) hInval(hc *tempest.HContext, m *network.Message) {
 	if np.scHold.get(b) {
 		np.deferMsg(m, np.hInval)
 		return
+	}
+	if h := np.heat(); h != nil {
+		h.AddInval(b)
 	}
 	mem := np.n.Mem
 	mc := np.n.MC
@@ -435,6 +513,9 @@ func (np *nodeProto) hUpgradeReq(hc *tempest.HContext, m *network.Message) {
 func (np *nodeProto) hPutDataResp(hc *tempest.HContext, m *network.Message) {
 	b := m.Addr
 	mc := np.n.MC
+	if h := np.heat(); h != nil {
+		h.AddBytes(b, m.Size)
+	}
 	np.occupy(mc.HandlerCost + mc.BlockCopy)
 	// Words the home itself has written since the flushed copy was
 	// superseded (an eager home-local store racing this collection)

@@ -121,17 +121,29 @@ func (e *exec) startTimer(p *sim.Proc) {
 }
 
 // profiled runs body, attributing this node's stat deltas to label and
-// recording the span on the timeline.
+// recording the span on the timeline and, when tracing, as a region on
+// the node's compute lane (which also attributes the loop's misses in
+// the heat map's provenance table).
 func (e *exec) profiled(p *sim.Proc, label string, body func()) {
-	if e.prof == nil {
+	tr := e.n.Trace
+	if e.prof == nil && tr == nil {
 		body()
 		return
 	}
 	e.n.Sync(p)
 	before := *e.n.St
 	start := p.Now()
+	if tr != nil {
+		tr.BeginRegion(e.n.ID, label, start)
+	}
 	body()
 	e.n.Sync(p)
+	if tr != nil {
+		tr.EndRegion(e.n.ID, p.Now())
+	}
+	if e.prof == nil {
+		return
+	}
 	e.prof.Timeline.Add(e.n.ID, label, start, p.Now())
 	after := *e.n.St
 	e.prof.Add(label, trace.Sample{

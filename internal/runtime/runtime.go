@@ -15,6 +15,7 @@ import (
 	"hpfdsm/internal/config"
 	"hpfdsm/internal/ir"
 	"hpfdsm/internal/memory"
+	"hpfdsm/internal/network"
 	"hpfdsm/internal/protocol"
 	"hpfdsm/internal/sections"
 	"hpfdsm/internal/sim"
@@ -51,6 +52,12 @@ type Options struct {
 	// cite the contract rules the verifier proved for the loop whose
 	// schedule governs the failing block.
 	Verified *analysis.Report
+	// Trace, when non-nil, records the run's causal protocol-event
+	// trace: wire spans and flow links, handler executions, miss
+	// stalls, loop/barrier regions, and the per-block heat map. The
+	// runtime installs the kind-name and block-provenance hooks and
+	// registers every array's block range before the simulation starts.
+	Trace *trace.Tracer
 }
 
 // Result is the outcome of one simulated run.
@@ -150,6 +157,16 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	prov := analysis.NewProvIndex(an)
 	prov.Report = opt.Verified
 	proto.BlockInfo = prov.Describe
+	if tr := opt.Trace; tr != nil {
+		tr.KindName = func(k uint8) string { return protocol.MsgKindName(network.Kind(k)) }
+		tr.BlockInfo = prov.Describe
+		for _, arr := range prog.Arrays {
+			lay := layouts[arr]
+			nb := (arr.Elems()*8 + mc.BlockSize - 1) / mc.BlockSize
+			tr.Heat.AddArray(arr.Name, lay.Base/mc.BlockSize, nb)
+		}
+		cluster.SetTracer(tr)
+	}
 	for i := 0; i < mc.Nodes; i++ {
 		execs[i] = newExec(prog, an, layouts, cluster, cluster.Nodes[i], proto.Node(i), opt.Opt)
 		execs[i].prof = prof
@@ -187,6 +204,14 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 		}
 	}
 	res.Elapsed = env.Now() - cluster.TimerStart
+	if tr := opt.Trace; tr != nil {
+		// Close the record with the simulator's event-dispatch census
+		// (always-on counters in sim.Env), visible in the trace viewer.
+		ev := env.Events()
+		tr.Instant(0, trace.LaneCompute, "sim.events", "meta", env.Now(),
+			trace.I64("dispatches", ev.Dispatches), trace.I64("arg_events", ev.ArgEvents),
+			trace.I64("fn_events", ev.FnEvents), trace.I64("total", ev.Total()))
+	}
 	for k, v := range execs[0].scalars {
 		res.Scalars[k] = v
 	}

@@ -6,6 +6,7 @@ import (
 
 	"hpfdsm/internal/network"
 	"hpfdsm/internal/sim"
+	"hpfdsm/internal/trace"
 )
 
 // ReduceOp identifies a reduction operator; it travels in reduction
@@ -131,6 +132,9 @@ func (c *Cluster) Barrier(p *sim.Proc, n *Node) {
 	}
 	sig.Wait(p)
 	n.St.BarrierTime += p.Now() - start
+	if n.Trace != nil {
+		n.Trace.Span(n.ID, trace.LaneCompute, "barrier", "sync", start, p.Now())
+	}
 }
 
 func (c *Cluster) reduceArrived(gen int64, op ReduceOp, v float64) {
@@ -188,5 +192,8 @@ func (c *Cluster) AllReduce(p *sim.Proc, n *Node, op ReduceOp, v float64) float6
 	}
 	sig.Wait(p)
 	n.St.BarrierTime += p.Now() - start
+	if n.Trace != nil {
+		n.Trace.Span(n.ID, trace.LaneCompute, "reduce:"+op.String(), "sync", start, p.Now())
+	}
 	return n.reduceResult
 }

@@ -21,6 +21,7 @@ import (
 	"hpfdsm/internal/network"
 	"hpfdsm/internal/sim"
 	"hpfdsm/internal/stats"
+	"hpfdsm/internal/trace"
 )
 
 // Message kinds reserved by the tempest layer for synchronization.
@@ -66,6 +67,11 @@ type Node struct {
 	Mem *memory.NodeMem
 	MC  config.Machine
 	St  *stats.Node
+
+	// Trace, when non-nil, records handler spans, miss stalls, and
+	// barrier regions for this node. Installed by Cluster.SetTracer;
+	// every use is nil-guarded so the disabled path costs one branch.
+	Trace *trace.Tracer
 
 	Fault FaultFn
 
@@ -151,6 +157,14 @@ func (hv *hinvoke) run() {
 	if h == nil {
 		panic(fmt.Sprintf("tempest: node %d has no handler for kind %d", n.ID, m.Kind))
 	}
+	// Capture trace identity before the handler runs: Recycle zeroes
+	// the message, and a Retained message may be mutated for reuse.
+	var kind network.Kind
+	var flow uint64
+	var src, addr int
+	if n.Trace != nil {
+		kind, flow, src, addr = m.Kind, m.Flow(), m.Src, m.Addr
+	}
 	hv.ctx = HContext{Node: n}
 	c := &hv.ctx
 	h(c, m)
@@ -165,6 +179,13 @@ func (hv *hinvoke) run() {
 	if n.MC.CPUMode == config.SingleCPU {
 		n.stolen += n.MC.RecvOver + c.cost
 		n.St.StolenTime += n.MC.RecvOver + c.cost
+	}
+	if t := n.Trace; t != nil {
+		t.Span(n.ID, trace.LaneProto, "h:"+t.MsgName(uint8(kind)), "handler",
+			hv.start, n.protoFree, trace.Int("src", src), trace.Int("addr", addr))
+		if flow != 0 {
+			t.FlowEnd(n.ID, trace.LaneProto, flow, hv.start)
+		}
 	}
 	// The handler is done with the message unless it Retained it.
 	n.Net.Recycle(m)
@@ -292,7 +313,7 @@ func (n *Node) WaitPending(p *sim.Proc) {
 func (n *Node) LoadF64(p *sim.Proc, addr int) float64 {
 	if !n.Mem.CheckLoad(addr) {
 		n.St.ReadMisses++
-		n.fault(p, addr, false)
+		n.fault(p, addr, false, "read")
 	}
 	return n.Mem.ReadF64(addr)
 }
@@ -300,17 +321,19 @@ func (n *Node) LoadF64(p *sim.Proc, addr int) float64 {
 // StoreF64 performs a checked shared-memory store.
 func (n *Node) StoreF64(p *sim.Proc, addr int, v float64) {
 	if !n.Mem.CheckStore(addr) {
+		kind := "write"
 		if n.Mem.Tag(n.Mem.Space().Block(addr)) == memory.ReadOnly {
 			n.St.UpgradeMisses++
+			kind = "upgrade"
 		} else {
 			n.St.WriteMisses++
 		}
-		n.fault(p, addr, true)
+		n.fault(p, addr, true, kind)
 	}
 	n.Mem.WriteF64(addr, v)
 }
 
-func (n *Node) fault(p *sim.Proc, addr int, write bool) {
+func (n *Node) fault(p *sim.Proc, addr int, write bool, kind string) {
 	if n.Fault == nil {
 		panic(fmt.Sprintf("tempest: node %d access fault at %#x with no protocol installed", n.ID, addr))
 	}
@@ -333,6 +356,9 @@ func (n *Node) fault(p *sim.Proc, addr int, write bool) {
 	stall := p.Now() - start
 	n.St.CommTime += stall
 	n.St.RecordMissLatency(stall)
+	if n.Trace != nil {
+		n.Trace.MissSpan(n.ID, n.Mem.Space().Block(addr), addr, kind, start, p.Now())
+	}
 }
 
 func accessName(write bool) string {
@@ -409,4 +435,15 @@ func NewCluster(env *sim.Env, sp *memory.Space) *Cluster {
 	}
 	c.installSync()
 	return c
+}
+
+// SetTracer installs the causal event tracer on the cluster: the
+// network records wire spans and flow links, every node records handler
+// and miss spans. Must be called before the simulation starts; nil
+// disables tracing (the default).
+func (c *Cluster) SetTracer(t *trace.Tracer) {
+	c.Net.SetTracer(t)
+	for _, n := range c.Nodes {
+		n.Trace = t
+	}
 }

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHeatAccumulation(t *testing.T) {
+	h := NewHeat()
+	h.AddArray("u", 0, 10)
+	h.AddMiss(3, "read", "loop L1")
+	h.AddMiss(3, "read", "loop L1")
+	h.AddMiss(3, "upgrade", "loop L1")
+	h.AddInval(3)
+	h.AddBytes(3, 128)
+	h.AddBytesRange(4, 4, 512) // 128 bytes each onto blocks 4..7
+
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Arrays []ArrayRange `json:"arrays"`
+		Blocks []BlockStat  `json:"blocks"`
+		Misses []struct {
+			Loop         string `json:"loop"`
+			Array        string `json:"array"`
+			Kind         string `json:"kind"`
+			Count        int64  `json:"count"`
+			ExampleBlock int    `json:"example_block"`
+		} `json:"misses"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("heat JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(out.Arrays) != 1 || out.Arrays[0].Name != "u" || out.Arrays[0].N != 10 {
+		t.Fatalf("arrays = %+v", out.Arrays)
+	}
+	if len(out.Blocks) != 5 {
+		t.Fatalf("got %d touched blocks, want 5", len(out.Blocks))
+	}
+	b3 := out.Blocks[0]
+	if b3.Block != 3 || b3.Misses != 3 || b3.Invals != 1 || b3.Bytes != 128 {
+		t.Fatalf("block 3 stats %+v", b3)
+	}
+	for i, b := range out.Blocks[1:] {
+		if b.Block != 4+i || b.Bytes != 128 {
+			t.Fatalf("bulk bytes not spread: %+v", b)
+		}
+	}
+	if len(out.Misses) != 2 {
+		t.Fatalf("got %d miss rows, want 2 (read + upgrade)", len(out.Misses))
+	}
+	for _, m := range out.Misses {
+		if m.Loop != "loop L1" || m.Array != "u" || m.ExampleBlock != 3 {
+			t.Fatalf("miss row %+v", m)
+		}
+	}
+}
+
+func TestHeatBytesRangeZeroBlocks(t *testing.T) {
+	h := NewHeat()
+	h.AddBytesRange(0, 0, 100) // must not divide by zero or record anything
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"blocks":[]`) {
+		t.Fatalf("zero-block range recorded bytes:\n%s", buf.String())
+	}
+}
+
+func TestHeatWriteText(t *testing.T) {
+	h := NewHeat()
+	h.AddArray("u", 0, 8)
+	h.AddArray("v", 8, 8)
+	h.AddMiss(2, "read", "L")
+	h.AddMiss(9, "write", "L")
+	h.AddMiss(20, "read", "") // outside any registered array
+	h.AddBytes(2, 256)
+
+	var buf bytes.Buffer
+	h.WriteText(&buf, func(b int) string {
+		if b == 2 {
+			return "schedule S3"
+		}
+		return ""
+	})
+	out := buf.String()
+	for _, want := range []string{"u", "v", "(unregistered)", "Hottest blocks", "schedule S3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatWriteTextCapsHottest(t *testing.T) {
+	h := NewHeat()
+	for b := 0; b < 50; b++ {
+		h.AddMiss(b, "read", "")
+	}
+	var buf bytes.Buffer
+	h.WriteText(&buf, nil)
+	// Header + per-array table (just "(unregistered)") + 20 hottest rows.
+	rows := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "0 ") || len(line) > 0 && line[0] >= '0' && line[0] <= '9' {
+			rows++
+		}
+	}
+	if rows != 20 {
+		t.Fatalf("hottest table has %d rows, want 20:\n%s", rows, buf.String())
+	}
+}
+
+func TestHeatMissTableRendersOutsideLoops(t *testing.T) {
+	h := NewHeat()
+	h.AddArray("u", 0, 4)
+	h.AddMiss(1, "read", "")
+	h.AddMiss(1, "read", "loop A")
+	var buf bytes.Buffer
+	h.WriteMissTable(&buf, nil)
+	out := buf.String()
+	if !strings.Contains(out, "(outside loops)") {
+		t.Fatalf("empty region not rendered:\n%s", out)
+	}
+	// "" sorts before "loop A": the outside-loops row comes first.
+	if strings.Index(out, "(outside loops)") > strings.Index(out, "loop A") {
+		t.Fatalf("rows not sorted by region:\n%s", out)
+	}
+}
+
+func TestHeatJSONDeterministic(t *testing.T) {
+	build := func() *Heat {
+		h := NewHeat()
+		h.AddArray("u", 0, 16)
+		// Touch blocks in an order chosen to stress map iteration.
+		for _, b := range []int{9, 1, 14, 3, 7, 11, 0, 5} {
+			h.AddMiss(b, "read", "L")
+			h.AddInval(b)
+			h.AddBytes(b, b*8)
+		}
+		h.AddMiss(2, "write", "M")
+		h.AddMiss(2, "upgrade", "L")
+		return h
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("identical heat maps produced different JSON bytes")
+	}
+}

@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hpfdsm/internal/sim"
+)
+
+// chromeEvent mirrors the JSON keys WriteChrome emits, for validation.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Cat  string          `json:"cat"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	ID   int64           `json:"id"`
+	BP   string          `json:"bp"`
+	Args json.RawMessage `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func decodeChrome(t *testing.T, tr *Tracer) chromeTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("WriteChrome output is not valid JSON: %v", err)
+	}
+	return ct
+}
+
+func TestNewEmitsLaneMetadata(t *testing.T) {
+	tr := New(2)
+	ct := decodeChrome(t, tr)
+	// 2 nodes x (1 process_name + 3 lanes x 2 records).
+	if want := 2 * (1 + 3*2); len(ct.TraceEvents) != want {
+		t.Fatalf("got %d metadata events, want %d", len(ct.TraceEvents), want)
+	}
+	names := map[string]bool{}
+	for _, e := range ct.TraceEvents {
+		if e.Ph != "M" {
+			t.Fatalf("unexpected non-metadata event %+v", e)
+		}
+		if e.Name == "thread_name" {
+			var args struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(e.Args, &args); err != nil {
+				t.Fatal(err)
+			}
+			names[args.Name] = true
+		}
+	}
+	for _, lane := range []string{"compute", "protocol", "nic"} {
+		if !names[lane] {
+			t.Errorf("no thread_name metadata for lane %q", lane)
+		}
+	}
+}
+
+func TestTimestampRendering(t *testing.T) {
+	tr := New(1)
+	tr.Span(0, LaneCompute, "work", "c", 1234567, 1240069)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 1234567 ns is exactly 1234.567 us; duration 5502 ns is 5.502 us.
+	if !strings.Contains(out, `"ts":1234.567`) {
+		t.Errorf("fixed-point ts missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"dur":5.502`) {
+		t.Errorf("fixed-point dur missing:\n%s", out)
+	}
+}
+
+func TestSpanClampsReversedInterval(t *testing.T) {
+	tr := New(1)
+	tr.Span(0, LaneNIC, "odd", "c", 100, 50)
+	ev := tr.Events()[len(tr.Events())-1]
+	if ev.Dur != 0 {
+		t.Fatalf("reversed interval produced dur %d, want 0", ev.Dur)
+	}
+	if ev.Ts != 100 {
+		t.Fatalf("reversed interval moved ts to %d", ev.Ts)
+	}
+}
+
+func TestFlowIDsAreUniqueAndNonZero(t *testing.T) {
+	tr := New(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		id := tr.FlowID()
+		if id == 0 {
+			t.Fatal("FlowID returned 0 (reserved for no-flow)")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate flow id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFlowEventsRoundTrip(t *testing.T) {
+	tr := New(2)
+	id := tr.FlowID()
+	tr.Span(0, LaneNIC, "read_req", "tx", 10, 20)
+	tr.FlowStart(0, LaneNIC, id, 10)
+	tr.Span(1, LaneProto, "h:read_req", "handler", 30, 40)
+	tr.FlowEnd(1, LaneProto, id, 30)
+	ct := decodeChrome(t, tr)
+	var s, f *chromeEvent
+	for i := range ct.TraceEvents {
+		e := &ct.TraceEvents[i]
+		switch e.Ph {
+		case "s":
+			s = e
+		case "f":
+			f = e
+		}
+	}
+	if s == nil || f == nil {
+		t.Fatal("flow start/end missing from output")
+	}
+	if s.ID != f.ID {
+		t.Fatalf("flow ids differ: s=%d f=%d", s.ID, f.ID)
+	}
+	if f.BP != "e" {
+		t.Fatalf("flow end binding point %q, want \"e\"", f.BP)
+	}
+	if s.Cat != "flow" || f.Cat != "flow" || s.Name != "msg" {
+		t.Fatalf("flow naming wrong: %+v %+v", s, f)
+	}
+}
+
+func TestKindNameFallbackAndHook(t *testing.T) {
+	tr := New(1)
+	if got := tr.MsgName(7); got != "kind7" {
+		t.Fatalf("fallback kind name %q", got)
+	}
+	tr.KindName = func(k uint8) string { return "custom" }
+	if got := tr.MsgName(7); got != "custom" {
+		t.Fatalf("hooked kind name %q", got)
+	}
+}
+
+func TestRegionsNestAndAttributeMisses(t *testing.T) {
+	tr := New(1)
+	tr.BeginRegion(0, "loop A", 0)
+	tr.BeginRegion(0, "loop B", 10)
+	if got := tr.Region(0); got != "loop B" {
+		t.Fatalf("innermost region %q", got)
+	}
+	tr.MissSpan(0, 5, 640, "read", 12, 20)
+	tr.EndRegion(0, 30)
+	if got := tr.Region(0); got != "loop A" {
+		t.Fatalf("after EndRegion, region %q", got)
+	}
+	tr.EndRegion(0, 40)
+	if got := tr.Region(0); got != "" {
+		t.Fatalf("after closing all, region %q", got)
+	}
+
+	// The two EndRegions recorded loop spans, innermost first.
+	var loops []Event
+	for _, e := range tr.Events() {
+		if e.Cat == "loop" {
+			loops = append(loops, e)
+		}
+	}
+	if len(loops) != 2 || loops[0].Name != "loop B" || loops[1].Name != "loop A" {
+		t.Fatalf("loop spans = %+v", loops)
+	}
+
+	// The miss was attributed to the innermost open region.
+	var buf bytes.Buffer
+	if err := tr.Heat.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"loop":"loop B"`) {
+		t.Fatalf("miss not attributed to loop B:\n%s", buf.String())
+	}
+}
+
+func TestEndRegionPanicsWhenEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndRegion on empty stack did not panic")
+		}
+	}()
+	New(1).EndRegion(0, 0)
+}
+
+func TestMissSpanCarriesProvenance(t *testing.T) {
+	tr := New(1)
+	tr.BlockInfo = func(b int) string {
+		if b == 5 {
+			return "x(1:8) owner=2"
+		}
+		return ""
+	}
+	tr.MissSpan(0, 5, 640, "upgrade", 0, 10)
+	tr.MissSpan(0, 6, 768, "read", 20, 30)
+	ct := decodeChrome(t, tr)
+	var miss []chromeEvent
+	for _, e := range ct.TraceEvents {
+		if e.Cat == "miss" {
+			miss = append(miss, e)
+		}
+	}
+	if len(miss) != 2 {
+		t.Fatalf("got %d miss spans", len(miss))
+	}
+	if miss[0].Name != "miss:upgrade" {
+		t.Fatalf("miss span name %q", miss[0].Name)
+	}
+	if !strings.Contains(string(miss[0].Args), "x(1:8) owner=2") {
+		t.Fatalf("provenance missing from args: %s", miss[0].Args)
+	}
+	if strings.Contains(string(miss[1].Args), "prov") {
+		t.Fatalf("empty provenance should be omitted: %s", miss[1].Args)
+	}
+}
+
+func TestWriteChromeByteStableAndSorted(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(2)
+		tr.Span(1, LaneProto, "b", "c", 50, 60)
+		tr.Span(0, LaneCompute, "a", "c", 10, 20)
+		tr.Instant(0, LaneCompute, "i", "c", 5)
+		id := tr.FlowID()
+		tr.FlowStart(0, LaneNIC, id, 12)
+		tr.FlowEnd(1, LaneProto, id, 50)
+		return tr
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteChrome(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChrome(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("identical runs produced different bytes")
+	}
+
+	ct := decodeChrome(t, build())
+	metaDone := false
+	lastTs := -1.0
+	for _, e := range ct.TraceEvents {
+		if e.Ph == "M" {
+			if metaDone {
+				t.Fatal("metadata event after timestamped events")
+			}
+			continue
+		}
+		metaDone = true
+		if e.Ts < lastTs {
+			t.Fatalf("timestamps not sorted: %v after %v", e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+	}
+}
+
+// TestWriteChromeLarge drives the writer past its internal flush
+// threshold to cover the buffered path.
+func TestWriteChromeLarge(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 5000; i++ {
+		ts := sim.Time(i) * 1000
+		tr.Span(0, LaneProto, "h:read_req", "handler", ts, ts+100,
+			Int("src", i%8), Int("addr", i*128))
+	}
+	ct := decodeChrome(t, tr)
+	spans := 0
+	for _, e := range ct.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != 5000 {
+		t.Fatalf("got %d spans, want 5000", spans)
+	}
+}
