@@ -27,6 +27,7 @@ import (
 	"hpfdsm/internal/lang"
 	"hpfdsm/internal/profiling"
 	"hpfdsm/internal/runtime"
+	"hpfdsm/internal/sim"
 	"hpfdsm/internal/trace"
 )
 
@@ -71,6 +72,9 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	traceOut := flag.String("trace-out", "", "write the causal protocol-event trace (Chrome trace-event JSON, loadable in Perfetto) to this file")
+	noAgg := flag.Bool("no-agg", false, "disable the barrier-epoch message aggregation layer")
+	aggThreshold := flag.Int("agg-threshold", 0, "aggregation: per-(loop,destination) byte volume at which epoch aggregation replaces bulk transfer (0 = default of 2 blocks)")
+	aggDelay := flag.Int64("agg-delay", 0, "aggregation: engine-side batch window in microseconds (0 = default)")
 	heatmap := flag.Bool("heatmap", false, "print the per-block heat map and residual-miss provenance table")
 	heatmapJSON := flag.String("heatmap-json", "", "write the per-block heat map as JSON to this file")
 	params := paramFlags{}
@@ -153,6 +157,15 @@ func main() {
 	default:
 		fail(fmt.Errorf("-cpus must be 1 or 2"))
 	}
+	if *noAgg {
+		mc = mc.WithoutCoalesce()
+	}
+	if *aggThreshold != 0 {
+		mc.AggThreshold = *aggThreshold
+	}
+	if *aggDelay != 0 {
+		mc.AggDelay = sim.Time(*aggDelay) * sim.Microsecond
+	}
 	if *drop != 0 || *dup != 0 || *jitter != 0 || *reorder != 0 {
 		f := mc.Faults
 		f.Drop = *drop
@@ -203,6 +216,9 @@ func main() {
 	fmt.Printf("elapsed   %.3f ms (simulated)\n", float64(res.Elapsed)/1e6)
 	fmt.Printf("misses    %d total (%.1f per node)\n", res.Stats.TotalMisses(), res.Stats.AvgMissesPerNode())
 	fmt.Printf("messages  %d (%.1f KB)\n", res.Stats.TotalMessages(), float64(res.Stats.TotalBytes())/1024)
+	if s := res.Stats.TotalSegsCoalesced(); s > 0 {
+		fmt.Printf("coalesced %d segment(s) into %d carrier(s)\n", s, res.Stats.TotalCarriersSent())
+	}
 	fmt.Printf("compute   %.3f ms avg/node\n", float64(res.Stats.AvgComputeTime())/1e6)
 	fmt.Printf("comm+sync %.3f ms avg/node\n", float64(res.Stats.AvgCommTime())/1e6)
 	if p50 := res.Stats.MissLatencyPercentile(0.5); p50 > 0 {

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, table1, table2, fig3, table3, fig4, pre, blocksize, prefetch, consistency, distribution, irregular, network, faults")
+	exp := flag.String("exp", "all", "experiment: all, fig1, table1, table2, fig3, table3, fig4, pre, blocksize, prefetch, consistency, distribution, irregular, network, faults, agg")
 	size := flag.String("size", "bench", "problem sizes: bench, paper, scaled")
 	nodes := flag.Int("nodes", 8, "cluster size for suite experiments")
 	verbose := flag.Bool("v", false, "log each run")
@@ -177,6 +177,13 @@ func main() {
 				os.Exit(1)
 			}
 			show(name, out)
+		case "agg":
+			out, err := bench.Agg(sizing)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			show(name, out)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -184,7 +191,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, e := range []string{"table1", "fig1", "table2", "fig3", "table3", "fig4", "pre", "blocksize", "prefetch", "consistency", "distribution", "irregular", "network", "faults"} {
+		for _, e := range []string{"table1", "fig1", "table2", "fig3", "table3", "fig4", "pre", "blocksize", "prefetch", "consistency", "distribution", "irregular", "network", "faults", "agg"} {
 			run(e)
 		}
 		return

@@ -105,7 +105,7 @@ func compilerDirected() (msgsPerIter, usPerIter float64) {
 		start, m0 = p.Now(), c.Stats.TotalMessages()
 		for i := 0; i < iters; i++ {
 			n.StoreF64(p, addr, float64(i))
-			x.SendBlocks(p, 1, run, true)
+			x.SendBlocks(p, 1, run, protocol.SendBulk)
 			c.Barrier(p, n)
 		}
 		end = p.Now()

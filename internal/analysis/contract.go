@@ -331,6 +331,48 @@ func (m *Model) CheckLoopCalls(lc *LoopCalls) {
 		m.checkAlignment(lc, t, diag)
 	}
 
+	// ---- Aggregation policy: traffic matrices vs the transfers. ----
+	// The runtime picks each pair's transport (eager / bulk / epoch
+	// aggregation) from the schedule's [sender][receiver] byte and
+	// message-count matrices. Recompute both independently from the
+	// transfers the emission was checked against: drift would steer
+	// traffic through a wire path the contract never examined.
+	if lc.Sched != nil {
+		m.report.markChecked(site.Loop, RuleAggMatrix)
+		checkMatrices := func(ts []compiler.Transfer, bmat, mmat [][]int64, phase string) {
+			bytes := make([]int64, np*np)
+			msgs := make([]int64, np*np)
+			for _, t := range ts {
+				blocks := 0
+				for _, r := range t.Blocks {
+					blocks += r.N
+				}
+				if blocks != t.NumBlocks {
+					diag(Error, RuleAggMatrix, transferSite(site, t),
+						"transfer claims %d aligned block(s) but its runs cover %d",
+						t.NumBlocks, blocks)
+				}
+				bytes[t.Sender*np+t.Receiver] += int64(blocks) * int64(m.an.BlockSize)
+				msgs[t.Sender*np+t.Receiver] += int64(len(t.Blocks))
+			}
+			for s := 0; s < np; s++ {
+				for r := 0; r < np; r++ {
+					var gb, gm int64
+					if s < len(bmat) && r < len(bmat[s]) {
+						gb, gm = bmat[s][r], mmat[s][r]
+					}
+					if gb != bytes[s*np+r] || gm != msgs[s*np+r] {
+						diag(Error, RuleAggMatrix, site,
+							"%s matrix cell %d->%d records %dB over %d message(s) but the transfers sum to %dB over %d — the adaptive transport policy would be steered by traffic the schedule does not emit",
+							phase, s, r, gb, gm, bytes[s*np+r], msgs[s*np+r])
+					}
+				}
+			}
+		}
+		checkMatrices(lc.Sched.Reads, lc.Sched.ReadBytes, lc.Sched.ReadMsgs, "read")
+		checkMatrices(lc.Sched.Writes, lc.Sched.WriteBytes, lc.Sched.WriteMsgs, "write")
+	}
+
 	// ---- PRE elisions: every skip re-validated independently. ----
 	if len(lc.Skipped) > 0 {
 		m.report.markChecked(site.Loop, RuleElision)

@@ -238,6 +238,54 @@ func TestContractBadElision(t *testing.T) {
 	}
 }
 
+// TestContractAggMatrixDrift: corrupting the schedule's traffic
+// matrices — the inputs the runtime's adaptive transport policy reads —
+// is exactly contract/agg-matrix, and a clean run marks the rule
+// verified.
+func TestContractAggMatrixDrift(t *testing.T) {
+	m, rep, lc := buildFixture(t, 0)
+	if len(lc.Sched.Reads) == 0 {
+		t.Fatal("fixture loop has no read transfers")
+	}
+	ref := lc.Sched.Reads[0]
+	lc.Sched.ReadBytes[ref.Sender][ref.Receiver] += 1
+	lc.Sched.ReadMsgs[ref.Sender][ref.Receiver] += 3
+	m.CheckLoopCalls(lc)
+
+	rules := errorRules(rep)
+	if len(rules) != 1 || !rules[analysis.RuleAggMatrix] {
+		t.Fatalf("want exactly {%s}, got %v:\n%s", analysis.RuleAggMatrix, rules, rep)
+	}
+	found := false
+	for _, d := range rep.Diags {
+		if d.Rule == analysis.RuleAggMatrix && d.Severity == analysis.Error {
+			if d.Site.Loop != lc.Site.Loop {
+				t.Fatalf("diagnostic lacks loop provenance: %v", d)
+			}
+			if !strings.Contains(d.Msg, "transport policy") {
+				t.Fatalf("diagnostic does not explain the policy impact: %v", d)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no agg-matrix error:\n%s", rep)
+	}
+	if got := rep.RulesFor(lc.Site.Loop); containsRule(got, analysis.RuleAggMatrix) {
+		t.Fatalf("broken rule still reported as verified: %v", got)
+	}
+
+	// A fresh, unmutated schedule verifies the rule.
+	m2, rep2, lc2 := buildFixture(t, 0)
+	m2.CheckLoopCalls(lc2)
+	if rep2.HasErrors() {
+		t.Fatalf("clean fixture produced errors:\n%s", rep2)
+	}
+	if got := rep2.RulesFor(lc2.Site.Loop); !containsRule(got, analysis.RuleAggMatrix) {
+		t.Fatalf("clean run did not record %s as verified: %v", analysis.RuleAggMatrix, got)
+	}
+}
+
 // TestSuppressionDowngrade: Apply downgrades a matching error to Info
 // with the reason attached and reports stale entries.
 func TestSuppressionDowngrade(t *testing.T) {

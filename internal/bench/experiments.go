@@ -113,7 +113,7 @@ func fig1CC(iters int) float64 {
 		afterSetup = c.Stats.TotalMessages()
 		for i := 0; i < iters; i++ {
 			n.StoreF64(p, addr, float64(i))
-			x.SendBlocks(p, 1, run, true)
+			x.SendBlocks(p, 1, run, protocol.SendBulk)
 			c.Barrier(p, n)
 		}
 	})
@@ -519,6 +519,66 @@ func BlockSize(sizing Sizing) (string, error) {
 		fmt.Fprintf(&b, "  %-9s %5dB | %10.2fms %10.2fms | %8.1f%%\n",
 			names[i/len(sizes)], sizes[i%len(sizes)], ms(c.un.Elapsed), ms(c.op.Elapsed),
 			100*(1-c.op.Stats.AvgMissesPerNode()/c.un.Stats.AvgMissesPerNode()))
+	}
+	return b.String(), nil
+}
+
+// Agg sweeps the barrier-epoch aggregation layer's adaptive bulk
+// threshold against the coherence block size, over all six
+// applications (rtelim, dual-cpu). The first column of each block row
+// is the layer switched off entirely; thresholds are expressed in
+// coherence blocks, since the policy compares the per-(loop,
+// destination) expected bytes against them. The grid is walked in
+// deterministic order — apps in suite order, block sizes then
+// thresholds ascending — so two sweeps diff cleanly.
+func Agg(sizing Sizing) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation: barrier-epoch aggregation threshold x block size (rtelim, dual-cpu)\n\n")
+	fmt.Fprintf(&b, "  %-9s %6s %10s | %12s %8s %9s %8s %9s\n",
+		"App", "Block", "Threshold", "elapsed", "msgs", "bytes", "segs", "carriers")
+	names := AppNames()
+	sizes := []int{64, 128}
+	thresholds := []int{-1, 2, 32, 256} // in blocks; -1 = aggregation off
+	results := make([]*runtime.Result, len(names)*len(sizes)*len(thresholds))
+	err := forEachLimit(len(results), SuiteWorkers, func(i int) error {
+		name := names[i/(len(sizes)*len(thresholds))]
+		bs := sizes[i/len(thresholds)%len(sizes)]
+		thr := thresholds[i%len(thresholds)]
+		a, err := apps.ByName(name)
+		if err != nil {
+			return err
+		}
+		prog, err := a.Program(ParamsFor(a, sizing))
+		if err != nil {
+			return err
+		}
+		mc := config.Default().WithBlockSize(bs)
+		if thr < 0 {
+			mc = mc.WithoutCoalesce()
+		} else {
+			mc.AggThreshold = thr * bs
+		}
+		r, err := runtime.Run(prog, runtime.Options{Machine: mc, Opt: compiler.OptRTElim})
+		if err != nil {
+			return fmt.Errorf("%s block=%d threshold=%d: %w", name, bs, thr, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, r := range results {
+		name := names[i/(len(sizes)*len(thresholds))]
+		bs := sizes[i/len(thresholds)%len(sizes)]
+		thr := thresholds[i%len(thresholds)]
+		label := "off"
+		if thr >= 0 {
+			label = fmt.Sprintf("%d blk", thr)
+		}
+		fmt.Fprintf(&b, "  %-9s %5dB %10s | %10.2fms %8d %9d %8d %9d\n",
+			name, bs, label, ms(r.Elapsed), r.Stats.TotalMessages(), r.Stats.TotalBytes(),
+			r.Stats.TotalSegsCoalesced(), r.Stats.TotalCarriersSent())
 	}
 	return b.String(), nil
 }

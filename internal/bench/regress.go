@@ -72,6 +72,7 @@ func regressionBenchmarks() []struct {
 			b.ReportMetric(ms(opt.Elapsed), "sim-ms")
 			b.ReportMetric(float64(opt.Stats.TotalMisses()), "misses")
 			b.ReportMetric(float64(opt.Stats.TotalMessages()), "msgs")
+			b.ReportMetric(float64(opt.Stats.TotalBytes()), "wire-bytes")
 			b.ReportMetric(float64(uni.Elapsed)/float64(opt.Elapsed), "speedup-8n")
 		}
 	}
@@ -103,18 +104,20 @@ func regressionBenchmarks() []struct {
 			// grid: one number that witnesses bit-identity of all 54
 			// experiments at once.
 			var total float64
-			var misses, msgs int64
+			var misses, msgs, bytes int64
 			for _, app := range AppNames() {
 				for _, v := range Variants(8) {
 					r := suite.Get(app, v.Key)
 					total += ms(r.Elapsed)
 					misses += r.Stats.TotalMisses()
 					msgs += r.Stats.TotalMessages()
+					bytes += r.Stats.TotalBytes()
 				}
 			}
 			b.ReportMetric(total, "sim-ms")
 			b.ReportMetric(float64(misses), "misses")
 			b.ReportMetric(float64(msgs), "msgs")
+			b.ReportMetric(float64(bytes), "wire-bytes")
 		}},
 	}
 }
@@ -175,9 +178,12 @@ func ReadReport(r io.Reader) (*Report, error) {
 }
 
 // Compare checks cur against a baseline: every entry present in both
-// whose ns/op grew by more than factor is a regression. It also flags
-// sim-ms drift, which means the *model* changed, not just the
-// simulator. Returns human-readable violations (empty = pass).
+// whose ns/op or allocated bytes/op grew by more than factor is a
+// regression. It also flags drift in the simulated quantities — sim-ms,
+// msgs, and wire-bytes — which means the *model* changed, not just the
+// simulator: a deliberate model change (a new protocol layer) must
+// record a fresh BENCH baseline rather than slide past the gate.
+// Returns human-readable violations (empty = pass).
 func Compare(baseline, cur *Report, factor float64) []string {
 	var bad []string
 	old := map[string]Entry{}
@@ -193,9 +199,15 @@ func Compare(baseline, cur *Report, factor float64) []string {
 			bad = append(bad, fmt.Sprintf("%s: %d ns/op vs baseline %d (> %.1fx)",
 				e.Name, e.NsPerOp, o.NsPerOp, factor))
 		}
-		if o.Metrics["sim-ms"] != 0 && e.Metrics["sim-ms"] != o.Metrics["sim-ms"] {
-			bad = append(bad, fmt.Sprintf("%s: sim-ms %.6g vs baseline %.6g (simulated results drifted)",
-				e.Name, e.Metrics["sim-ms"], o.Metrics["sim-ms"]))
+		if o.BytesPerOp > 0 && float64(e.BytesPerOp) > factor*float64(o.BytesPerOp) {
+			bad = append(bad, fmt.Sprintf("%s: %d alloc bytes/op vs baseline %d (> %.1fx)",
+				e.Name, e.BytesPerOp, o.BytesPerOp, factor))
+		}
+		for _, k := range []string{"sim-ms", "msgs", "wire-bytes"} {
+			if o.Metrics[k] != 0 && e.Metrics[k] != o.Metrics[k] {
+				bad = append(bad, fmt.Sprintf("%s: %s %.6g vs baseline %.6g (simulated results drifted)",
+					e.Name, k, e.Metrics[k], o.Metrics[k]))
+			}
 		}
 	}
 	sort.Strings(bad)

@@ -39,10 +39,59 @@ func (t Transfer) String() string {
 
 // Schedule is a loop's instantiated communication: Reads execute
 // before the loop (owner sends to readers), Writes after it (writers
-// flush to owners).
+// flush to owners). ReadBytes and WriteBytes are the phase's expected
+// compiler-controlled traffic matrices — [sender][receiver] bytes,
+// summed over every transfer's block-aligned interior — computed from
+// the same section arithmetic that produced the transfers; ReadMsgs
+// and WriteMsgs count the bulk wire messages that traffic would take
+// (one per contiguous block run). The runtime consults them (via Mode)
+// to pick each destination's transport: a pair whose phase collapses
+// to one wire message gains nothing from aggregation machinery, while
+// a pair whose epoch total clears the machine's threshold amortizes
+// one carrier header over many segments.
 type Schedule struct {
 	Reads  []Transfer
 	Writes []Transfer
+
+	ReadBytes  [][]int64
+	WriteBytes [][]int64
+	ReadMsgs   [][]int64
+	WriteMsgs  [][]int64
+}
+
+// Mode picks the transport for one transfer of this schedule, given
+// the optimization level and the machine's aggregation threshold
+// (bytes) and block size. Below OptBulk every block travels alone
+// (the paper's unoptimized send). At OptBulk and above, a (sender,
+// receiver) pair whose expected epoch traffic reaches the threshold
+// AND spans at least two wire messages aggregates through the
+// coalescing scheduler — aggregation only ever wins by merging
+// messages, so a pair that already collapses to one bulk message is
+// sent as exactly that message; a multi-message pair below the
+// threshold uses per-transfer bulk messages; a single-block pair
+// stays eager — the bulk path's chunking would produce the identical
+// wire message.
+func (s *Schedule) Mode(level Level, sender, receiver int, write bool, blockSize, threshold int) protocol.SendMode {
+	if level < OptBulk {
+		return protocol.SendEager
+	}
+	bmat, mmat := s.ReadBytes, s.ReadMsgs
+	if write {
+		bmat, mmat = s.WriteBytes, s.WriteMsgs
+	}
+	var bytes, msgs int64
+	if sender < len(bmat) && receiver < len(bmat[sender]) {
+		bytes = bmat[sender][receiver]
+		msgs = mmat[sender][receiver]
+	}
+	switch {
+	case bytes <= int64(blockSize):
+		return protocol.SendEager
+	case msgs >= 2 && bytes >= int64(threshold):
+		return protocol.SendAggregate
+	default:
+		return protocol.SendBulk
+	}
 }
 
 // ReadsBySender returns the read transfers originating at node p.
@@ -97,7 +146,29 @@ func (a *Analysis) buildSchedule(key any, rule *LoopRule, env map[string]int) *S
 	for _, rr := range rule.Writes {
 		s.Writes = append(s.Writes, a.refTransfers(rule, rr, pt, env)...)
 	}
+	s.ReadBytes, s.ReadMsgs = a.trafficMatrices(s.Reads)
+	s.WriteBytes, s.WriteMsgs = a.trafficMatrices(s.Writes)
 	return s
+}
+
+// trafficMatrices sums each transfer list's block-aligned interiors
+// into [sender][receiver] matrices: total bytes, and the number of
+// bulk wire messages that traffic takes (one per contiguous block
+// run). Schedules are memoized, so the cost is paid once per (loop,
+// valuation).
+func (a *Analysis) trafficMatrices(ts []Transfer) (bytes, msgs [][]int64) {
+	bytes = make([][]int64, a.NP)
+	msgs = make([][]int64, a.NP)
+	cells := make([]int64, 2*a.NP*a.NP)
+	for i := range bytes {
+		bytes[i] = cells[i*a.NP : (i+1)*a.NP]
+		msgs[i] = cells[(a.NP+i)*a.NP : (a.NP+i+1)*a.NP]
+	}
+	for _, t := range ts {
+		bytes[t.Sender][t.Receiver] += int64(t.NumBlocks) * int64(a.BlockSize)
+		msgs[t.Sender][t.Receiver] += int64(len(t.Blocks))
+	}
+	return bytes, msgs
 }
 
 // VarRanges builds the value ranges of all loop and inner-reduction

@@ -195,6 +195,23 @@ type Machine struct {
 	MPRecvOver    sim.Time
 	MPPackPerByte sim.Time
 
+	// Barrier-epoch message aggregation (the NIC-level coalescing
+	// scheduler). NoCoalesce disables the layer entirely; the model is
+	// then bit-identical to the pre-aggregation simulator at every
+	// optimization level. AggThreshold is the adaptive bulk threshold:
+	// the expected per-(loop, destination) byte volume at or above which
+	// the runtime chooses epoch aggregation over per-transfer bulk for
+	// tagged data (0 selects the default of 2*BlockSize). AggDelay is
+	// the coalescer's engine-side batch window: the first protocol-
+	// engine segment appended to an empty per-destination buffer opens
+	// a window of AggDelay and the buffer drains when it closes,
+	// bounding added latency while letting a request stream (the
+	// upgrade and write-miss faults between two synchronization points)
+	// share one carrier (0 selects DefaultAggDelay).
+	NoCoalesce   bool
+	AggThreshold int
+	AggDelay     sim.Time
+
 	// Faults configures unreliable-network fault injection (off by
 	// default; the paper's Myrinet never drops or reorders messages).
 	Faults Faults
@@ -270,6 +287,38 @@ func (m Machine) WithBlockSize(b int) Machine { m.BlockSize = b; return m }
 // WithFaults returns a copy of m with the given fault configuration.
 func (m Machine) WithFaults(f Faults) Machine { m.Faults = f; return m }
 
+// WithoutCoalesce returns a copy of m with message aggregation off.
+func (m Machine) WithoutCoalesce() Machine { m.NoCoalesce = true; return m }
+
+// DefaultAggDelay is the default engine-side batch window. Eager
+// release consistency makes write faults latency-tolerant — the
+// compute thread runs on while grants are outstanding and only the
+// next synchronization point needs them resolved — so a generous
+// window costs little latency but lets a node's whole between-barrier
+// request stream to one home share a single carrier. 100 µs (several
+// round trips, still far below a barrier interval) was the knee of
+// the window sweep on the paper's application suite.
+const DefaultAggDelay = 100 * sim.Microsecond
+
+// EffectiveAggThreshold returns AggThreshold or its default of two
+// coherence blocks — one block always travels eagerly, and a single
+// bulk payload only starts beating per-block messages once a second
+// block shares the header.
+func (m Machine) EffectiveAggThreshold() int {
+	if m.AggThreshold > 0 {
+		return m.AggThreshold
+	}
+	return 2 * m.BlockSize
+}
+
+// EffectiveAggDelay returns AggDelay or its default.
+func (m Machine) EffectiveAggDelay() sim.Time {
+	if m.AggDelay > 0 {
+		return m.AggDelay
+	}
+	return DefaultAggDelay
+}
+
 // Validate reports configuration errors.
 func (m Machine) Validate() error {
 	switch {
@@ -285,6 +334,10 @@ func (m Machine) Validate() error {
 		return fmt.Errorf("config: max payload %d smaller than block size %d", m.MaxPayload, m.BlockSize)
 	case m.WireLatency < 0 || m.NsPerByte < 0:
 		return fmt.Errorf("config: negative network parameters")
+	case m.AggThreshold < 0:
+		return fmt.Errorf("config: negative aggregation threshold %d (use NoCoalesce to disable aggregation)", m.AggThreshold)
+	case m.AggDelay < 0:
+		return fmt.Errorf("config: negative aggregation drain delay %d", m.AggDelay)
 	}
 	return m.Faults.Validate()
 }

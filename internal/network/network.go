@@ -89,7 +89,15 @@ type Network struct {
 	// references past delivery.
 	pool    bool
 	free    []*Message
-	bufFree [][]byte // BlockSize-sized payload buffers
+	bufFree [][]byte     // BlockSize-sized payload buffers
+	varFree [32][][]byte // variable-size gather buffers, power-of-two buckets
+
+	// coals holds each source node's coalescing scheduler (nil slice or
+	// nil entries when aggregation is off). Send consults it: any
+	// non-carrier message from src to dst first drains dst's buffer, so
+	// coalescing only ever delays traffic relative to the uncoalesced
+	// wire, never reorders it past a message that departs.
+	coals []*Coalescer
 
 	// tr, when non-nil, records wire spans and send→deliver flow links.
 	// Every use is nil-guarded: a disabled tracer costs one predictable
@@ -146,6 +154,38 @@ func (n *Network) AllocBlock() []byte {
 	return make([]byte, n.mc.BlockSize)
 }
 
+// AllocVar returns a payload buffer with len == cap >= size from the
+// power-of-two-bucketed variable-size freelists (gather buffers for
+// coalesced carriers and multi-block bulk payloads). Attach it to a
+// message with DataPooled set so delivery reclaims it.
+func (n *Network) AllocVar(size int) []byte {
+	idx := varBucket(size)
+	if l := n.varFree[idx]; len(l) > 0 {
+		b := l[len(l)-1]
+		n.varFree[idx] = l[:len(l)-1]
+		return b
+	}
+	return make([]byte, 1<<idx)
+}
+
+// varBucket maps a size to its power-of-two bucket (min 64 bytes).
+func varBucket(size int) int {
+	idx := 6
+	for 1<<idx < size {
+		idx++
+	}
+	return idx
+}
+
+func (n *Network) recycleVar(b []byte) {
+	c := cap(b)
+	if c < 64 || c&(c-1) != 0 {
+		return // not one of ours; let the GC have it
+	}
+	idx := varBucket(c)
+	n.varFree[idx] = append(n.varFree[idx], b[:c])
+}
+
 // Recycle returns a delivered pool-owned message (and its pooled
 // payload buffer) to the freelists. Called by the delivery layer after
 // the handler returns; a no-op for literal-built or Retained messages.
@@ -153,8 +193,12 @@ func (n *Network) Recycle(m *Message) {
 	if !m.pooled || m.retained {
 		return
 	}
-	if m.DataPooled && len(m.Data) == n.mc.BlockSize {
-		n.bufFree = append(n.bufFree, m.Data)
+	if m.DataPooled {
+		if len(m.Data) == n.mc.BlockSize {
+			n.bufFree = append(n.bufFree, m.Data)
+		} else {
+			n.recycleVar(m.Data)
+		}
 	}
 	*m = Message{net: n}
 	n.free = append(n.free, m)
@@ -170,6 +214,15 @@ func (n *Network) Bind(id int, ep Endpoint) { n.eps[id] = ep }
 func (n *Network) Send(m *Message) {
 	if m.Src < 0 || m.Src >= len(n.eps) || m.Dst < 0 || m.Dst >= len(n.eps) {
 		panic(fmt.Sprintf("network: bad endpoints in %v", m))
+	}
+	if n.coals != nil && m.Src != m.Dst {
+		// Drain trigger: a non-carrier departure to dst flushes the
+		// sender's open gather buffer for dst first, preserving
+		// per-pair order between buffered segments and everything the
+		// protocol sends around them.
+		if c := n.coals[m.Src]; c != nil && m.Kind != c.kind {
+			c.FlushDst(m.Dst)
+		}
 	}
 	m.net = n
 	if m.Data != nil && m.Size == 0 {

@@ -132,6 +132,20 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 			e.sharers &^= bit(np.id)
 			return
 		}
+		if np.coal != nil {
+			// Invalidations are latency-tolerant under eager RC (the
+			// requester's grant is collected at its next sync point, and
+			// that sync gates on the grant, which gates on these acks —
+			// so all of an epoch's invalidations land before its barrier
+			// completes). A request burst arriving in one carrier emits
+			// its whole invalidation fan-out in one event instant, so
+			// the per-sharer buffers fill back-to-back and the engine
+			// timer drains each as one carrier.
+			np.occupy(mc.TagChange)
+			np.coal.Append(s, KInval, r.block, 0, 0, nil, true)
+			need++
+			return
+		}
 		m := np.n.Net.NewMessage()
 		m.Dst, m.Kind, m.Addr, m.Size = s, KInval, r.block, ctrlSize
 		np.send(m)
@@ -274,6 +288,21 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 		}
 		if r.local != nil {
 			r.local(true)
+			return
+		}
+		if np.coal != nil {
+			// Grants for a request burst batch into one carrier per
+			// requester (the engine timer drains them); data for an
+			// invalidated-in-flight requester gathers straight from home
+			// memory into the carrier buffer, with no intermediate
+			// block-buffer allocation.
+			var payload []byte
+			if !hadCopy {
+				np.occupy(mc.BlockCopy)
+				payload = mem.BlockData(r.block)
+			}
+			np.occupy(mc.TagChange)
+			np.coal.Append(r.src, KWriteGrant, r.block, 0, 0, payload, true)
 			return
 		}
 		var data []byte

@@ -59,12 +59,16 @@ func (x *Ext) MkWritable(p *sim.Proc, runs []BlockRun) {
 
 	np.mkwCount.Reset()
 
-	// Classify each block by home and by what it needs.
-	type encRun struct {
-		start, n int
-		needData bool
+	// Classify each block by home and by what it needs. The per-home
+	// grouping reuses the node's scratch buffers so steady-state calls
+	// allocate nothing.
+	if np.encScratch == nil {
+		np.encScratch = make([][]encRun, len(np.p.nodes))
 	}
-	perHome := make([][]encRun, len(np.p.nodes))
+	perHome := np.encScratch
+	for i := range perHome {
+		perHome[i] = perHome[i][:0]
+	}
 	var total int64
 	for _, r := range runs {
 		for b := r.Start; b < r.Start+r.N; b++ {
@@ -116,7 +120,8 @@ func (x *Ext) MkWritable(p *sim.Proc, runs []BlockRun) {
 		}
 		// Remote home: one pipelined request. Upgrade-only blocks can
 		// take their tags now; the call blocks until all confirmed.
-		payload := make([]byte, 4+9*len(list))
+		plen := 4 + 9*len(list)
+		payload := n.Net.AllocVar(plen)[:plen]
 		binary.LittleEndian.PutUint32(payload, uint32(len(list)))
 		off := 4
 		for _, er := range list {
@@ -133,7 +138,7 @@ func (x *Ext) MkWritable(p *sim.Proc, runs []BlockRun) {
 		}
 		p.Sleep(mc.SendOver)
 		m := n.Net.NewMessage()
-		m.Src, m.Dst, m.Kind, m.Data = np.id, home, KMkWritableReq, payload
+		m.Src, m.Dst, m.Kind, m.Data, m.DataPooled = np.id, home, KMkWritableReq, payload, true
 		n.Net.Send(m)
 	}
 	np.mkwCount.WaitFor(p, total)
@@ -176,6 +181,23 @@ func (a *mkwAgg) blockDone(np *nodeProto, r *dirReq) {
 		return
 	}
 	bs := mem.Space().BlockSize()
+	if np.coal != nil {
+		// Piggyback the whole response — bulk data for absent blocks
+		// plus the upgrade acknowledgement — on one carrier: the
+		// requester's mk_writable completes on a single handler
+		// dispatch regardless of how many runs the request covered.
+		for _, dr := range a.dataRuns {
+			np.occupy(sim.Time(dr.N) * mc.BulkPerBlock)
+			np.coal.Append(a.src, KMkWritableData, dr.Start*bs, int64(dr.N), 0,
+				mem.Bytes(dr.Start*bs, dr.N*bs), false)
+		}
+		if a.upgraded > 0 {
+			np.occupy(mc.TagChange)
+			np.coal.Append(a.src, KMkWritableAck, 0, int64(a.upgraded), 0, nil, false)
+		}
+		np.coal.FlushDst(a.src)
+		return
+	}
 	maxBlocks := mc.MaxPayload / bs
 	for _, dr := range a.dataRuns {
 		for off := 0; off < dr.N; off += maxBlocks {
@@ -211,11 +233,7 @@ func (np *nodeProto) hMkWritableReq(hc *tempest.HContext, m *network.Message) {
 	mc := np.n.MC
 	nruns := int(binary.LittleEndian.Uint32(m.Data))
 	agg := &mkwAgg{src: m.Src}
-	type encRun struct {
-		start, n int
-		needData bool
-	}
-	var runs []encRun
+	runs := np.mkwScratch[:0]
 	off := 4
 	for i := 0; i < nruns; i++ {
 		er := encRun{
@@ -232,6 +250,7 @@ func (np *nodeProto) hMkWritableReq(hc *tempest.HContext, m *network.Message) {
 		}
 		runs = append(runs, er)
 	}
+	np.mkwScratch = runs[:0]
 	np.occupy(sim.Time(agg.remaining) * mc.BulkPerBlock)
 	for _, er := range runs {
 		for b := er.start; b < er.start+er.n; b++ {
@@ -322,13 +341,45 @@ func (x *Ext) ImplicitInvalidate(p *sim.Proc, runs []BlockRun) {
 	}
 }
 
+// SendMode selects how compiler-directed tagged-data traffic travels.
+type SendMode int
+
+const (
+	// SendEager ships each block as its own message as soon as it is
+	// composed (the unoptimized per-block send).
+	SendEager SendMode = iota
+	// SendBulk coalesces contiguous blocks of one transfer into
+	// payloads up to the machine's MaxPayload, one message per chunk.
+	SendBulk
+	// SendAggregate hands the blocks to the NIC-level coalescing
+	// scheduler, which merges same-destination traffic from the whole
+	// barrier epoch — across transfers and arrays — into vectored
+	// carrier messages with one header and one handler dispatch per
+	// destination. Downgrades to SendBulk when aggregation is not
+	// enabled (EnableAggregation was never called).
+	SendAggregate
+)
+
+// String renders the mode for diagnostics and sweep output.
+func (m SendMode) String() string {
+	switch m {
+	case SendEager:
+		return "eager"
+	case SendBulk:
+		return "bulk"
+	case SendAggregate:
+		return "aggregate"
+	}
+	return fmt.Sprintf("SendMode(%d)", int(m))
+}
+
 // SendBlocks ships the blocks in runs to dst as specially tagged data
-// messages (the paper's send primitive). With bulk, contiguous blocks
-// coalesce into payloads up to the machine's MaxPayload; without it
-// each block travels alone. The sender must hold every block readwrite
-// (guaranteed by mk_writable); a violation panics.
-func (x *Ext) SendBlocks(p *sim.Proc, dst int, runs []BlockRun, bulk bool) {
-	x.sendTagged(p, dst, runs, bulk, KCCData)
+// messages (the paper's send primitive). The mode picks the transport:
+// one message per block, per-transfer bulk chunks, or epoch-level
+// aggregation through the coalescing scheduler. The sender must hold
+// every block valid (guaranteed by mk_writable); a violation panics.
+func (x *Ext) SendBlocks(p *sim.Proc, dst int, runs []BlockRun, mode SendMode) {
+	x.sendTagged(p, dst, runs, mode, KCCData)
 }
 
 // FlushBlocks ships locally written blocks back to their owner (the
@@ -337,8 +388,8 @@ func (x *Ext) SendBlocks(p *sim.Proc, dst int, runs []BlockRun, bulk bool) {
 // latest (writable) copy of the block, and directory correctly
 // reflects this information": each block's home is told to repoint its
 // writer set at the owner.
-func (x *Ext) FlushBlocks(p *sim.Proc, owner int, runs []BlockRun, bulk bool) {
-	x.sendTagged(p, owner, runs, bulk, KCCFlush)
+func (x *Ext) FlushBlocks(p *sim.Proc, owner int, runs []BlockRun, mode SendMode) {
+	x.sendTagged(p, owner, runs, mode, KCCFlush)
 	np := x.np
 	n := np.n
 	mem := n.Mem
@@ -349,9 +400,16 @@ func (x *Ext) FlushBlocks(p *sim.Proc, owner int, runs []BlockRun, bulk bool) {
 			mem.SetTag(b, memory.Invalid)
 		}
 	}
-	// Directory fix-up, one message per home-contiguous run.
-	type homeRun struct{ start, n int }
-	perHome := make([][]homeRun, len(np.p.nodes))
+	// Directory fix-up, one message per home-contiguous run. The
+	// grouping reuses the node's scratch buffers (steady-state calls
+	// allocate nothing).
+	if np.homeScratch == nil {
+		np.homeScratch = make([][]homeRun, len(np.p.nodes))
+	}
+	perHome := np.homeScratch
+	for i := range perHome {
+		perHome[i] = perHome[i][:0]
+	}
 	for _, r := range runs {
 		for b := r.Start; b < r.Start+r.N; b++ {
 			h := sp.HomeOfBlock(b)
@@ -367,6 +425,14 @@ func (x *Ext) FlushBlocks(p *sim.Proc, owner int, runs []BlockRun, bulk bool) {
 		for _, hr := range perHome[h] {
 			if h == np.id {
 				np.ccFlushDir(hr.start, hr.n, owner, np.id)
+				continue
+			}
+			if np.coal != nil {
+				// The directory update piggybacks on the epoch's carrier
+				// to that home instead of paying its own header and
+				// handler dispatch.
+				p.Sleep(n.MC.TagChange)
+				np.coal.Append(h, KCCFlushDir, hr.start, int64(hr.n), int64(owner), nil, false)
 				continue
 			}
 			p.Sleep(n.MC.SendOver)
@@ -400,7 +466,7 @@ func (np *nodeProto) hCCFlushDir(hc *tempest.HContext, m *network.Message) {
 	np.ccFlushDir(m.Addr, int(m.Arg), int(m.Arg2), m.Src)
 }
 
-func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, bulk bool, kind network.Kind) {
+func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, mode SendMode, kind network.Kind) {
 	np := x.np
 	n := np.n
 	mem := n.Mem
@@ -412,8 +478,11 @@ func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, bulk bool, kind 
 	if dst == np.id {
 		panic("protocol: compiler-directed send to self")
 	}
+	if mode == SendAggregate && np.coal == nil {
+		mode = SendBulk
+	}
 	maxBlocks := mc.MaxPayload / bs
-	if !bulk {
+	if mode == SendEager {
 		maxBlocks = 1
 	}
 	for _, r := range runs {
@@ -430,6 +499,17 @@ func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, bulk bool, kind 
 					b, np.id))
 			}
 		}
+		if mode == SendAggregate {
+			// The run gathers into the per-destination carrier as one
+			// segment, straight from memory — no intermediate buffer, no
+			// per-run header, no MaxPayload chunking (the carrier is a
+			// local drain artifact, not a wire MTU). Serialization still
+			// charges the compute thread; send overhead is paid once per
+			// carrier at drain time, overlapping later compute.
+			p.Sleep(sim.Time(r.N) * mc.BulkPerBlock)
+			np.coal.Append(dst, kind, r.Start*bs, int64(r.N), 0, mem.Bytes(r.Start*bs, r.N*bs), false)
+			continue
+		}
 		for off := 0; off < r.N; off += maxBlocks {
 			nb := r.N - off
 			if nb > maxBlocks {
@@ -440,10 +520,10 @@ func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, bulk bool, kind 
 			pooled := false
 			if nb == 1 {
 				data = n.Net.AllocBlock()
-				pooled = true
 			} else {
-				data = make([]byte, nb*bs)
+				data = n.Net.AllocVar(nb * bs)[:nb*bs]
 			}
+			pooled = true
 			copy(data, mem.Bytes(start*bs, nb*bs))
 			p.Sleep(mc.SendOver + sim.Time(nb)*mc.BulkPerBlock)
 			m := n.Net.NewMessage()
@@ -552,11 +632,33 @@ func (x *Ext) IsFrame(b int) bool { return x.np.ccFrames.get(b) }
 func (x *Ext) ExpectBlocks(n int) { x.np.ccExpected += int64(n) }
 
 // ReadyToRecv blocks the compute process until every announced block
-// has arrived — the counting-semaphore receive of the paper.
+// has arrived — the counting-semaphore receive of the paper. Any
+// traffic this node still holds in its coalescing buffers departs
+// first: another node's ReadyToRecv may be waiting on it, and draining
+// before blocking keeps the epoch free of cyclic waits.
 func (x *Ext) ReadyToRecv(p *sim.Proc) {
 	np := x.np
 	t0 := x.begin(p)
 	defer x.end(p, t0)
 	p.Sleep(np.n.MC.TagChange)
+	if np.coal != nil {
+		np.coal.FlushAll()
+	}
 	np.ccRecv.WaitFor(p, np.ccExpected)
+}
+
+// DrainAggregated flushes every carrier the coalescing scheduler holds
+// for this node. The runtime calls it at the end of a communication
+// phase so the epoch's aggregated traffic departs before the closing
+// barrier rather than riding on the barrier's own drain. A no-op when
+// aggregation is off or nothing is pending.
+func (x *Ext) DrainAggregated(p *sim.Proc) {
+	np := x.np
+	if np.coal == nil || !np.coal.PendingAny() {
+		return
+	}
+	t0 := x.begin(p)
+	defer x.end(p, t0)
+	p.Sleep(np.n.MC.TagChange)
+	np.coal.FlushAll()
 }

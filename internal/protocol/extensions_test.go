@@ -118,7 +118,7 @@ func TestMkWritableSkipsWritableBlocks(t *testing.T) {
 // ccCycle runs one full compiler-controlled transfer of nblocks from
 // node 0 (owner) to node 1 (reader) following the paper's Figure 2
 // call sequence, and returns the harness for inspection.
-func ccCycle(t *testing.T, bulk bool, nblocks int) *harness {
+func ccCycle(t *testing.T, mode SendMode, nblocks int) *harness {
 	t.Helper()
 	h := newHarness(t, 3, 4, config.DualCPU)
 	addr := h.addrOnPage(2, 0) // homed at node 2 (neither sender nor receiver)
@@ -133,7 +133,7 @@ func ccCycle(t *testing.T, bulk bool, nblocks int) *harness {
 		}
 		h.c.Barrier(p, n) // order step 1 before step 2
 		h.c.Barrier(p, n) // both sides ready
-		x.SendBlocks(p, 1, runs, bulk)
+		x.SendBlocks(p, 1, runs, mode)
 		h.c.Barrier(p, n) // loop executed
 		h.c.Barrier(p, n) // directory consistent again
 	})
@@ -165,7 +165,7 @@ func ccCycle(t *testing.T, bulk bool, nblocks int) *harness {
 }
 
 func TestCompilerControlledTransfer(t *testing.T) {
-	h := ccCycle(t, true, 8)
+	h := ccCycle(t, SendBulk, 8)
 	// The reader must have taken zero access faults: all data arrived
 	// before the loop.
 	if m := h.c.Stats.Nodes[1].Misses(); m != 0 {
@@ -185,8 +185,8 @@ func TestCompilerControlledTransfer(t *testing.T) {
 
 func TestBulkTransferUsesFewerMessages(t *testing.T) {
 	nb := 16
-	perBlock := ccCycle(t, false, nb)
-	bulk := ccCycle(t, true, nb)
+	perBlock := ccCycle(t, SendEager, nb)
+	bulk := ccCycle(t, SendBulk, nb)
 	pm := perBlock.c.Stats.Nodes[0].MsgsSent
 	bm := bulk.c.Stats.Nodes[0].MsgsSent
 	if bm >= pm {
@@ -201,7 +201,7 @@ func TestBulkTransferUsesFewerMessages(t *testing.T) {
 func TestDefaultProtocolWorksAfterCCPhase(t *testing.T) {
 	// After the CC cycle restored consistency, a third node's default
 	// read must fetch the owner's data through the directory.
-	h := ccCycle(t, true, 4)
+	h := ccCycle(t, SendBulk, 4)
 	addr := h.addrOnPage(2, 0)
 	var got float64
 	h.run(2, "late-reader", func(p *sim.Proc, n *tempest.Node) {
@@ -225,7 +225,7 @@ func TestSendWithoutOwnershipPanics(t *testing.T) {
 				panicked = true
 			}
 		}()
-		h.p.Node(1).SendBlocks(p, 0, h.blocksOf(addr, 128), true)
+		h.p.Node(1).SendBlocks(p, 0, h.blocksOf(addr, 128), SendBulk)
 	})
 	if err := h.c.Env.Run(); err != nil {
 		t.Fatal(err)
@@ -241,7 +241,7 @@ func TestCCDataWithoutFramePanics(t *testing.T) {
 	h := newHarness(t, 2, 2, config.DualCPU)
 	addr := h.addrOnPage(0, 0)
 	h.run(0, "sender", func(p *sim.Proc, n *tempest.Node) {
-		h.p.Node(0).SendBlocks(p, 1, h.blocksOf(addr, 128), true)
+		h.p.Node(0).SendBlocks(p, 1, h.blocksOf(addr, 128), SendBulk)
 	})
 	defer func() {
 		if recover() == nil {
@@ -323,7 +323,7 @@ func TestNonOwnerWriteFlush(t *testing.T) {
 		for i := 0; i < nblocks*bs/8; i++ {
 			n.StoreF64(p, addr+8*i, float64(i)*3)
 		}
-		x.FlushBlocks(p, 0, runs, true)
+		x.FlushBlocks(p, 0, runs, SendBulk)
 		if n.Mem.Tag(addr/bs) != memory.Invalid {
 			t.Error("writer not invalid after flush")
 		}
@@ -341,7 +341,7 @@ func TestNonOwnerWriteFlush(t *testing.T) {
 }
 
 func TestProtoCallStats(t *testing.T) {
-	h := ccCycle(t, true, 4)
+	h := ccCycle(t, SendBulk, 4)
 	st0 := h.c.Stats.Nodes[0]
 	st1 := h.c.Stats.Nodes[1]
 	if st0.ProtoCalls < 2 { // mk_writable + send
@@ -419,7 +419,7 @@ func TestBulkSendSplitsAtMaxPayload(t *testing.T) {
 		x := h.p.Node(0)
 		x.MkWritable(p, runs)
 		before := h.c.Stats.Nodes[0].MsgsSent
-		x.SendBlocks(p, 1, runs, true)
+		x.SendBlocks(p, 1, runs, SendBulk)
 		sent := h.c.Stats.Nodes[0].MsgsSent - before
 		if sent != 2 {
 			t.Errorf("bulk send used %d messages, want 2", sent)

@@ -25,7 +25,7 @@ func TestFlushThenHomeRead(t *testing.T) {
 		for w := 0; w < bs/8; w++ {
 			n.StoreF64(p, addr+8*w, float64(100+w))
 		}
-		x.FlushBlocks(p, 5, run, true)
+		x.FlushBlocks(p, 5, run, SendBulk)
 		h.c.Barrier(p, n)
 		h.c.Barrier(p, n)
 	})

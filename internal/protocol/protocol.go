@@ -53,6 +53,12 @@ const (
 	KCCData
 	KCCFlush
 	KCCFlushDir
+
+	// KCoalesced is a carrier: one vectored wire message holding many
+	// protocol messages as segments (the NIC-level coalescing
+	// scheduler's gather buffer). One header, one receive overhead, and
+	// one handler dispatch cover every contained segment.
+	KCoalesced
 )
 
 const ctrlSize = 8 // payload bytes of a control message
@@ -95,6 +101,8 @@ func MsgKindName(k network.Kind) string {
 		return "cc_flush"
 	case KCCFlushDir:
 		return "cc_flush_dir"
+	case KCoalesced:
+		return "coalesced"
 	case tempest.KindBarrierArrive:
 		return "barrier_arrive"
 	case tempest.KindBarrierRelease:
@@ -148,7 +156,31 @@ type nodeProto struct {
 	// progress (otherwise two false-sharing writers can livelock
 	// stealing the block from each other).
 	scHold blockFlags
+
+	// coal is this node's NIC-level coalescing scheduler, nil unless
+	// aggregation is enabled (EnableAggregation). When set,
+	// latency-tolerant traffic — tagged data under SendAggregate,
+	// flush-directory updates, mk_writable data+ack responses, and the
+	// eager-release-consistency upgrade/invalidation legs — travels as
+	// segments of per-destination carrier messages.
+	coal *network.Coalescer
+
+	// Scratch classification buffers reused across protocol calls, so
+	// the per-call per-home grouping in MkWritable / FlushBlocks
+	// allocates nothing in steady state.
+	encScratch  [][]encRun
+	homeScratch [][]homeRun
+	mkwScratch  []encRun
 }
+
+// encRun is a run of blocks with one mk_writable disposition.
+type encRun struct {
+	start, n int
+	needData bool
+}
+
+// homeRun is a home-contiguous run of flushed blocks.
+type homeRun struct{ start, n int }
 
 // blockFlags is a dense per-block flag set indexed by block number —
 // the bookkeeping sits on the access-fault and data-install hot paths,
@@ -210,8 +242,84 @@ func Attach(c *tempest.Cluster) *Proto {
 		n.On(KCCData, np.hCCData)
 		n.On(KCCFlush, np.hCCFlush)
 		n.On(KCCFlushDir, np.hCCFlushDir)
+		n.On(KCoalesced, np.hCoalesced)
 	}
 	return p
+}
+
+// EnableAggregation installs the NIC-level coalescing scheduler on
+// every node: same-destination latency-tolerant protocol traffic is
+// gathered into vectored carrier messages that drain on phase
+// boundaries, synchronization entries, ordering chokepoints, and (for
+// protocol-engine traffic) a short timer. Call before the simulation
+// starts, and only under release consistency — the sequentially
+// consistent model's blocking stores gain nothing from buffering and
+// its scHold deferrals assume standalone delivery.
+func (p *Proto) EnableAggregation(delay sim.Time) {
+	if p.C.MC.Consistency != config.ReleaseConsistent {
+		panic("protocol: message aggregation requires the release-consistent model")
+	}
+	for _, np := range p.nodes {
+		np.coal = p.C.Net.AttachCoalescer(np.id, KCoalesced, ctrlSize, delay, np.n.SendFromProto)
+		np.n.NICDrain = np.coal.FlushAll
+		np.n.NICBurst = np.coal.Burst
+	}
+}
+
+// hCoalesced scatters a carrier: each contained segment dispatches to
+// its original handler with its original per-message state-transition
+// cost — only the per-message wire header, receive overhead, and
+// dispatch are shared. A synthesized per-segment message view keeps
+// the handler bodies unchanged; it lives on the stack and is never
+// recycled (only the carrier itself is pool-owned).
+func (np *nodeProto) hCoalesced(hc *tempest.HContext, m *network.Message) {
+	t := np.n.Trace
+	var sm network.Message
+	network.ForEachSegment(m.Data, int(m.Arg), func(kind network.Kind, addr int, arg, arg2 int64, payload []byte) {
+		sm = network.Message{
+			Src: m.Src, Dst: m.Dst, Kind: kind, Addr: addr, Arg: arg, Arg2: arg2,
+			Data: payload, Size: network.SegHeader + len(payload),
+		}
+		if t != nil {
+			// Scatter fan-out: the carrier's wire flow was already
+			// terminated at handler invoke; one instant per contained
+			// segment shows every run the transmission carried.
+			now := np.n.Env.Now()
+			t.Instant(np.id, trace.LaneProto, "seg:"+MsgKindName(kind), "seg", now,
+				trace.Int("src", m.Src), trace.Int("addr", addr), trace.Int("bytes", sm.Size))
+		}
+		np.dispatchSeg(hc, &sm)
+	})
+}
+
+// dispatchSeg routes one carrier segment to its handler. Only
+// latency-tolerant kinds ever ride a carrier; anything else is a
+// protocol bug.
+func (np *nodeProto) dispatchSeg(hc *tempest.HContext, sm *network.Message) {
+	switch sm.Kind {
+	case KCCData:
+		np.hCCData(hc, sm)
+	case KCCFlush:
+		np.hCCFlush(hc, sm)
+	case KCCFlushDir:
+		np.hCCFlushDir(hc, sm)
+	case KMkWritableData:
+		np.hMkWritableData(hc, sm)
+	case KMkWritableAck:
+		np.hMkWritableAck(hc, sm)
+	case KUpgradeReq:
+		np.hUpgradeReq(hc, sm)
+	case KWriteReq:
+		np.hWriteReq(hc, sm)
+	case KWriteGrant:
+		np.hWriteGrant(hc, sm)
+	case KInval:
+		np.hInval(hc, sm)
+	case KInvalAck:
+		np.hInvalAck(hc, sm)
+	default:
+		panic(fmt.Sprintf("protocol: kind %d cannot travel as a carrier segment", sm.Kind))
+	}
 }
 
 // Node returns the per-node protocol interface for compiler-directed
@@ -317,12 +425,26 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 		// next synchronization point.
 		n.Mem.SetTag(b, memory.ReadWrite)
 		n.AddPending()
-		if home == np.id {
+		switch {
+		case home == np.id:
 			p.Sleep(d)
 			np.enqueue(&dirReq{kind: kind, block: b, src: np.id, local: func(withData bool) {
 				n.DonePending()
 			}})
-		} else {
+		case np.coal != nil:
+			// The request is latency-tolerant (nothing waits before the
+			// next synchronization point), so the fault handler only
+			// deposits a request descriptor into the NIC's open gather
+			// buffer; consecutive faults to the same home share one
+			// carrier. The first request to a home opens a batch window
+			// of AggDelay: close-together faults share a carrier, yet the
+			// request chain still departs mid-epoch and overlaps the loop
+			// body instead of serializing behind the barrier. WaitPending
+			// drains as a backstop, so buffered requests can never gate
+			// their own grants.
+			p.Sleep(d + mc.TagChange)
+			np.coal.Append(home, kind, b, 0, 0, nil, true)
+		default:
 			p.Sleep(d + mc.SendOver)
 			rq := n.Net.NewMessage()
 			rq.Src, rq.Dst, rq.Kind, rq.Addr, rq.Size = np.id, home, kind, b, ctrlSize
@@ -480,6 +602,15 @@ func (np *nodeProto) hInval(hc *tempest.HContext, m *network.Message) {
 		return
 	}
 	mem.SetTag(b, memory.Invalid)
+	if np.coal != nil {
+		// The home's collection tolerates ack latency (the requester's
+		// grant is itself latency-tolerant under eager RC), so the ack
+		// joins the gather buffer; a whole invalidation burst acks as
+		// one carrier. The engine timer bounds the added delay.
+		np.occupy(np.n.MC.TagChange)
+		np.coal.Append(m.Src, KInvalAck, b, 0, 0, nil, true)
+		return
+	}
 	rm := np.n.Net.NewMessage()
 	rm.Dst, rm.Kind, rm.Addr, rm.Size = m.Src, KInvalAck, b, ctrlSize
 	np.send(rm)

@@ -54,6 +54,10 @@ type exec struct {
 	// the *ir.ParLoop / *ir.Reduce pointer; an entry with ok=false marks
 	// a loop that stays on the interpreter.
 	fast map[any]*fastLoop
+
+	// Role-classification scratch reused across preLoopComm calls, so
+	// the per-loop grouping allocates nothing in steady state.
+	sendOut, takeOut, recvIn, flushIn []protocol.BlockRun
 }
 
 func newExec(prog *ir.Program, an *compiler.Analysis, layouts map[*ir.Array]sections.Layout,
@@ -372,7 +376,6 @@ func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
 	me := e.n.ID
 	reads := e.active(sched.Reads)
 	writes := e.active(sched.Writes)
-	bulk := e.opt >= compiler.OptBulk
 	rtElim := e.opt >= compiler.OptRTElim
 	sameSched := e.lastSched[key] == sched
 	e.lastSched[key] = sched
@@ -451,7 +454,8 @@ func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
 		}
 	}
 
-	var sendOut, takeOut, recvIn, flushIn []protocol.BlockRun
+	sendOut, takeOut := e.sendOut[:0], e.takeOut[:0]
+	recvIn, flushIn := e.recvIn[:0], e.flushIn[:0]
 	recvBlocks := 0
 	for _, t := range reads {
 		if t.Sender == me {
@@ -478,6 +482,7 @@ func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
 			flushIn = append(flushIn, t.Blocks...)
 		}
 	}
+	e.sendOut, e.takeOut, e.recvIn, e.flushIn = sendOut, takeOut, recvIn, flushIn
 
 	// Step 1: senders and non-owner writers take their blocks writable.
 	// Read-side mk_writable is skippable under run-time elimination
@@ -517,10 +522,21 @@ func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
 	}
 
 	// The transfer: owners push, readers hold a counting semaphore.
+	// Each transfer's transport comes from the schedule's expected-byte
+	// matrices and the machine's aggregation threshold; the explicit
+	// drain closes the emission phase so aggregated carriers depart
+	// even when this node receives nothing (its readers are blocked in
+	// ReadyToRecv right now).
+	bs, thr := e.n.MC.BlockSize, e.n.MC.EffectiveAggThreshold()
+	sent := false
 	for _, t := range reads {
 		if t.Sender == me {
-			e.x.SendBlocks(p, t.Receiver, t.Blocks, bulk)
+			e.x.SendBlocks(p, t.Receiver, t.Blocks, sched.Mode(e.opt, t.Sender, t.Receiver, false, bs, thr))
+			sent = true
 		}
+	}
+	if sent {
+		e.x.DrainAggregated(p)
 	}
 
 	if recvBlocks > 0 {
@@ -531,7 +547,6 @@ func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
 // postLoopComm restores consistency after the loop body.
 func (e *exec) postLoopComm(p *sim.Proc, sched *compiler.Schedule, closingBarrier bool) {
 	me := e.n.ID
-	bulk := e.opt >= compiler.OptBulk
 	rtElim := e.opt >= compiler.OptRTElim
 
 	// Non-owner writes flush back to the owner, who waits for them.
@@ -541,10 +556,18 @@ func (e *exec) postLoopComm(p *sim.Proc, sched *compiler.Schedule, closingBarrie
 			flushIn += t.NumBlocks
 		}
 	}
+	bs, thr := e.n.MC.BlockSize, e.n.MC.EffectiveAggThreshold()
+	flushed := false
 	for _, t := range sched.Writes {
 		if t.Sender == me && t.NumBlocks > 0 {
-			e.x.FlushBlocks(p, t.Receiver, t.Blocks, bulk)
+			e.x.FlushBlocks(p, t.Receiver, t.Blocks, sched.Mode(e.opt, t.Sender, t.Receiver, true, bs, thr))
+			flushed = true
 		}
+	}
+	if flushed {
+		// Close the flush epoch: aggregated data and piggybacked
+		// directory updates depart before the closing barrier.
+		e.x.DrainAggregated(p)
 	}
 
 	// The loop's closing barrier (a reduction's AllReduce already

@@ -129,6 +129,15 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	}
 	cluster := tempest.NewCluster(env, sp)
 	proto := protocol.Attach(cluster)
+	// The NIC-level coalescing scheduler rides on eager release
+	// consistency (its buffered legs are exactly the latency-tolerant
+	// ones) and only pays off once the compiler emits phased bulk
+	// traffic; below OptBulk, and on the message-passing backend, it
+	// never engages.
+	if opt.Opt >= compiler.OptBulk && opt.Backend == SharedMemory &&
+		!mc.NoCoalesce && mc.Consistency == config.ReleaseConsistent {
+		proto.EnableAggregation(mc.EffectiveAggDelay())
+	}
 	an, err := compiler.Cached(prog, mc.Nodes, layouts, mc.BlockSize)
 	if err != nil {
 		return nil, err

@@ -44,6 +44,11 @@ type Node struct {
 	AcksSent    int64 // reliable-delivery acknowledgements sent
 	GiveUps     int64 // messages abandoned after MaxRetries
 
+	// Message-aggregation counters (the NIC-level coalescing scheduler;
+	// both zero when aggregation is off).
+	SegsCoalesced int64 // protocol messages that traveled as carrier segments
+	CarriersSent  int64 // coalesced carrier messages injected
+
 	// MissLatency is an exponential histogram of blocking-miss stall
 	// times: bucket i counts stalls in [2^i, 2^(i+1)) µs.
 	MissLatency [latBuckets]int64
@@ -109,6 +114,26 @@ func (c *Cluster) TotalBytes() int64 {
 	var t int64
 	for i := range c.Nodes {
 		t += c.Nodes[i].BytesSent
+	}
+	return t
+}
+
+// TotalSegsCoalesced sums carrier-borne protocol messages over all
+// nodes (each would have been a standalone wire message without the
+// coalescing scheduler).
+func (c *Cluster) TotalSegsCoalesced() int64 {
+	var t int64
+	for i := range c.Nodes {
+		t += c.Nodes[i].SegsCoalesced
+	}
+	return t
+}
+
+// TotalCarriersSent sums coalesced carrier messages over all nodes.
+func (c *Cluster) TotalCarriersSent() int64 {
+	var t int64
+	for i := range c.Nodes {
+		t += c.Nodes[i].CarriersSent
 	}
 	return t
 }

@@ -75,6 +75,20 @@ type Node struct {
 
 	Fault FaultFn
 
+	// NICDrain, when non-nil, flushes this node's NIC-level coalescing
+	// scheduler (all open gather buffers). Installed by the protocol
+	// layer when message aggregation is enabled; invoked on every
+	// synchronization entry — the barrier forces a flush, so buffered
+	// traffic never outlives its epoch.
+	NICDrain func()
+
+	// NICBurst, when non-nil, brackets each protocol-handler run
+	// (begin=true before, begin=false after). The coalescing scheduler
+	// uses it to drain, at the end of the handler, exactly the buffers
+	// the handler appended to: engine-composed reply bursts depart as
+	// one carrier without waiting out the drain timer.
+	NICBurst func(begin bool)
+
 	// handlers is indexed directly by message kind: a dispatch per
 	// message must not pay for hashing.
 	handlers [256]Handler
@@ -167,6 +181,9 @@ func (hv *hinvoke) run() {
 	}
 	hv.ctx = HContext{Node: n}
 	c := &hv.ctx
+	if n.NICBurst != nil {
+		n.NICBurst(true)
+	}
 	h(c, m)
 	// The engine stays busy for the receive overhead plus the
 	// handler's declared cost (the body may also have extended
@@ -186,6 +203,13 @@ func (hv *hinvoke) run() {
 		if flow != 0 {
 			t.FlowEnd(n.ID, trace.LaneProto, flow, hv.start)
 		}
+	}
+	if n.NICBurst != nil {
+		// Replies the handler deposited in the coalescing buffers depart
+		// now, after the engine occupancy they conclude — a burst of
+		// same-destination replies leaves as one carrier with no timer
+		// latency.
+		n.NICBurst(false)
 	}
 	// The handler is done with the message unless it Retained it.
 	n.Net.Recycle(m)
@@ -291,8 +315,14 @@ func (n *Node) DonePending() {
 func (n *Node) Pending() int { return n.pending }
 
 // WaitPending blocks until all in-flight transactions complete. Called
-// at synchronization points per the release-consistency model.
+// at synchronization points per the release-consistency model. Any
+// traffic still buffered in the coalescing scheduler drains first:
+// buffered upgrade requests are themselves pending transactions, and
+// their grants cannot arrive while the requests sit in a gather buffer.
 func (n *Node) WaitPending(p *sim.Proc) {
+	if n.NICDrain != nil {
+		n.NICDrain()
+	}
 	n.Sync(p)
 	if n.pending == 0 {
 		return

@@ -1,0 +1,84 @@
+// Aggregation soak test: the barrier-epoch coalescing layer composed
+// with PR 1's unreliable wire. Each application runs twice over a
+// faulty network — messages dropped, duplicated, and reordered, with
+// the reliable-delivery layer recovering and the barrier-instant
+// coherence audit armed — once with aggregation on and once off. The
+// final data words must be bit-identical between the two runs: a
+// coalesced carrier that retransmits, duplicates, or arrives late must
+// behave exactly as the standalone messages it replaced.
+package hpfdsm_test
+
+import (
+	"math"
+	"testing"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/runtime"
+)
+
+func TestAggregationSoakUnderFaults(t *testing.T) {
+	faults := config.Faults{Drop: 0.02, Dup: 0.01, Reorder: 0.01, Jitter: 5000, Seed: 1}
+	// cg's AllReduce combines contributions in arrival order, and the
+	// two runs time differently, so its reduction-fed arrays are
+	// compared under the app's tolerance; the rest must be bit-exact.
+	exact := map[string]bool{"jacobi": true, "shallow": true, "lu": true, "cg": false}
+	for _, name := range []string{"jacobi", "shallow", "lu", "cg"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := apps.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := a.Program(a.ScaledParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := config.Default().WithFaults(faults)
+			run := func(m config.Machine) *runtime.Result {
+				r, err := runtime.Run(prog, runtime.Options{Machine: m, Opt: compiler.OptRTElim, Check: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			on := run(mc)
+			off := run(mc.WithoutCoalesce())
+			if on.Stats.TotalRetransmits() == 0 || off.Stats.TotalRetransmits() == 0 {
+				t.Fatal("fault injection inactive: no retransmissions observed")
+			}
+			if name != "lu" && on.Stats.TotalSegsCoalesced() == 0 {
+				// lu's phases collapse to one wire message per pair, so its
+				// measured region legitimately never aggregates.
+				t.Fatal("aggregated run never engaged the coalescer")
+			}
+			if off.Stats.TotalSegsCoalesced() != 0 || off.Stats.TotalCarriersSent() != 0 {
+				t.Fatal("NoCoalesce run still coalesced traffic")
+			}
+			if on.BarrierChecks == 0 || off.BarrierChecks == 0 {
+				t.Fatal("barrier-instant coherence audits did not run")
+			}
+			for _, arr := range a.CheckArrays {
+				got, want := on.ArrayData(arr), off.ArrayData(arr)
+				if len(got) != len(want) {
+					t.Fatalf("array %s: length %d vs %d", arr, len(got), len(want))
+				}
+				for i := range got {
+					if exact[name] {
+						if got[i] != want[i] {
+							t.Fatalf("array %s[%d] = %x aggregated, %x unaggregated (must be bit-identical)",
+								arr, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+						}
+						continue
+					}
+					scale := math.Max(1, math.Abs(want[i]))
+					if d := math.Abs(got[i]-want[i]) / scale; d > a.Tol {
+						t.Fatalf("array %s[%d] diverges: rel err %g (got %g want %g, tol %g)",
+							arr, i, d, got[i], want[i], a.Tol)
+					}
+				}
+			}
+		})
+	}
+}
