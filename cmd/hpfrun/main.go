@@ -31,6 +31,20 @@ import (
 	"hpfdsm/internal/trace"
 )
 
+type crashFlags []config.CrashSpec
+
+func (c *crashFlags) String() string { return fmt.Sprint([]config.CrashSpec(*c)) }
+func (c *crashFlags) Set(s string) error {
+	for _, part := range strings.Split(s, ",") {
+		cs, err := config.ParseCrashSpec(strings.TrimSpace(part))
+		if err != nil {
+			return err
+		}
+		*c = append(*c, cs)
+	}
+	return nil
+}
+
 type paramFlags map[string]int
 
 func (p paramFlags) String() string { return fmt.Sprint(map[string]int(p)) }
@@ -63,6 +77,10 @@ func main() {
 	jitter := flag.Int64("jitter", 0, "fault injection: max extra per-message delay in microseconds")
 	reorder := flag.Float64("reorder", 0, "fault injection: probability a message is delayed past later traffic (0..1)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injection PRNG seed")
+	var crashes crashFlags
+	flag.Var(&crashes, "crash", `kill a node: "node=N@epoch=E" or "node=N@t=4ms" (repeatable, comma-separable)`)
+	ckpt := flag.Bool("ckpt", false, "capture barrier-consistent checkpoints even with no crashes configured")
+	ckptDir := flag.String("ckpt-dir", "", "persist the latest checkpoint blob to this directory (implies -ckpt)")
 	check := flag.Bool("check", false, "audit coherence invariants at every barrier and reduction")
 	verify := flag.Bool("verify", false, "statically verify the schedules at the selected level before running; refuse to simulate on hard errors")
 	profile := flag.Bool("profile", false, "print a per-loop time profile")
@@ -166,16 +184,18 @@ func main() {
 	if *aggDelay != 0 {
 		mc.AggDelay = sim.Time(*aggDelay) * sim.Microsecond
 	}
-	if *drop != 0 || *dup != 0 || *jitter != 0 || *reorder != 0 {
+	if *drop != 0 || *dup != 0 || *jitter != 0 || *reorder != 0 || len(crashes) > 0 {
 		f := mc.Faults
 		f.Drop = *drop
 		f.Dup = *dup
 		f.Jitter = *jitter * 1000 // µs -> ns
 		f.Reorder = *reorder
 		f.Seed = *faultSeed
+		f.Crashes = append(f.Crashes, crashes...)
 		mc = mc.WithFaults(f)
 	}
 	opts := runtime.Options{Machine: mc, Opt: opt, Check: *check,
+		Checkpoint: *ckpt || *ckptDir != "", CkptDir: *ckptDir,
 		Profile: *profile || *gantt > 0 || *profileJSON != ""}
 	var tracer *trace.Tracer
 	if *traceOut != "" || *heatmap || *heatmapJSON != "" {
@@ -210,8 +230,13 @@ func main() {
 	fmt.Printf("machine   %d node(s), %s, %dB blocks, backend %v, opt %v\n",
 		mc.Nodes, mc.CPUMode, mc.BlockSize, opts.Backend, opt)
 	if f := mc.Faults; f.Active() {
-		fmt.Printf("faults    drop=%.2g dup=%.2g jitter=%dus reorder=%.2g seed=%d\n",
-			f.Drop, f.Dup, f.Jitter/1000, f.Reorder, f.Seed)
+		fmt.Printf("faults    drop=%.2g dup=%.2g jitter=%dus reorder=%.2g seed=%d crashes=%d\n",
+			f.Drop, f.Dup, f.Jitter/1000, f.Reorder, f.Seed, len(f.Crashes))
+	}
+	if res.CheckpointsTaken > 0 {
+		fmt.Printf("recovery  %d crash(es) detected, %d recover(ies), %.3f ms lost; %d checkpoint(s), %.1f KB\n",
+			res.CrashesDetected, res.Recoveries, float64(res.RecoveryTime)/1e6,
+			res.CheckpointsTaken, float64(res.CheckpointBytes)/1024)
 	}
 	fmt.Printf("elapsed   %.3f ms (simulated)\n", float64(res.Elapsed)/1e6)
 	fmt.Printf("misses    %d total (%.1f per node)\n", res.Stats.TotalMisses(), res.Stats.AvgMissesPerNode())

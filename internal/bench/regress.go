@@ -80,6 +80,75 @@ func regressionBenchmarks() []struct {
 		name string
 		fn   func(b *testing.B)
 	}{
+		{"ckpt-overhead", func(b *testing.B) {
+			// Fault-free run with the checkpoint machinery armed but no
+			// crashes configured: capture happens outside virtual time,
+			// so the simulated schedule must not move AT ALL relative to
+			// the plain run — asserted here, and the reported sim-ms is
+			// drift-gated across BENCH files like every other entry.
+			a, err := apps.ByName("jacobi")
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := a.Program(a.ScaledParams)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mc := config.Default()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var plain, ck *runtime.Result
+			for i := 0; i < b.N; i++ {
+				plain, err = runtime.Run(prog, runtime.Options{Machine: mc, Opt: compiler.OptRTElim})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ck, err = runtime.Run(prog, runtime.Options{Machine: mc, Opt: compiler.OptRTElim, Checkpoint: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if ck.Elapsed != plain.Elapsed || ck.Stats.TotalMessages() != plain.Stats.TotalMessages() {
+				b.Fatalf("checkpointing perturbed the fault-free run: elapsed %d vs %d, msgs %d vs %d",
+					ck.Elapsed, plain.Elapsed, ck.Stats.TotalMessages(), plain.Stats.TotalMessages())
+			}
+			b.ReportMetric(ms(ck.Elapsed), "sim-ms")
+			b.ReportMetric(float64(ck.Stats.TotalMessages()), "msgs")
+			b.ReportMetric(float64(ck.CheckpointsTaken), "ckpts")
+			b.ReportMetric(float64(ck.CheckpointBytes)/1024, "ckpt-kb")
+		}},
+		{"crash-jacobi", func(b *testing.B) {
+			// One crash-stop failure with checkpoint/restart recovery:
+			// records the recovery path's simulated cost trajectory (the
+			// deterministic sim makes sim-ms and the recovery accounting
+			// exact across runs, so they are drift-gated too).
+			a, err := apps.ByName("jacobi")
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := a.Program(a.ScaledParams)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mc := config.Default().WithFaults(config.Faults{
+				Crashes: []config.CrashSpec{{Node: 2, Epoch: 5}}})
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res *runtime.Result
+			for i := 0; i < b.N; i++ {
+				res, err = runtime.Run(prog, runtime.Options{Machine: mc, Opt: compiler.OptRTElim})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if res.Recoveries != 1 {
+				b.Fatalf("expected one recovery, got %d", res.Recoveries)
+			}
+			b.ReportMetric(ms(res.Elapsed), "sim-ms")
+			b.ReportMetric(float64(res.Stats.TotalMessages()), "msgs")
+			b.ReportMetric(ms(res.RecoveryTime), "recovery-ms")
+			b.ReportMetric(float64(res.CheckpointsTaken), "ckpts")
+		}},
 		{"readmiss", func(b *testing.B) {
 			b.ReportAllocs()
 			var stall int64

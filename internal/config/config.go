@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"hpfdsm/internal/sim"
 )
@@ -87,14 +89,42 @@ type Faults struct {
 	// with a diagnostic dump (default 50 ms; it must comfortably exceed
 	// the worst plausible backoff chain so it never fires spuriously).
 	WatchdogHorizon sim.Time
+
+	// Crashes lists the crash-stop node failures to inject. Each crash
+	// silently kills one node — its compute process stops, its handlers
+	// go quiet, and every message in flight to or from it vanishes.
+	// Survivors detect the failure (retransmit-exhaustion probing or
+	// barrier timeout) and recover from the last barrier-consistent
+	// checkpoint. Configuring any crash activates the reliable-delivery
+	// layer even with all wire-fault rates zero.
+	Crashes []CrashSpec
+
+	// Failure-detection and recovery tuning; zero values select the
+	// defaults noted.
+	ProbeTimeout   sim.Time // initial probe timeout after retransmit exhaustion (default 1 ms)
+	MaxProbes      int      // unanswered probes before a peer is declared dead (default 3)
+	BarrierTimeout sim.Time // incomplete-barrier age that triggers membership probing (default 20 ms)
+	RecoveryDelay  sim.Time // simulated cost of rollback + checkpoint restore (default 5 ms)
+}
+
+// CrashSpec schedules one crash-stop failure: node Node dies at virtual
+// time At, or — when Epoch > 0 — at the instant the cluster completes
+// its Epoch'th synchronization (barrier or reduction all-arrived
+// instant, counted from 1). Exactly one of Epoch and At selects the
+// trigger; an Epoch takes precedence.
+type CrashSpec struct {
+	Node  int
+	Epoch int64    // kill when the cluster epoch counter reaches this (0 = use At)
+	At    sim.Time // kill at this virtual time (used when Epoch == 0)
 }
 
 // Active reports whether any fault kind is enabled. The reliable
 // delivery layer (sequence numbers, ACKs, retransmission) engages only
 // when faults are active, so a fault-free configuration is bit-identical
-// to the original lossless network.
+// to the original lossless network. Crash-stop failures count: detecting
+// a dead peer requires the retransmit/probe machinery.
 func (f Faults) Active() bool {
-	return f.Drop > 0 || f.Dup > 0 || f.Jitter > 0 || f.Reorder > 0
+	return f.Drop > 0 || f.Dup > 0 || f.Jitter > 0 || f.Reorder > 0 || len(f.Crashes) > 0
 }
 
 // Reliable-delivery defaults (see Faults).
@@ -103,6 +133,17 @@ const (
 	DefaultMaxBackoff        = 4 * sim.Millisecond
 	DefaultAckDelay          = 20 * sim.Microsecond
 	DefaultWatchdogHorizon   = 50 * sim.Millisecond
+	DefaultProbeTimeout      = 1 * sim.Millisecond
+	DefaultMaxProbes         = 3
+	DefaultBarrierTimeout    = 20 * sim.Millisecond
+	DefaultRecoveryDelay     = 5 * sim.Millisecond
+	// DefaultCrashMaxRetries caps the retransmit chain when crash
+	// injection is configured but MaxRetries was left zero (retry
+	// forever): with a peer permanently gone, retransmission must
+	// escalate to probing, and the full chain (500 µs, 1, 2, 4, 4, 4 ms
+	// of backoff, then three probes) must finish inside the watchdog
+	// horizon.
+	DefaultCrashMaxRetries = 6
 )
 
 // EffectiveRetransmitTimeout returns RetransmitTimeout or its default.
@@ -137,6 +178,48 @@ func (f Faults) EffectiveWatchdogHorizon() sim.Time {
 	return DefaultWatchdogHorizon
 }
 
+// EffectiveMaxRetries returns MaxRetries, defaulting to
+// DefaultCrashMaxRetries when crash injection is configured (an
+// unbounded retransmit chain would never escalate to probing).
+func (f Faults) EffectiveMaxRetries() int {
+	if f.MaxRetries == 0 && len(f.Crashes) > 0 {
+		return DefaultCrashMaxRetries
+	}
+	return f.MaxRetries
+}
+
+// EffectiveProbeTimeout returns ProbeTimeout or its default.
+func (f Faults) EffectiveProbeTimeout() sim.Time {
+	if f.ProbeTimeout > 0 {
+		return f.ProbeTimeout
+	}
+	return DefaultProbeTimeout
+}
+
+// EffectiveMaxProbes returns MaxProbes or its default.
+func (f Faults) EffectiveMaxProbes() int {
+	if f.MaxProbes > 0 {
+		return f.MaxProbes
+	}
+	return DefaultMaxProbes
+}
+
+// EffectiveBarrierTimeout returns BarrierTimeout or its default.
+func (f Faults) EffectiveBarrierTimeout() sim.Time {
+	if f.BarrierTimeout > 0 {
+		return f.BarrierTimeout
+	}
+	return DefaultBarrierTimeout
+}
+
+// EffectiveRecoveryDelay returns RecoveryDelay or its default.
+func (f Faults) EffectiveRecoveryDelay() sim.Time {
+	if f.RecoveryDelay > 0 {
+		return f.RecoveryDelay
+	}
+	return DefaultRecoveryDelay
+}
+
 // Validate reports fault-configuration errors.
 func (f Faults) Validate() error {
 	for _, r := range []struct {
@@ -155,6 +238,23 @@ func (f Faults) Validate() error {
 	}
 	if f.MaxRetries < 0 {
 		return fmt.Errorf("config: negative MaxRetries %d", f.MaxRetries)
+	}
+	if f.ProbeTimeout < 0 || f.BarrierTimeout < 0 || f.RecoveryDelay < 0 {
+		return fmt.Errorf("config: negative failure-detection timing parameter")
+	}
+	if f.MaxProbes < 0 {
+		return fmt.Errorf("config: negative MaxProbes %d", f.MaxProbes)
+	}
+	for i, c := range f.Crashes {
+		if c.Node < 0 {
+			return fmt.Errorf("config: crash %d: negative node %d", i, c.Node)
+		}
+		if c.Epoch < 0 || c.At < 0 {
+			return fmt.Errorf("config: crash %d: negative trigger (epoch=%d at=%d)", i, c.Epoch, c.At)
+		}
+		if c.Epoch == 0 && c.At == 0 {
+			return fmt.Errorf("config: crash %d: no trigger (set Epoch or At)", i)
+		}
 	}
 	return nil
 }
@@ -339,6 +439,16 @@ func (m Machine) Validate() error {
 	case m.AggDelay < 0:
 		return fmt.Errorf("config: negative aggregation drain delay %d", m.AggDelay)
 	}
+	for i, c := range m.Faults.Crashes {
+		if c.Node >= m.Nodes {
+			return fmt.Errorf("config: crash %d: node %d outside cluster of %d", i, c.Node, m.Nodes)
+		}
+		if c.Node == 0 {
+			// Node 0 hosts the barrier master and owns the result scalars;
+			// replacing it is future work (see DESIGN.md §11).
+			return fmt.Errorf("config: crash %d: crashing node 0 (the synchronization master) is not supported", i)
+		}
+	}
 	return m.Faults.Validate()
 }
 
@@ -363,4 +473,65 @@ func FromJSON(r io.Reader) (Machine, error) {
 // size: latency plus serialization of header and payload.
 func (m Machine) MsgTime(payload int) sim.Time {
 	return m.WireLatency + sim.Time(m.MsgHeader+payload)*m.NsPerByte
+}
+
+// ParseCrashSpec parses the hpfrun -crash syntax: "node=N@epoch=E" for
+// an epoch-triggered crash or "node=N@t=D" for a time-triggered one,
+// where D is a Go-style duration of whole ns/us/ms/s (e.g. "t=4ms").
+func ParseCrashSpec(s string) (CrashSpec, error) {
+	var c CrashSpec
+	bad := func() (CrashSpec, error) {
+		return CrashSpec{}, fmt.Errorf(`config: bad crash spec %q (want "node=N@epoch=E" or "node=N@t=4ms")`, s)
+	}
+	node, trigger, ok := strings.Cut(s, "@")
+	if !ok {
+		return bad()
+	}
+	nv, ok := strings.CutPrefix(node, "node=")
+	if !ok {
+		return bad()
+	}
+	n, err := strconv.Atoi(nv)
+	if err != nil {
+		return bad()
+	}
+	c.Node = n
+	switch {
+	case strings.HasPrefix(trigger, "epoch="):
+		e, err := strconv.ParseInt(trigger[len("epoch="):], 10, 64)
+		if err != nil || e <= 0 {
+			return bad()
+		}
+		c.Epoch = e
+	case strings.HasPrefix(trigger, "t="):
+		d, err := parseSimDuration(trigger[len("t="):])
+		if err != nil || d <= 0 {
+			return bad()
+		}
+		c.At = d
+	default:
+		return bad()
+	}
+	return c, nil
+}
+
+// parseSimDuration parses a whole-number duration with an ns/us/ms/s
+// suffix into virtual nanoseconds.
+func parseSimDuration(s string) (sim.Time, error) {
+	unit := sim.Time(1)
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		s, unit = s[:len(s)-2], sim.Microsecond
+	case strings.HasSuffix(s, "ms"):
+		s, unit = s[:len(s)-2], sim.Millisecond
+	case strings.HasSuffix(s, "s"):
+		s, unit = s[:len(s)-1], sim.Second
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * unit, nil
 }

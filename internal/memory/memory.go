@@ -218,6 +218,9 @@ func (m *NodeMem) Dirty(b int) uint16 { return m.dirty[b] }
 // ClearDirty zeroes block b's dirty-word mask.
 func (m *NodeMem) ClearDirty(b int) { m.dirty[b] = 0 }
 
+// SetDirtyMask replaces block b's dirty-word mask (checkpoint restore).
+func (m *NodeMem) SetDirtyMask(b int, mask uint16) { m.dirty[b] = mask }
+
 // MarkAllDirty sets every word of block b dirty (used when a whole
 // block of modifications is installed at once).
 func (m *NodeMem) MarkAllDirty(b int) {

@@ -72,6 +72,7 @@ type Coalescer struct {
 	timers  []timerArg
 	st      *stats.Node
 	inBurst bool // inside a protocol-handler run (see Burst)
+	dead    bool // torn down after a crash; appends and drains are inert
 }
 
 // AttachCoalescer creates and registers the coalescing scheduler for
@@ -111,6 +112,9 @@ func (n *Network) AttachCoalescer(src int, kind Kind, ctrl int, delay sim.Time, 
 func (c *Coalescer) Append(dst int, kind Kind, addr int, arg, arg2 int64, payload []byte, timer bool) {
 	if dst == c.src {
 		panic("network: coalescer append to self")
+	}
+	if c.dead {
+		return // torn down: a crashed node buffers nothing
 	}
 	b := &c.bufs[dst]
 	need := SegHeader + len(payload)
@@ -179,6 +183,33 @@ func (c *Coalescer) PendingAny() bool {
 	return false
 }
 
+// Occupancy returns the total buffered segments and encoded bytes
+// across all destinations (stall-watchdog diagnostics).
+func (c *Coalescer) Occupancy() (segs, bytes int) {
+	for d := range c.bufs {
+		segs += c.bufs[d].segs
+		bytes += len(c.bufs[d].data)
+	}
+	return segs, bytes
+}
+
+// Teardown is the crash-stop drain path: it discards every buffered
+// segment and permanently disables the scheduler, so a node that dies
+// inside an open batch window can neither compose a posthumous carrier
+// when the armed drain timer fires nor strand segments in a buffer
+// that looks live. (A graceful quiesce — barrier entry or NICDrain —
+// flushes instead; see FlushAll.)
+func (c *Coalescer) Teardown() {
+	for d := range c.bufs {
+		b := &c.bufs[d]
+		if b.data != nil {
+			c.net.recycleVar(b.data)
+		}
+		b.data, b.segs, b.burst, b.deadline = nil, 0, false, 0
+	}
+	c.dead = true
+}
+
 // timerFire is the drain-timer event: a buffer that has reached its
 // deadline drains. An earlier (stale) timer for a buffer whose
 // deadline moved forward does nothing — the arming append scheduled a
@@ -187,8 +218,8 @@ func (c *Coalescer) PendingAny() bool {
 // before it plus this guard re-checking on every fire.
 func (c *Coalescer) timerFire(dst int) {
 	b := &c.bufs[dst]
-	if b.segs == 0 {
-		return
+	if c.dead || b.segs == 0 {
+		return // a dead node's armed window must not compose a carrier
 	}
 	if now := c.net.env.Now(); now < b.deadline {
 		// Deadline moved (flush + refill since this event was armed):
@@ -207,7 +238,7 @@ func (c *Coalescer) timerFire(dst int) {
 // on an empty buffer.
 func (c *Coalescer) FlushDst(dst int) {
 	b := &c.bufs[dst]
-	if b.segs == 0 {
+	if c.dead || b.segs == 0 {
 		return
 	}
 	data, segs := b.data, b.segs

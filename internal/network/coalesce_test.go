@@ -280,3 +280,59 @@ func TestCoalesceDuplicateAttachPanics(t *testing.T) {
 	}()
 	capture(net, 0, 0)
 }
+
+// TestCoalesceTeardownMidWindow kills the coalescer's node while a
+// batch window is open: the armed timer must find nothing to emit, the
+// buffered segments must not survive as a carrier, and later appends
+// must be swallowed. A crash between window-open and window-close can
+// never strand segments or leak traffic from a dead node.
+func TestCoalesceTeardownMidWindow(t *testing.T) {
+	env, net, _, _ := testNet(3)
+	const window = sim.Time(4000)
+	c, got := capture(net, 0, window)
+
+	env.Spawn("driver", func(p *sim.Proc) {
+		c.Append(1, Kind(7), 1, 0, 0, nil, true) // opens the window
+		c.Append(1, Kind(7), 2, 0, 0, nil, true)
+		p.Sleep(window / 2)
+		if !c.PendingAny() {
+			t.Error("segments not buffered before teardown")
+		}
+		c.Teardown() // the node crashed mid-window
+		if c.PendingAny() {
+			t.Error("PendingAny true after teardown")
+		}
+		if segs, bytes := c.Occupancy(); segs != 0 || bytes != 0 {
+			t.Errorf("occupancy %d seg(s)/%dB after teardown, want empty", segs, bytes)
+		}
+		// The dead node's protocol engine must not be able to buffer
+		// more traffic either.
+		c.Append(1, Kind(7), 3, 0, 0, nil, true)
+		if c.PendingAny() {
+			t.Error("append after teardown buffered a segment")
+		}
+		p.Sleep(window) // run past the armed timer's deadline
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("teardown leaked %d carrier(s) onto the wire", len(*got))
+	}
+}
+
+// TestCoalesceTeardownThenFlushAll: an explicit drain on a dead
+// coalescer (e.g. the protocol's epoch close racing the crash) is a
+// no-op rather than a resurrection.
+func TestCoalesceTeardownThenFlushAll(t *testing.T) {
+	_, net, _, _ := testNet(3)
+	c, got := capture(net, 0, 0)
+	c.Append(1, Kind(7), 1, 0, 0, nil, false)
+	c.Append(1, Kind(7), 2, 0, 0, nil, false)
+	c.Teardown()
+	c.FlushAll()
+	c.FlushDst(1)
+	if len(*got) != 0 {
+		t.Fatalf("flush on a dead coalescer emitted %d message(s)", len(*got))
+	}
+}

@@ -99,6 +99,21 @@ type Network struct {
 	// wire, never reorders it past a message that departs.
 	coals []*Coalescer
 
+	// Crash-stop failure support. dead masks crashed nodes: a dead node
+	// sends nothing, and every transmission to or from it vanishes at
+	// delivery time — including traffic already in flight when it died.
+	// inflight counts scheduled future wire actions (deliveries and
+	// delayed departures); zero is one leg of the cluster-quiescence
+	// predicate the checkpoint layer requires.
+	dead     []bool
+	inflight int
+	detected map[int]bool // peers already declared dead (idempotence)
+
+	// OnDeath, when non-nil, is invoked from scheduler context the
+	// moment the failure detector declares a peer dead (retransmit
+	// exhaustion with unanswered probes, or barrier-timeout probing).
+	OnDeath func(node int, reason string)
+
 	// tr, when non-nil, records wire spans and send→deliver flow links.
 	// Every use is nil-guarded: a disabled tracer costs one predictable
 	// branch per send and allocates nothing.
@@ -118,6 +133,7 @@ func New(env *sim.Env, mc config.Machine, st *stats.Cluster) *Network {
 		linkFree: make([]sim.Time, mc.Nodes),
 		st:       st,
 		pool:     !mc.Faults.Active(),
+		dead:     make([]bool, mc.Nodes),
 	}
 	if mc.Faults.Active() {
 		n.rel = newReliable(n, mc.Faults)
@@ -215,6 +231,9 @@ func (n *Network) Send(m *Message) {
 	if m.Src < 0 || m.Src >= len(n.eps) || m.Dst < 0 || m.Dst >= len(n.eps) {
 		panic(fmt.Sprintf("network: bad endpoints in %v", m))
 	}
+	if n.dead[m.Src] {
+		return // a crashed node sends nothing
+	}
 	if n.coals != nil && m.Src != m.Dst {
 		// Drain trigger: a non-carrier departure to dst flushes the
 		// sender's open gather buffer for dst first, preserving
@@ -237,6 +256,7 @@ func (n *Network) Send(m *Message) {
 		if n.tr != nil {
 			n.traceTx(m, n.env.Now(), at, false)
 		}
+		n.inflight++
 		n.env.ScheduleArg(at, deliverEvent, m)
 		return
 	}
@@ -252,6 +272,7 @@ func (n *Network) Send(m *Message) {
 		depart := arrival - n.mc.WireLatency - ser
 		n.traceTx(m, depart, depart+ser, false)
 	}
+	n.inflight++
 	n.env.ScheduleArg(arrival, deliverEvent, m)
 }
 
@@ -283,8 +304,8 @@ func (n *Network) traceTx(m *Message, start, end sim.Time, retx bool) {
 // ScheduleArg: one package-level func value each, so scheduling a
 // delivery or a delayed departure allocates nothing.
 var (
-	deliverEvent = func(a any) { m := a.(*Message); m.net.deliver(m) }
-	sendEvent    = func(a any) { m := a.(*Message); m.net.Send(m) }
+	deliverEvent = func(a any) { m := a.(*Message); m.net.inflight--; m.net.deliver(m) }
+	sendEvent    = func(a any) { m := a.(*Message); m.net.inflight--; m.net.Send(m) }
 )
 
 // SendAt injects m at absolute virtual time t (a delayed departure,
@@ -292,6 +313,7 @@ var (
 // completes).
 func (n *Network) SendAt(t sim.Time, m *Message) {
 	m.net = n
+	n.inflight++
 	n.env.ScheduleArg(t, sendEvent, m)
 }
 
@@ -326,6 +348,9 @@ func (n *Network) wireArrival(m *Message) sim.Time {
 }
 
 func (n *Network) deliver(m *Message) {
+	if n.dead[m.Dst] || n.dead[m.Src] {
+		return // crash-stop: traffic touching a dead node vanishes
+	}
 	ep := n.eps[m.Dst]
 	if ep == nil {
 		panic(fmt.Sprintf("network: no endpoint bound for node %d", m.Dst))
@@ -336,6 +361,61 @@ func (n *Network) deliver(m *Message) {
 	// discarded by the reliable layer never reach this point.)
 	n.env.Progress()
 	ep(m)
+}
+
+// MarkDead injects a crash-stop failure: from this instant node id
+// sends nothing and every transmission to or from it — including
+// traffic already in flight — vanishes at delivery time. The node's
+// reliable-delivery and coalescer state is left in place; survivors'
+// retransmissions to the dead node are exactly what drives detection.
+func (n *Network) MarkDead(id int) { n.dead[id] = true }
+
+// Dead reports whether node id has been marked crashed.
+func (n *Network) Dead(id int) bool { return n.dead[id] }
+
+// Inflight returns the number of scheduled future wire actions
+// (pending deliveries and delayed departures). Zero means the wire is
+// silent — one leg of the checkpoint layer's quiescence predicate.
+func (n *Network) Inflight() int { return n.inflight }
+
+// declareDead reports a failure-detector verdict to the layer above.
+// Idempotent per node: only the first detection fires the callback.
+func (n *Network) declareDead(node int, reason string) {
+	if n.detected == nil {
+		n.detected = make(map[int]bool)
+	}
+	if n.detected[node] {
+		return
+	}
+	n.detected[node] = true
+	if n.OnDeath != nil {
+		n.OnDeath(node, reason)
+	}
+}
+
+// RetransQueueDepth returns the number of unacknowledged messages node
+// src is holding for retransmission across all its channels (the
+// stall-watchdog dump includes it per node).
+func (n *Network) RetransQueueDepth(src int) int {
+	if n.rel == nil {
+		return 0
+	}
+	depth := 0
+	for k, c := range n.rel.chans {
+		if k[0] == src {
+			depth += len(c.out)
+		}
+	}
+	return depth
+}
+
+// CoalescerOf returns node src's coalescing scheduler, or nil when
+// aggregation is off.
+func (n *Network) CoalescerOf(src int) *Coalescer {
+	if n.coals == nil {
+		return nil
+	}
+	return n.coals[src]
 }
 
 // Broadcast sends a copy of the message to every destination in dsts.

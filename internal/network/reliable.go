@@ -38,9 +38,26 @@ import (
 // Protocol layers must not use this kind.
 const KindAck Kind = 255
 
+// KindProbe and KindProbeAck are the failure detector's liveness
+// probes. Both are NIC-level: a live destination's firmware answers a
+// probe immediately, with no host CPU and no sequencing, so only a
+// genuinely dead peer leaves probes unanswered. Protocol layers must
+// not use these kinds.
+const (
+	KindProbe    Kind = 254
+	KindProbeAck Kind = 253
+)
+
 // ackSize is the payload size of an acknowledgement (the cumulative
-// sequence number).
-const ackSize = 8
+// sequence number); probeSize that of a liveness probe.
+const (
+	ackSize   = 8
+	probeSize = 4
+)
+
+// ctrlKind reports whether k rides the NIC's priority control lane
+// (cutting ahead of the data queue's serialization backlog).
+func ctrlKind(k Kind) bool { return k == KindAck || k == KindProbe || k == KindProbeAck }
 
 // rng is a splitmix64 PRNG: tiny, fast, and fully deterministic for a
 // given seed (unlike math/rand, its sequence is pinned by this file).
@@ -67,9 +84,10 @@ func (r *rng) timeIn(max sim.Time) sim.Time {
 
 // outstanding is one sent-but-unacknowledged message.
 type outstanding struct {
-	m       *Message
-	rto     sim.Time // current retransmit timeout
-	retries int
+	m         *Message
+	rto       sim.Time // current retransmit timeout
+	retries   int
+	suspended bool // retransmit chain parked pending a probe verdict
 }
 
 // relChan is the reliable-delivery state of one directed (src,dst)
@@ -85,6 +103,16 @@ type relChan struct {
 	expect     int64 // next sequence number to deliver (first is 1)
 	buf        map[int64]*Message
 	ackPending bool
+
+	// Failure-detector state (sender side): after a message exhausts its
+	// retransmit budget the channel stops retransmitting and sends
+	// exponential-backoff probes instead; a probe acknowledgement
+	// resumes the suspended retransmit chains, while MaxProbes
+	// unanswered probes declare dst dead.
+	probing  bool
+	probes   int      // probes sent in the current round
+	probeRTO sim.Time // next probe's timeout
+	probeGen int64    // invalidates stale probe-timer events
 }
 
 // reliable is the fault-injection + reliable-delivery layer of one
@@ -140,7 +168,7 @@ func (r *reliable) transmit(m *Message, retx bool) sim.Time {
 	r.n.accountSend(m)
 	ser := sim.Time(r.n.mc.MsgHeader+m.Size) * r.n.mc.NsPerByte
 	var arrive sim.Time
-	if m.Kind == KindAck {
+	if ctrlKind(m.Kind) {
 		arrive = r.n.env.Now() + ser + r.n.mc.WireLatency
 	} else {
 		arrive = r.n.wireArrival(m)
@@ -171,6 +199,7 @@ func (r *reliable) inject(m *Message, arrive sim.Time) {
 		sst.WireDrops++
 	} else {
 		at := arrive + r.delay()
+		r.n.inflight++
 		r.n.env.Schedule(at, func() { r.arrive(m) })
 	}
 	if duped {
@@ -178,6 +207,7 @@ func (r *reliable) inject(m *Message, arrive sim.Time) {
 		// The duplicate takes its own (independently jittered) path and
 		// never lands at the exact same instant as the original.
 		at := arrive + r.delay() + 1
+		r.n.inflight++
 		r.n.env.Schedule(at, func() { r.arrive(m) })
 	}
 }
@@ -198,9 +228,20 @@ func (r *reliable) delay() sim.Time {
 
 // arrive is a transmission reaching the destination NIC.
 func (r *reliable) arrive(m *Message) {
+	r.n.inflight--
+	if r.n.dead[m.Dst] || r.n.dead[m.Src] {
+		return // crash-stop: traffic touching a dead node vanishes
+	}
 	r.n.accountRecv(m)
-	if m.Kind == KindAck {
+	switch m.Kind {
+	case KindAck:
 		r.handleAck(m)
+		return
+	case KindProbe:
+		r.handleProbe(m)
+		return
+	case KindProbeAck:
+		r.handleProbeAck(m)
 		return
 	}
 	c := r.channel(m.Src, m.Dst)
@@ -288,11 +329,16 @@ func (r *reliable) timeout(c *relChan, seq int64) {
 		return // acknowledged while the timer was in flight
 	}
 	sst := &r.n.st.Nodes[c.src]
-	if r.f.MaxRetries > 0 && o.retries >= r.f.MaxRetries {
-		// Give up: the message is lost for good. The stall watchdog is
-		// responsible for turning the resulting hang into a diagnostic.
-		delete(c.out, seq)
+	if mr := r.f.EffectiveMaxRetries(); mr > 0 && o.retries >= mr {
+		// Retransmit exhaustion. Instead of discarding the message (the
+		// pre-crash-layer give-up, which could only end in a watchdog
+		// hang), park its retransmit chain and escalate to liveness
+		// probing: cheap control packets with their own backoff decide
+		// whether dst is dead or the wire is just vicious. A probe ack
+		// resumes the parked chains; unanswered probes declare dst dead.
 		sst.GiveUps++
+		o.suspended = true
+		r.escalate(c)
 		return
 	}
 	o.retries++
@@ -303,6 +349,81 @@ func (r *reliable) timeout(c *relChan, seq int64) {
 	}
 	arrive := r.transmit(o.m, true)
 	r.armTimer(c, seq, arrive)
+}
+
+// escalate opens a probe round on c unless one is already running.
+func (r *reliable) escalate(c *relChan) {
+	if c.probing {
+		return
+	}
+	c.probing = true
+	c.probes = 0
+	c.probeRTO = r.f.EffectiveProbeTimeout()
+	c.probeGen++
+	r.probe(c, c.probeGen)
+}
+
+// probe sends one liveness probe and arms its timeout; the round ends
+// when a probe ack clears the probing flag (handleProbeAck) or when
+// MaxProbes probes go unanswered and dst is declared dead.
+func (r *reliable) probe(c *relChan, gen int64) {
+	if !c.probing || c.probeGen != gen {
+		return // answered (or superseded) while the timer was in flight
+	}
+	if c.probes >= r.f.EffectiveMaxProbes() {
+		c.probing = false
+		c.probeGen++
+		r.n.declareDead(c.dst, fmt.Sprintf("%d liveness probes from node %d unanswered after retransmit exhaustion", c.probes, c.src))
+		return
+	}
+	c.probes++
+	r.n.st.Nodes[c.src].ProbesSent++
+	r.transmit(&Message{Src: c.src, Dst: c.dst, Kind: KindProbe, Size: probeSize}, false)
+	rto := c.probeRTO
+	c.probeRTO *= 2
+	if mb := r.f.EffectiveMaxBackoff(); c.probeRTO > mb {
+		c.probeRTO = mb
+	}
+	r.n.env.After(rto, func() { r.probe(c, gen) })
+}
+
+// handleProbe answers a liveness probe: NIC firmware replies
+// immediately on the control lane. Reaching this point at all means
+// the destination is alive (dead nodes' arrivals are dropped earlier).
+func (r *reliable) handleProbe(m *Message) {
+	r.n.env.Progress()
+	r.n.st.Nodes[m.Dst].ProbeAcks++
+	r.transmit(&Message{Src: m.Dst, Dst: m.Src, Kind: KindProbeAck, Size: probeSize}, false)
+}
+
+// handleProbeAck ends the probe round on the prober's channel and
+// revives every parked retransmit chain: the peer is alive, the
+// exhausted messages just met an unlucky wire.
+func (r *reliable) handleProbeAck(m *Message) {
+	r.n.env.Progress()
+	c := r.channel(m.Dst, m.Src) // the probed channel runs m.Dst -> m.Src
+	if !c.probing {
+		return // stale ack from an earlier round
+	}
+	c.probing = false
+	c.probeGen++
+	var seqs []int64
+	for s, o := range c.out {
+		if o.suspended {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	sst := &r.n.st.Nodes[c.src]
+	for _, s := range seqs {
+		o := c.out[s]
+		o.suspended = false
+		o.retries = 0
+		o.rto = r.f.EffectiveRetransmitTimeout()
+		sst.Retransmits++
+		arrive := r.transmit(o.m, true)
+		r.armTimer(c, s, arrive)
+	}
 }
 
 // Blackhole makes every transmission from src to dst vanish on the wire
@@ -320,6 +441,43 @@ func (n *Network) Blackhole(src, dst int) {
 // reliable-delivery layer) is active.
 func (n *Network) Unreliable() bool { return n.rel != nil }
 
+// Probe opens a liveness-probe round from src to dst — the
+// barrier-timeout membership check uses it to interrogate nodes that
+// owe no traffic (so retransmit exhaustion would never notice them
+// missing). Probing a crashed node is the very point: the unanswered
+// round is what turns a silent peer into a detected death. No-op when
+// a round is already running or fault injection is off.
+func (n *Network) Probe(src, dst int) {
+	if n.rel == nil || n.dead[src] || src == dst {
+		return
+	}
+	n.rel.escalate(n.rel.channel(src, dst))
+}
+
+// ChannelsQuiescent reports whether every reliable-delivery channel
+// has delivered everything it was given: no out-of-order arrivals
+// buffered, no probe round open, and every unacknowledged message
+// already delivered (seq below the receiver's expect — such messages
+// await only their cumulative ACK, which carries no protocol state).
+// Trivially true when fault injection is off. One leg of the
+// checkpoint layer's quiescence predicate.
+func (n *Network) ChannelsQuiescent() bool {
+	if n.rel == nil {
+		return true
+	}
+	for _, c := range n.rel.chans {
+		if len(c.buf) > 0 || c.probing {
+			return false
+		}
+		for s := range c.out {
+			if s >= c.expect {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // DumpChannels renders the reliable-delivery state of every channel
 // with in-flight work: outstanding (unacknowledged) messages with their
 // retry counts, and out-of-order arrivals buffered at the receiver.
@@ -331,7 +489,7 @@ func (n *Network) DumpChannels() string {
 	}
 	var keys [][2]int
 	for k, c := range n.rel.chans {
-		if len(c.out) > 0 || len(c.buf) > 0 {
+		if len(c.out) > 0 || len(c.buf) > 0 || c.probing {
 			keys = append(keys, k)
 		}
 	}
@@ -344,8 +502,12 @@ func (n *Network) DumpChannels() string {
 	var b strings.Builder
 	for _, k := range keys {
 		c := n.rel.chans[k]
-		fmt.Fprintf(&b, "  channel %d->%d: nextSeq=%d expect=%d unacked=%d buffered=%d\n",
-			k[0], k[1], c.nextSeq, c.expect, len(c.out), len(c.buf))
+		probing := ""
+		if c.probing {
+			probing = fmt.Sprintf(" PROBING(%d sent)", c.probes)
+		}
+		fmt.Fprintf(&b, "  channel %d->%d: nextSeq=%d expect=%d unacked=%d buffered=%d%s\n",
+			k[0], k[1], c.nextSeq, c.expect, len(c.out), len(c.buf), probing)
 		var seqs []int64
 		for s := range c.out {
 			seqs = append(seqs, s)

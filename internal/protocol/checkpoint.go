@@ -1,0 +1,212 @@
+// Barrier-consistent checkpoint capture and restore.
+//
+// The crash-recovery layer snapshots the protocol at synchronization
+// epochs where the whole machine is provably quiescent: nothing in
+// flight on the wire, no handler invocations queued, no deferred
+// protocol work armed, no blocking miss outstanding, no directory
+// transaction collecting, and no coalescer buffer open. At such an
+// instant every block's truth is fully captured by memory images, tags,
+// dirty masks, and directory masks — Restore rebuilds an equivalent
+// machine on a fresh cluster and the run resumes as if the epoch had
+// just completed.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"hpfdsm/internal/checkpoint"
+	"hpfdsm/internal/memory"
+	"hpfdsm/internal/sim"
+)
+
+// Quiescent reports whether the cluster is checkpointable right now.
+// Intended to be called at a barrier's all-arrived instant; mid-epoch
+// it is almost always false.
+func (p *Proto) Quiescent() bool {
+	net := p.C.Net
+	if net.Inflight() != 0 || !net.ChannelsQuiescent() || p.defers != 0 {
+		return false
+	}
+	for _, np := range p.nodes {
+		if np.n.HandlersQueued() != 0 || np.n.Pending() != 0 {
+			return false
+		}
+		if len(np.fill) != 0 {
+			return false
+		}
+		if np.ccRecv.Value() != np.ccExpected {
+			return false
+		}
+		if np.coal != nil && np.coal.PendingAny() {
+			return false
+		}
+		for _, e := range np.dir {
+			if e.busy || e.pending != 0 || len(e.waitQ) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Capture snapshots the cluster's protocol-visible state. The caller
+// must have established quiescence (Quiescent); a busy directory entry
+// here is a bug, not a race.
+func (p *Proto) Capture() *checkpoint.Snapshot {
+	c := p.C
+	sp := c.Space
+	nb := sp.NumBlocks()
+	npg := sp.NumPages()
+	s := &checkpoint.Snapshot{
+		Epoch:      c.Epoch(),
+		SimTime:    int64(c.Env.Now()),
+		TimerStart: int64(c.TimerStart),
+		ReduceGen:  c.ReduceGen(),
+		Journal:    append([]float64(nil), c.ReduceJournal...),
+	}
+	for _, np := range p.nodes {
+		mem := np.n.Mem
+		ns := checkpoint.NodeState{
+			Tags:       make([]byte, nb),
+			Dirty:      make([]uint16, nb),
+			Mapped:     make([]byte, npg),
+			CCRecv:     np.ccRecv.Value(),
+			CCExpected: np.ccExpected,
+			Stats:      *np.n.St,
+		}
+		for b := 0; b < nb; b++ {
+			ns.Tags[b] = byte(mem.Tag(b))
+			ns.Dirty[b] = mem.Dirty(b)
+			// A block matters if this node is its home (home memory is
+			// the authoritative copy) or holds a live or dirty cached
+			// copy; everything else is reconstructible garbage.
+			if sp.HomeOfBlock(b) == np.id || mem.Tag(b) != memory.Invalid || mem.Dirty(b) != 0 {
+				ns.Blocks = append(ns.Blocks, checkpoint.BlockImage{
+					Block: int32(b),
+					Data:  append([]byte(nil), mem.BlockData(b)...),
+				})
+			}
+		}
+		for pg := 0; pg < npg; pg++ {
+			if mem.Mapped(pg) {
+				ns.Mapped[pg] = 1
+			}
+		}
+		blocks := make([]int, 0, len(np.dir))
+		for b := range np.dir {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		for _, b := range blocks {
+			e := np.dir[b]
+			if e.busy || e.pending != 0 || len(e.waitQ) != 0 {
+				panic(fmt.Sprintf("protocol: capture with busy directory entry for block %d on node %d", b, np.id))
+			}
+			ns.Dir = append(ns.Dir, checkpoint.DirEntry{
+				Block: int32(b), Sharers: e.sharers, Writers: e.writers, Stale: e.stale,
+			})
+		}
+		keys := make([][2]int, 0, len(np.iwDone))
+		for k := range np.iwDone {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			ns.IWDone = append(ns.IWDone, checkpoint.IWKey{A: int32(k[0]), B: int32(k[1])})
+		}
+		ns.CCFrames = packFlags(np.ccFrames)
+		ns.CCTouched = packFlags(np.ccTouched)
+		ns.SCHold = packFlags(np.scHold)
+		s.Nodes = append(s.Nodes, ns)
+	}
+	return s
+}
+
+// Restore installs a snapshot on a freshly built cluster (same machine
+// configuration, no traffic yet). It rebuilds memory images, tags,
+// dirty masks, directory state, and the compiler-directed transfer
+// bookkeeping, and rebases the cluster's epoch, reduction generation,
+// journal, and timer start.
+func (p *Proto) Restore(s *checkpoint.Snapshot) error {
+	c := p.C
+	sp := c.Space
+	nb := sp.NumBlocks()
+	npg := sp.NumPages()
+	if len(s.Nodes) != len(p.nodes) {
+		return fmt.Errorf("protocol: snapshot has %d nodes, cluster has %d", len(s.Nodes), len(p.nodes))
+	}
+	for i, np := range p.nodes {
+		ns := &s.Nodes[i]
+		if len(ns.Tags) != nb || len(ns.Dirty) != nb || len(ns.Mapped) != npg {
+			return fmt.Errorf("protocol: snapshot node %d sized for a different segment (%d blocks, %d pages; want %d, %d)",
+				i, len(ns.Tags), len(ns.Mapped), nb, npg)
+		}
+		mem := np.n.Mem
+		for _, bi := range ns.Blocks {
+			b := int(bi.Block)
+			if b < 0 || b >= nb || len(bi.Data) != sp.BlockSize() {
+				return fmt.Errorf("protocol: snapshot node %d has bad block image %d (%d bytes)", i, b, len(bi.Data))
+			}
+			mem.InstallBlock(b, bi.Data)
+		}
+		for b := 0; b < nb; b++ {
+			mem.SetTag(b, memory.Tag(ns.Tags[b]))
+			mem.SetDirtyMask(b, ns.Dirty[b])
+		}
+		for pg := 0; pg < npg; pg++ {
+			if ns.Mapped[pg] != 0 {
+				mem.SetMapped(pg)
+			}
+		}
+		np.dir = make(map[int]*dirEntry, len(ns.Dir))
+		for _, d := range ns.Dir {
+			b := int(d.Block)
+			if b < 0 || b >= nb || sp.HomeOfBlock(b) != np.id {
+				return fmt.Errorf("protocol: snapshot node %d has directory entry for foreign block %d", i, b)
+			}
+			np.dir[b] = &dirEntry{sharers: d.Sharers, writers: d.Writers, stale: d.Stale}
+		}
+		np.iwDone = make(map[[2]int]bool, len(ns.IWDone))
+		for _, k := range ns.IWDone {
+			np.iwDone[[2]int{int(k.A), int(k.B)}] = true
+		}
+		np.ccFrames = unpackFlags(ns.CCFrames, nb)
+		np.ccTouched = unpackFlags(ns.CCTouched, nb)
+		np.scHold = unpackFlags(ns.SCHold, nb)
+		np.ccRecv.Reset()
+		np.ccRecv.Add(ns.CCRecv)
+		np.ccExpected = ns.CCExpected
+		*np.n.St = ns.Stats
+	}
+	c.TimerStart = sim.Time(s.TimerStart)
+	c.RestoreEpoch(s.Epoch, s.ReduceGen, s.Journal)
+	return nil
+}
+
+func packFlags(f blockFlags) []byte {
+	out := make([]byte, len(f))
+	for i, v := range f {
+		if v {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func unpackFlags(b []byte, minLen int) blockFlags {
+	n := len(b)
+	if n < minLen {
+		n = minLen
+	}
+	f := make(blockFlags, n)
+	for i, v := range b {
+		f[i] = v != 0
+	}
+	return f
+}

@@ -76,7 +76,11 @@ func (np *nodeProto) entry(b int) *dirEntry {
 // at the already-scheduled resume time.
 func (np *nodeProto) enqueue(r *dirReq) {
 	if np.scHold.get(r.block) && r.src != np.id {
-		np.n.Env.After(2*sim.Microsecond, func() { np.enqueue(r) })
+		np.p.defers++
+		np.n.Env.After(2*sim.Microsecond, func() {
+			np.p.defers--
+			np.enqueue(r)
+		})
 		return
 	}
 	e := np.entry(r.block)

@@ -451,7 +451,11 @@ func (np *nodeProto) ccFlushDir(start, n, owner, flusher int) {
 		e := np.entry(b)
 		if e.busy {
 			b := b
-			np.n.Env.After(2*sim.Microsecond, func() { np.ccFlushDir(b, 1, owner, flusher) })
+			np.p.defers++
+			np.n.Env.After(2*sim.Microsecond, func() {
+				np.p.defers--
+				np.ccFlushDir(b, 1, owner, flusher)
+			})
 			continue
 		}
 		e.writers = bit(owner)

@@ -113,6 +113,10 @@ func MsgKindName(k network.Kind) string {
 		return "reduce_result"
 	case network.KindAck:
 		return "ack"
+	case network.KindProbe:
+		return "probe"
+	case network.KindProbeAck:
+		return "probe_ack"
 	}
 	return fmt.Sprintf("kind%d", k)
 }
@@ -129,6 +133,12 @@ type Proto struct {
 	// runtime installs analysis.ProvIndex.Describe here; the hook is a
 	// plain function so the protocol does not import the verifier.
 	BlockInfo func(b int) string
+
+	// defers counts protocol actions parked on short re-delivery timers
+	// (scHold deferrals, busy-directory retries). Nonzero means hidden
+	// work is pending even though no message is in flight, so the
+	// quiescence predicate refuses to checkpoint.
+	defers int
 }
 
 // nodeProto is the per-node protocol state: the directory for blocks
@@ -621,7 +631,11 @@ func (np *nodeProto) hInval(hc *tempest.HContext, m *network.Message) {
 // yet retired.
 func (np *nodeProto) deferMsg(m *network.Message, h func(*tempest.HContext, *network.Message)) {
 	m.Retain() // the message outlives this delivery
-	np.n.Env.After(2*sim.Microsecond, func() { h(&tempest.HContext{Node: np.n}, m) })
+	np.p.defers++
+	np.n.Env.After(2*sim.Microsecond, func() {
+		np.p.defers--
+		h(&tempest.HContext{Node: np.n}, m)
+	})
 }
 
 // --- Home-side handlers ----------------------------------------------

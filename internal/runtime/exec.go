@@ -58,6 +58,62 @@ type exec struct {
 	// Role-classification scratch reused across preLoopComm calls, so
 	// the per-loop grouping allocates nothing in steady state.
 	sendOut, takeOut, recvIn, flushIn []protocol.BlockRun
+
+	// Ghost fast-forward (crash recovery). A restored run replays the
+	// program's control flow from the beginning with every side effect
+	// suppressed — no protocol calls, no compute cost, no cluster
+	// barriers — while counting the synchronization epochs the original
+	// run completed. When the local count reaches resumeEpoch (the
+	// checkpoint's epoch) the executor flips live, possibly in the
+	// middle of a pre/post-loop communication sequence, and continues
+	// exactly where the restored protocol state says the machine stands.
+	// Replicated interpreter state (scalars, delivered, lastSched) is
+	// reconstructed by the walk itself; reduction results are replayed
+	// from the checkpoint's journal instead of being recomputed.
+	ghost       bool
+	ghostEpoch  int64
+	resumeEpoch int64
+	journal     []float64 // completed reductions, generation order
+	ghostGen    int       // next journal entry to replay
+}
+
+// setResume arms ghost fast-forward up to the checkpoint epoch.
+func (e *exec) setResume(epoch int64, journal []float64) {
+	if epoch <= 0 {
+		return // initial-state checkpoint: run live from the start
+	}
+	e.ghost = true
+	e.resumeEpoch = epoch
+	e.journal = journal
+}
+
+// barrier enters a cluster-wide barrier — or, while ghosting, merely
+// counts the epoch the original run completed here.
+func (e *exec) barrier(p *sim.Proc) {
+	if e.ghost {
+		e.ghostTick()
+		return
+	}
+	e.cluster.Barrier(p, e.n)
+}
+
+func (e *exec) ghostTick() {
+	e.ghostEpoch++
+	if e.ghostEpoch >= e.resumeEpoch {
+		e.ghost = false
+	}
+}
+
+// ghostReduce replays a completed reduction from the checkpoint
+// journal and counts its epoch.
+func (e *exec) ghostReduce() float64 {
+	if e.ghostGen >= len(e.journal) {
+		panic(fmt.Sprintf("runtime: ghost replay needs reduction %d but the checkpoint journal holds %d", e.ghostGen, len(e.journal)))
+	}
+	v := e.journal[e.ghostGen]
+	e.ghostGen++
+	e.ghostTick()
+	return v
 }
 
 func newExec(prog *ir.Program, an *compiler.Analysis, layouts map[*ir.Array]sections.Layout,
@@ -83,7 +139,7 @@ func (e *exec) run(p *sim.Proc) {
 	e.n.SetProc(p)
 	e.stmts(p, e.prog.Body)
 	// Final synchronization so timing includes all nodes' completion.
-	e.cluster.Barrier(p, e.n)
+	e.barrier(p)
 }
 
 func (e *exec) stmts(p *sim.Proc, body []ir.Stmt) {
@@ -117,7 +173,12 @@ func (e *exec) stmts(p *sim.Proc, body []ir.Stmt) {
 // startTimer opens the measured region: synchronize, zero this node's
 // counters, and record the region start (node 0's clock).
 func (e *exec) startTimer(p *sim.Proc) {
-	e.cluster.Barrier(p, e.n)
+	e.barrier(p)
+	if e.ghost {
+		// Still fast-forwarding: the restored counters already reflect
+		// the measured region up to the checkpoint — don't wipe them.
+		return
+	}
 	*e.n.St = stats.Node{}
 	if e.n.ID == 0 {
 		e.cluster.TimerStart = p.Now()
@@ -130,6 +191,13 @@ func (e *exec) startTimer(p *sim.Proc) {
 // the heat map's provenance table).
 func (e *exec) profiled(p *sim.Proc, label string, body func()) {
 	tr := e.n.Trace
+	if e.ghost {
+		// Ghost loops cost nothing and attribute nothing; a loop the
+		// walk goes live inside is likewise unattributed (its pre-flip
+		// portion never re-ran).
+		body()
+		return
+	}
 	if e.prof == nil && tr == nil {
 		body()
 		return
@@ -210,16 +278,18 @@ func (e *exec) parLoop(p *sim.Proc, pl *ir.ParLoop) {
 		e.invalidateIndirectFrames(p, rule)
 		e.preLoopComm(p, pl, sched)
 	}
-	if e.inspect && len(rule.IndirectArrays) > 0 {
+	if e.inspect && len(rule.IndirectArrays) > 0 && !e.ghost {
 		e.inspectIndirect(p, pl, rule, pt)
 	}
 
-	e.runIterations(p, pl, rule, pt)
+	if !e.ghost {
+		e.runIterations(p, pl, rule, pt)
+	}
 
 	if e.opt >= compiler.OptBase {
 		e.postLoopComm(p, sched, true)
 	} else {
-		e.cluster.Barrier(p, e.n)
+		e.barrier(p)
 	}
 }
 
@@ -325,7 +395,7 @@ func sortInts(a []int) {
 // subscripts: those reads go through the default protocol and must not
 // hit a stale readwrite frame left by run-time elimination.
 func (e *exec) invalidateIndirectFrames(p *sim.Proc, rule *compiler.LoopRule) {
-	if e.opt < compiler.OptRTElim || len(rule.IndirectArrays) == 0 {
+	if e.opt < compiler.OptRTElim || len(rule.IndirectArrays) == 0 || e.ghost {
 		return
 	}
 	bs := e.n.MC.BlockSize
@@ -386,8 +456,9 @@ func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
 	// stale frames covering that block — otherwise the readwrite tag
 	// would satisfy the edge read silently. This is the "extra work
 	// required for dealing with overlapping ranges" the paper mentions
-	// and omits.
-	if rtElim {
+	// and omits. (Skipped while ghosting: memory tags are the restored
+	// future state, and the invalidation's effect is already in it.)
+	if rtElim && !e.ghost {
 		var stale []protocol.BlockRun
 		for _, t := range sched.Reads {
 			if t.Receiver != me {
@@ -422,7 +493,7 @@ func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
 	// overlap the whole setup-and-transfer phase. Blocks under compiler
 	// control in this loop are excluded — prefetching them would
 	// downgrade their senders.
-	if e.edgePf {
+	if e.edgePf && !e.ghost {
 		cc := map[int]bool{}
 		for _, t := range reads {
 			for _, br := range t.Blocks {
@@ -491,25 +562,27 @@ func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
 	// assumptions exclude non-owner writes, so where they exist the
 	// calls stay. The barrier orders step 1 before step 2 (a reader
 	// may be a block's home).
-	if !rtElim && len(sendOut) > 0 {
+	if !rtElim && len(sendOut) > 0 && !e.ghost {
 		e.x.MkWritable(p, sendOut)
 	}
-	if len(takeOut) > 0 {
+	if len(takeOut) > 0 && !e.ghost {
 		e.x.MkWritable(p, takeOut)
 	}
 	if !rtElim || len(writes) > 0 {
-		e.cluster.Barrier(p, e.n)
+		e.barrier(p)
 	}
 
 	// Step 2: receivers open readwrite frames for the incoming data;
-	// flush targets likewise for the post-loop writeback.
-	if len(recvIn) > 0 {
+	// flush targets likewise for the post-loop writeback. (The walk can
+	// go live at the step-1 barrier, in which case the checkpoint holds
+	// the pre-step-2 state and everything below runs for real.)
+	if len(recvIn) > 0 && !e.ghost {
 		e.x.ImplicitWritable(p, recvIn, rtElim)
 	}
-	if len(flushIn) > 0 {
+	if len(flushIn) > 0 && !e.ghost {
 		e.x.ImplicitWritable(p, flushIn, rtElim)
 	}
-	if recvBlocks > 0 {
+	if recvBlocks > 0 && !e.ghost {
 		e.x.ExpectBlocks(recvBlocks)
 	}
 
@@ -518,7 +591,7 @@ func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
 	// skip this barrier; a changed schedule (e.g. lu's per-step pivot
 	// column) cannot — receivers must open the new frames first.
 	if !rtElim || !sameSched {
-		e.cluster.Barrier(p, e.n)
+		e.barrier(p)
 	}
 
 	// The transfer: owners push, readers hold a counting semaphore.
@@ -528,19 +601,20 @@ func (e *exec) preLoopComm(p *sim.Proc, key any, sched *compiler.Schedule) {
 	// even when this node receives nothing (its readers are blocked in
 	// ReadyToRecv right now).
 	bs, thr := e.n.MC.BlockSize, e.n.MC.EffectiveAggThreshold()
-	sent := false
-	for _, t := range reads {
-		if t.Sender == me {
-			e.x.SendBlocks(p, t.Receiver, t.Blocks, sched.Mode(e.opt, t.Sender, t.Receiver, false, bs, thr))
-			sent = true
+	if !e.ghost {
+		sent := false
+		for _, t := range reads {
+			if t.Sender == me {
+				e.x.SendBlocks(p, t.Receiver, t.Blocks, sched.Mode(e.opt, t.Sender, t.Receiver, false, bs, thr))
+				sent = true
+			}
 		}
-	}
-	if sent {
-		e.x.DrainAggregated(p)
-	}
-
-	if recvBlocks > 0 {
-		e.x.ReadyToRecv(p)
+		if sent {
+			e.x.DrainAggregated(p)
+		}
+		if recvBlocks > 0 {
+			e.x.ReadyToRecv(p)
+		}
 	}
 }
 
@@ -557,26 +631,28 @@ func (e *exec) postLoopComm(p *sim.Proc, sched *compiler.Schedule, closingBarrie
 		}
 	}
 	bs, thr := e.n.MC.BlockSize, e.n.MC.EffectiveAggThreshold()
-	flushed := false
-	for _, t := range sched.Writes {
-		if t.Sender == me && t.NumBlocks > 0 {
-			e.x.FlushBlocks(p, t.Receiver, t.Blocks, sched.Mode(e.opt, t.Sender, t.Receiver, true, bs, thr))
-			flushed = true
+	if !e.ghost {
+		flushed := false
+		for _, t := range sched.Writes {
+			if t.Sender == me && t.NumBlocks > 0 {
+				e.x.FlushBlocks(p, t.Receiver, t.Blocks, sched.Mode(e.opt, t.Sender, t.Receiver, true, bs, thr))
+				flushed = true
+			}
 		}
-	}
-	if flushed {
-		// Close the flush epoch: aggregated data and piggybacked
-		// directory updates depart before the closing barrier.
-		e.x.DrainAggregated(p)
+		if flushed {
+			// Close the flush epoch: aggregated data and piggybacked
+			// directory updates depart before the closing barrier.
+			e.x.DrainAggregated(p)
+		}
 	}
 
 	// The loop's closing barrier (a reduction's AllReduce already
 	// synchronized).
 	if closingBarrier {
-		e.cluster.Barrier(p, e.n)
+		e.barrier(p)
 	}
 
-	if flushIn > 0 {
+	if flushIn > 0 && !e.ghost {
 		e.x.ExpectBlocks(flushIn)
 		e.x.ReadyToRecv(p)
 	}
@@ -587,16 +663,18 @@ func (e *exec) postLoopComm(p *sim.Proc, sched *compiler.Schedule, closingBarrie
 	// The condition is on the global schedule, so every node agrees on
 	// whether the extra barrier happens.
 	if !rtElim && len(sched.Reads) > 0 {
-		var recvIn []protocol.BlockRun
-		for _, t := range sched.Reads {
-			if t.Receiver == me {
-				recvIn = append(recvIn, t.Blocks...)
+		if !e.ghost {
+			var recvIn []protocol.BlockRun
+			for _, t := range sched.Reads {
+				if t.Receiver == me {
+					recvIn = append(recvIn, t.Blocks...)
+				}
+			}
+			if len(recvIn) > 0 {
+				e.x.ImplicitInvalidate(p, recvIn)
 			}
 		}
-		if len(recvIn) > 0 {
-			e.x.ImplicitInvalidate(p, recvIn)
-		}
-		e.cluster.Barrier(p, e.n)
+		e.barrier(p)
 	}
 
 }
@@ -707,12 +785,16 @@ func (e *exec) reduce(p *sim.Proc, rd *ir.Reduce) {
 	flops := 1 + e.dynOps(rd.Expr)
 	elemCost := e.n.MC.LoopOver + sim.Time(flops)*e.n.MC.NsPerFlop
 
-	partial := e.reducePartial(p, rd, pt, elemCost)
-
-	op := map[ir.RedOp]tempest.ReduceOp{
-		ir.RedSum: tempest.OpSum, ir.RedMax: tempest.OpMax, ir.RedMin: tempest.OpMin,
-	}[rd.Op]
-	e.scalars[rd.Target] = e.cluster.AllReduce(p, e.n, op, partial)
+	if e.ghost {
+		// Replay the committed result; the generation is also an epoch.
+		e.scalars[rd.Target] = e.ghostReduce()
+	} else {
+		partial := e.reducePartial(p, rd, pt, elemCost)
+		op := map[ir.RedOp]tempest.ReduceOp{
+			ir.RedSum: tempest.OpSum, ir.RedMax: tempest.OpMax, ir.RedMin: tempest.OpMin,
+		}[rd.Op]
+		e.scalars[rd.Target] = e.cluster.AllReduce(p, e.n, op, partial)
+	}
 
 	if e.mp == nil && e.opt >= compiler.OptBase {
 		e.postLoopComm(p, sched, false)

@@ -7,10 +7,14 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"hpfdsm/internal/analysis"
+	"hpfdsm/internal/checkpoint"
 	"hpfdsm/internal/compiler"
 	"hpfdsm/internal/config"
 	"hpfdsm/internal/ir"
@@ -58,6 +62,15 @@ type Options struct {
 	// runtime installs the kind-name and block-provenance hooks and
 	// registers every array's block range before the simulation starts.
 	Trace *trace.Tracer
+	// Checkpoint enables barrier-consistent checkpoint capture even
+	// when no crashes are configured (for measuring the overhead with
+	// the machinery compiled in); configuring crash injection enables
+	// it implicitly. Shared-memory backend only.
+	Checkpoint bool
+	// CkptDir, when non-empty, persists the latest checkpoint blob to
+	// <dir>/<program>.ckpt after each capture — a diagnostic artifact;
+	// recovery restores from the in-memory copy.
+	CkptDir string
 }
 
 // Result is the outcome of one simulated run.
@@ -68,8 +81,16 @@ type Result struct {
 	Scalars map[string]float64 // node 0's final scalar values
 	Profile *trace.Profile     // per-loop profile (nil unless requested)
 	// BarrierChecks is how many barrier-instant coherence audits ran
-	// (zero unless Options.Check).
+	// (zero unless Options.Check), summed across recovery attempts.
 	BarrierChecks int64
+
+	// Crash-recovery outcome (all zero unless crash injection or
+	// Options.Checkpoint was active).
+	CrashesDetected  int64    // failure-detector verdicts that aborted an attempt
+	Recoveries       int64    // restarts from a checkpoint
+	RecoveryTime     sim.Time // simulated time modeled for restore pauses
+	CheckpointsTaken int64    // quiescent captures (incl. the initial state)
+	CheckpointBytes  int64    // total encoded bytes across captures
 
 	cluster  *tempest.Cluster
 	analysis *compiler.Analysis
@@ -111,7 +132,57 @@ func (r *Result) ArrayData(name string) []float64 {
 	return out
 }
 
-// Run executes prog on a simulated cluster.
+// crashError aborts a simulation attempt the moment the failure
+// detector declares a node dead; the recovery loop in Run catches it
+// and restarts the machine from the last barrier-consistent checkpoint.
+type crashError struct {
+	node   int
+	reason string
+	at     sim.Time
+}
+
+func (e *crashError) Error() string {
+	return fmt.Sprintf("node %d declared dead at t=%v: %s", e.node, e.at, e.reason)
+}
+
+// recovery carries the crash/checkpoint state that survives across
+// simulation attempts: the injection plan (fired flags persist so a
+// crash is injected exactly once per run), the latest encoded
+// checkpoint, and the accumulated recovery accounting.
+type recovery struct {
+	enabled bool
+	specs   []config.CrashSpec
+	fired   []bool
+	blob    []byte // latest complete checkpoint, encoded
+	dir     string
+	prog    string
+
+	taken, bytes int64
+	detected     int64
+	lostTime     sim.Time
+	checksBefore int64 // BarrierChecks accumulated by aborted attempts
+}
+
+// keep installs a freshly captured checkpoint as the recovery point.
+func (rec *recovery) keep(blob []byte) {
+	rec.blob = blob
+	rec.taken++
+	rec.bytes += int64(len(blob))
+	if rec.dir != "" {
+		// Best-effort diagnostic artifact; recovery never reads it back.
+		if os.MkdirAll(rec.dir, 0o755) == nil {
+			_ = os.WriteFile(filepath.Join(rec.dir, rec.prog+".ckpt"), blob, 0o644)
+		}
+	}
+}
+
+// Run executes prog on a simulated cluster. With crash injection (or
+// Options.Checkpoint) active, the protocol state is snapshotted at
+// every quiescent synchronization epoch; a detected crash-stop failure
+// aborts the attempt, and the run restarts on a fresh cluster restored
+// from the last checkpoint — survivors roll back, a replacement node
+// adopts the victim's state, and the executors ghost-walk the program
+// back to the checkpoint epoch before going live.
 func Run(prog *ir.Program, opt Options) (*Result, error) {
 	mc := opt.Machine
 	if err := mc.Validate(); err != nil {
@@ -120,7 +191,49 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	if opt.Backend == MessagePassing && ir.HasIndirect(prog) {
 		return nil, fmt.Errorf("runtime: program %s contains indirect array subscripts and is not amenable to message passing; use the shared-memory backend", prog.Name)
 	}
-	env := sim.NewEnv()
+	if opt.Backend == MessagePassing && len(mc.Faults.Crashes) > 0 {
+		return nil, fmt.Errorf("runtime: crash injection requires the shared-memory backend (program %s)", prog.Name)
+	}
+	rec := &recovery{
+		enabled: opt.Backend == SharedMemory && (opt.Checkpoint || len(mc.Faults.Crashes) > 0),
+		specs:   mc.Faults.Crashes,
+		fired:   make([]bool, len(mc.Faults.Crashes)),
+		dir:     opt.CkptDir,
+		prog:    prog.Name,
+	}
+	startAt := sim.Time(0)
+	for attempt := 0; ; attempt++ {
+		res, crash, err := runAttempt(prog, opt, rec, startAt, attempt)
+		if err != nil {
+			return nil, err
+		}
+		if crash == nil {
+			res.CrashesDetected = rec.detected
+			res.Recoveries = rec.detected
+			res.RecoveryTime = rec.lostTime
+			res.CheckpointsTaken = rec.taken
+			res.CheckpointBytes = rec.bytes
+			return res, nil
+		}
+		if attempt >= len(rec.specs) {
+			// Each configured crash fires once, so aborted attempts can
+			// never outnumber the specs; this is a detector bug.
+			return nil, fmt.Errorf("runtime: recovery attempt %d aborted but only %d crash(es) were configured (program %s): %v",
+				attempt, len(rec.specs), prog.Name, crash)
+		}
+		delay := mc.Faults.EffectiveRecoveryDelay()
+		rec.detected++
+		rec.lostTime += delay
+		startAt = crash.at + delay
+	}
+}
+
+// runAttempt builds a fresh cluster and runs the program once. A crash
+// detection aborts the attempt and is returned separately from real
+// errors so the caller can recover.
+func runAttempt(prog *ir.Program, opt Options, rec *recovery, startAt sim.Time, attempt int) (*Result, *crashError, error) {
+	mc := opt.Machine
+	env := sim.NewEnvAt(startAt)
 	sp := memory.NewSpace(mc)
 	layouts := make(map[*ir.Array]sections.Layout)
 	for _, arr := range prog.Arrays {
@@ -140,7 +253,7 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	}
 	an, err := compiler.Cached(prog, mc.Nodes, layouts, mc.BlockSize)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	res := &Result{
@@ -169,10 +282,14 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	if tr := opt.Trace; tr != nil {
 		tr.KindName = func(k uint8) string { return protocol.MsgKindName(network.Kind(k)) }
 		tr.BlockInfo = prov.Describe
-		for _, arr := range prog.Arrays {
-			lay := layouts[arr]
-			nb := (arr.Elems()*8 + mc.BlockSize - 1) / mc.BlockSize
-			tr.Heat.AddArray(arr.Name, lay.Base/mc.BlockSize, nb)
+		if attempt == 0 {
+			// Heat-map array ranges registered once; recovery attempts
+			// reuse the same address layout.
+			for _, arr := range prog.Arrays {
+				lay := layouts[arr]
+				nb := (arr.Elems()*8 + mc.BlockSize - 1) / mc.BlockSize
+				tr.Heat.AddArray(arr.Name, lay.Base/mc.BlockSize, nb)
+			}
 		}
 		cluster.SetTracer(tr)
 	}
@@ -194,22 +311,106 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 			return watchdogDump(cluster, proto)
 		})
 	}
+
+	if rec.enabled {
+		if attempt == 0 {
+			// The initial state is itself a consistent checkpoint: a
+			// crash before the first quiescent epoch restarts the whole
+			// program (ghosting is disabled for epoch 0).
+			rec.keep(checkpoint.Encode(proto.Capture()))
+		} else {
+			snap, err := checkpoint.Decode(rec.blob)
+			if err != nil {
+				return nil, nil, fmt.Errorf("runtime: corrupt checkpoint: %w (program %s)", err, prog.Name)
+			}
+			if err := proto.Restore(snap); err != nil {
+				return nil, nil, fmt.Errorf("runtime: %w (program %s)", err, prog.Name)
+			}
+			for _, e := range execs {
+				e.setResume(snap.Epoch, snap.Journal)
+			}
+			if tr := opt.Trace; tr != nil {
+				tr.Instant(0, trace.LaneCompute, "recovery:restore", "crash", env.Now(),
+					trace.I64("epoch", snap.Epoch), trace.Int("attempt", attempt))
+			}
+		}
+		// Capture at quiescent epochs, then inject any epoch-triggered
+		// crash due now (in that order: a crash at epoch E must not
+		// lose E's checkpoint, which the recovery restores to).
+		cluster.OnEpoch = func(epoch int64) {
+			if proto.Quiescent() {
+				rec.keep(checkpoint.Encode(proto.Capture()))
+			}
+			for i, cs := range rec.specs {
+				if !rec.fired[i] && cs.Epoch > 0 && cs.Epoch == epoch {
+					rec.fired[i] = true
+					cluster.Crash(cs.Node)
+					if tr := opt.Trace; tr != nil {
+						tr.Instant(cs.Node, trace.LaneCompute, "crash:inject", "crash", env.Now(),
+							trace.I64("epoch", epoch))
+					}
+				}
+			}
+		}
+		for i, cs := range rec.specs {
+			if cs.Epoch > 0 || rec.fired[i] {
+				continue
+			}
+			i, cs := i, cs
+			at := cs.At
+			if at < startAt {
+				// The scheduled instant fell inside a previous attempt's
+				// lost work or the recovery pause; fire immediately.
+				at = startAt
+			}
+			env.Schedule(at, func() {
+				if rec.fired[i] {
+					return
+				}
+				rec.fired[i] = true
+				cluster.Crash(cs.Node)
+				if tr := opt.Trace; tr != nil {
+					tr.Instant(cs.Node, trace.LaneCompute, "crash:inject", "crash", env.Now())
+				}
+			})
+		}
+		if len(rec.specs) > 0 {
+			cluster.Net.OnDeath = func(node int, reason string) {
+				if tr := opt.Trace; tr != nil {
+					tr.Instant(node, trace.LaneCompute, "crash:detected", "crash", env.Now())
+				}
+				env.Abort(&crashError{node: node, reason: reason, at: env.Now()})
+			}
+		}
+	}
+
 	for i := 0; i < mc.Nodes; i++ {
 		e := execs[i]
 		env.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) { e.run(p) })
 	}
 	if err := env.Run(); err != nil {
-		return nil, fmt.Errorf("runtime: %w (program %s)", err, prog.Name)
+		var ce *crashError
+		if errors.As(err, &ce) {
+			// Tear down the aborted attempt completely (every parked
+			// goroutine unwinds) before the caller rebuilds.
+			env.Shutdown()
+			rec.checksBefore += cluster.BarrierChecks()
+			if cerr := cluster.CheckErr(); cerr != nil {
+				return nil, nil, fmt.Errorf("runtime: %w (program %s)", cerr, prog.Name)
+			}
+			return nil, ce, nil
+		}
+		return nil, nil, fmt.Errorf("runtime: %w (program %s)", err, prog.Name)
 	}
 	if err := cluster.CheckErr(); err != nil {
-		return nil, fmt.Errorf("runtime: %w (program %s)", err, prog.Name)
+		return nil, nil, fmt.Errorf("runtime: %w (program %s)", err, prog.Name)
 	}
-	res.BarrierChecks = cluster.BarrierChecks()
+	res.BarrierChecks = cluster.BarrierChecks() + rec.checksBefore
 	if opt.Backend == SharedMemory {
 		// Every run is self-auditing: the quiescent coherence state must
 		// satisfy the protocol invariants.
 		if err := proto.CheckInvariants(); err != nil {
-			return nil, fmt.Errorf("runtime: post-run invariant violation: %w (program %s)", err, prog.Name)
+			return nil, nil, fmt.Errorf("runtime: post-run invariant violation: %w (program %s)", err, prog.Name)
 		}
 	}
 	res.Elapsed = env.Now() - cluster.TimerStart
@@ -224,7 +425,7 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	for k, v := range execs[0].scalars {
 		res.Scalars[k] = v
 	}
-	return res, nil
+	return res, nil, nil
 }
 
 // watchdogDump assembles the stall diagnostic: each node's compute
@@ -243,8 +444,14 @@ func watchdogDump(cluster *tempest.Cluster, proto *protocol.Proto) string {
 				state = "blocked"
 			}
 		}
-		fmt.Fprintf(&b, "  node %d: compute %s, %d pending transaction(s), misses r=%d w=%d up=%d, msgs sent=%d recv=%d\n",
-			n.ID, state, n.Pending(), n.St.ReadMisses, n.St.WriteMisses, n.St.UpgradeMisses, n.St.MsgsSent, n.St.MsgsRecv)
+		fmt.Fprintf(&b, "  node %d: compute %s, %d pending transaction(s), %d handler(s) queued, misses r=%d w=%d up=%d, msgs sent=%d recv=%d, retransq=%d",
+			n.ID, state, n.Pending(), n.HandlersQueued(), n.St.ReadMisses, n.St.WriteMisses, n.St.UpgradeMisses, n.St.MsgsSent, n.St.MsgsRecv,
+			cluster.Net.RetransQueueDepth(n.ID))
+		if co := cluster.Net.CoalescerOf(n.ID); co != nil {
+			segs, bytes := co.Occupancy()
+			fmt.Fprintf(&b, ", coalescer %d seg(s)/%dB buffered", segs, bytes)
+		}
+		b.WriteByte('\n')
 	}
 	if d := proto.DumpOutstanding(); d != "" {
 		b.WriteString("protocol outstanding work:\n")

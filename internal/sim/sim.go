@@ -132,12 +132,26 @@ type Env struct {
 	wdDump       func() string
 	lastProgress Time
 
+	running  *Proc // process currently dispatched (nil in event context)
+	abortErr error // set by Abort; Run returns it after the current event
+
 	stats EventStats // executed-event counters (see Events)
 }
 
 // NewEnv returns an empty simulation environment at time zero.
 func NewEnv() *Env {
 	return &Env{yield: make(chan struct{})}
+}
+
+// NewEnvAt returns an empty environment with the clock preset to t.
+// Used when a recovered cluster resumes a run mid-flight: the new
+// environment continues the crashed run's virtual clock so elapsed
+// times include the lost work and the recovery delay.
+func NewEnvAt(t Time) *Env {
+	e := NewEnv()
+	e.now = t
+	e.lastProgress = t
+	return e
 }
 
 // Now returns the current virtual time.
@@ -253,6 +267,9 @@ func (e *Env) Run() error {
 		ev := e.events.pop()
 		e.now = ev.t
 		e.exec(&ev)
+		if e.abortErr != nil {
+			return e.abortErr
+		}
 		if e.stalled() {
 			return e.stallError()
 		}
@@ -268,6 +285,54 @@ func (e *Env) Run() error {
 		return fmt.Errorf("%s", msg)
 	}
 	return nil
+}
+
+// Abort makes Run return err as soon as the current event finishes.
+// Pending events are left unexecuted; the environment is expected to be
+// abandoned (after Shutdown) once Run returns. Used by the failure
+// detector to stop a doomed run the instant a peer is declared dead.
+func (e *Env) Abort(err error) {
+	if e.abortErr == nil {
+		e.abortErr = err
+	}
+}
+
+// Aborted returns the error passed to Abort, or nil.
+func (e *Env) Aborted() error { return e.abortErr }
+
+// Shutdown force-terminates every unfinished process so the environment
+// can be abandoned without leaking goroutines. Each parked goroutine is
+// poisoned: its next resume panics with a private sentinel that the
+// spawn wrapper recovers. Must be called after Run has returned; the
+// environment is unusable afterwards.
+func (e *Env) Shutdown() {
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// CrashProc removes p from the simulation: it is never dispatched or
+// woken again, and pending dispatch events for it become no-ops. If p
+// is the currently running process it unwinds at its next kernel call
+// instead. The goroutine itself stays parked until Shutdown reaps it.
+func (e *Env) CrashProc(p *Proc) {
+	if p == nil || p.done || p.crashed {
+		return
+	}
+	p.crashed = true
+	if p == e.running {
+		return // accounting settles when it unwinds and yields
+	}
+	if p.waiting {
+		p.waiting = false
+		e.blocked--
+	}
+	e.alive--
 }
 
 // RunUntil executes events with time <= t, then sets the clock to t.
@@ -309,7 +374,13 @@ type Proc struct {
 	resume  chan struct{}
 	done    bool
 	waiting bool // blocked on a condition (not a timer)
+	crashed bool // removed by CrashProc; never runs again
+	killed  bool // poisoned by Shutdown; next resume unwinds
 }
+
+// procKilled is the panic sentinel Shutdown's poison uses to unwind a
+// parked process goroutine; the spawn wrapper recovers it.
+var procKilled = new(struct{})
 
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
@@ -321,6 +392,9 @@ func (p *Proc) Waiting() bool { return p.waiting }
 // Done reports whether the process has finished. Scheduler-context
 // diagnostics only.
 func (p *Proc) Done() bool { return p.done }
+
+// Crashed reports whether the process was removed by CrashProc.
+func (p *Proc) Crashed() bool { return p.crashed }
 
 // Env returns the environment the process belongs to.
 func (p *Proc) Env() *Env { return p.env }
@@ -335,10 +409,18 @@ func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 	e.procs = append(e.procs, p)
 	e.alive++
 	go func() {
+		defer func() {
+			if r := recover(); r != nil && r != procKilled {
+				panic(r)
+			}
+			p.done = true
+			e.yield <- struct{}{}
+		}()
 		<-p.resume
+		if p.killed {
+			panic(procKilled)
+		}
 		body(p)
-		p.done = true
-		e.yield <- struct{}{}
 	}()
 	e.scheduleProc(e.now, p)
 	return p
@@ -347,12 +429,17 @@ func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 // dispatch hands the scheduler's control to p until p yields or finishes.
 // Must be called from scheduler context.
 func (e *Env) dispatch(p *Proc) {
+	if p.crashed {
+		return // stale dispatch event for a crashed process
+	}
 	if p.done {
 		panic("sim: dispatching a finished process: " + p.name)
 	}
 	e.lastProgress = e.now
+	e.running = p
 	p.resume <- struct{}{}
 	<-e.yield
+	e.running = nil
 	if p.done {
 		e.alive--
 	}
@@ -363,12 +450,18 @@ func (e *Env) dispatch(p *Proc) {
 func (p *Proc) yieldToScheduler() {
 	p.env.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(procKilled)
+	}
 }
 
 // Sleep advances the process by d virtual nanoseconds.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic("sim: negative sleep")
+	}
+	if p.crashed {
+		panic(procKilled) // crashed while running; unwind here
 	}
 	e := p.env
 	e.scheduleProc(e.now+d, p)
@@ -378,6 +471,9 @@ func (p *Proc) Sleep(d Time) {
 // block suspends the process on an external condition. The waker must
 // eventually call wake (via scheduling), or the run ends in deadlock.
 func (p *Proc) block() {
+	if p.crashed {
+		panic(procKilled) // crashed while running; unwind here
+	}
 	p.waiting = true
 	p.env.blocked++
 	p.yieldToScheduler()
@@ -387,6 +483,9 @@ func (p *Proc) block() {
 // Must be called from scheduler context (e.g. inside an event or while
 // another process runs).
 func (p *Proc) wake() {
+	if p.crashed {
+		return // wakes aimed at a crashed process are dropped
+	}
 	if !p.waiting {
 		panic("sim: waking a process that is not blocked: " + p.name)
 	}

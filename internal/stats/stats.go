@@ -42,7 +42,9 @@ type Node struct {
 	Retransmits int64 // timeout-driven retransmissions by this node
 	DupsDropped int64 // arrivals discarded by this node's receive-side dedup
 	AcksSent    int64 // reliable-delivery acknowledgements sent
-	GiveUps     int64 // messages abandoned after MaxRetries
+	GiveUps     int64 // retransmit chains parked after MaxRetries (escalated to probing)
+	ProbesSent  int64 // liveness probes sent by the failure detector
+	ProbeAcks   int64 // liveness probes this node answered
 
 	// Message-aggregation counters (the NIC-level coalescing scheduler;
 	// both zero when aggregation is off).
@@ -183,13 +185,21 @@ func (c *Cluster) TotalAcksSent() int64 {
 	return t
 }
 
-// TotalGiveUps sums abandoned messages (MaxRetries exceeded) over all
-// nodes. Nonzero means data was lost for good and the run likely
-// stalled into the watchdog.
+// TotalGiveUps sums retransmit chains parked after MaxRetries over all
+// nodes. Nonzero means the failure detector escalated to probing.
 func (c *Cluster) TotalGiveUps() int64 {
 	var t int64
 	for i := range c.Nodes {
 		t += c.Nodes[i].GiveUps
+	}
+	return t
+}
+
+// TotalProbesSent sums failure-detector liveness probes over all nodes.
+func (c *Cluster) TotalProbesSent() int64 {
+	var t int64
+	for i := range c.Nodes {
+		t += c.Nodes[i].ProbesSent
 	}
 	return t
 }

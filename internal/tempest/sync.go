@@ -50,10 +50,13 @@ func (o ReduceOp) Combine(a, b float64) float64 {
 
 type barrierState struct {
 	arrived int
+	mask    uint64 // nodes whose arrival the master has seen
+	gen     int64  // completed-barrier count (stale-timeout invalidation)
 }
 
 type reduceState struct {
 	arrived int
+	mask    uint64
 	acc     float64
 	gen     int64
 }
@@ -62,11 +65,11 @@ func (c *Cluster) installSync() {
 	master := c.Nodes[0]
 	master.On(KindBarrierArrive, func(hc *HContext, m *network.Message) {
 		hc.AddCost(c.MC.BarrierEntry)
-		c.barrierArrived()
+		c.barrierArrived(m.Src)
 	})
 	master.On(KindReduceContrib, func(hc *HContext, m *network.Message) {
 		hc.AddCost(c.MC.BarrierEntry)
-		c.reduceArrived(m.Arg2, ReduceOp(m.Addr), math.Float64frombits(uint64(m.Arg)))
+		c.reduceArrived(m.Src, m.Arg2, ReduceOp(m.Addr), math.Float64frombits(uint64(m.Arg)))
 	})
 	for _, n := range c.Nodes {
 		n := n
@@ -91,17 +94,70 @@ func (c *Cluster) releaseParked(n *Node) {
 	s.Fire()
 }
 
-func (c *Cluster) barrierArrived() {
+// armSyncTimeout schedules the master's membership audit for one
+// collection in progress: if missing(gen) still reports absentees when
+// the timeout expires, the master probes each of them through the
+// failure detector and re-arms. A completed (or superseded) collection
+// makes missing return zero, which retires the chain. Only armed on the
+// unreliable network — lossless barriers cannot hang.
+func (c *Cluster) armSyncTimeout(gen int64, missing func(int64) uint64) {
+	if !c.Net.Unreliable() {
+		return
+	}
+	c.Env.After(c.MC.Faults.EffectiveBarrierTimeout(), func() {
+		miss := missing(gen)
+		if miss == 0 {
+			return
+		}
+		for i := 1; i < len(c.Nodes); i++ {
+			if miss&(1<<uint(i)) != 0 {
+				c.Net.Probe(0, i)
+			}
+		}
+		c.armSyncTimeout(gen, missing)
+	})
+}
+
+// missingBarrier reports the nodes not yet arrived at barrier gen, or 0
+// once that barrier completed.
+func (c *Cluster) missingBarrier(gen int64) uint64 {
+	if c.barrier.gen != gen || c.barrier.arrived == 0 {
+		return 0
+	}
+	full := uint64(1)<<uint(len(c.Nodes)) - 1
+	return full &^ c.barrier.mask
+}
+
+// missingReduce reports the nodes not yet contributed to reduction gen,
+// or 0 once it completed.
+func (c *Cluster) missingReduce(gen int64) uint64 {
+	if c.reduce.gen != gen || c.reduce.arrived == 0 {
+		return 0
+	}
+	full := uint64(1)<<uint(len(c.Nodes)) - 1
+	return full &^ c.reduce.mask
+}
+
+func (c *Cluster) barrierArrived(src int) {
+	if c.barrier.arrived == 0 {
+		c.armSyncTimeout(c.barrier.gen, c.missingBarrier)
+	}
 	c.barrier.arrived++
+	c.barrier.mask |= 1 << uint(src)
 	if c.barrier.arrived < len(c.Nodes) {
 		return
 	}
 	c.barrier.arrived = 0
+	c.barrier.mask = 0
+	c.barrier.gen++
 	c.runBarrierCheck()
 	master := c.Nodes[0]
 	for _, n := range c.Nodes {
 		if n.ID == 0 {
 			c.releaseParked(n)
+			continue
+		}
+		if c.Net.Dead(n.ID) {
 			continue
 		}
 		master.OccupyProto(c.MC.SendOver)
@@ -123,7 +179,7 @@ func (c *Cluster) Barrier(p *sim.Proc, n *Node) {
 	n.parked = &n.parkSig
 	sig := n.parked
 	if n.ID == 0 {
-		c.barrierArrived()
+		c.barrierArrived(0)
 	} else {
 		m := c.Net.NewMessage()
 		m.Dst, m.Kind, m.Size = 0, KindBarrierArrive, 4
@@ -137,22 +193,28 @@ func (c *Cluster) Barrier(p *sim.Proc, n *Node) {
 	}
 }
 
-func (c *Cluster) reduceArrived(gen int64, op ReduceOp, v float64) {
+func (c *Cluster) reduceArrived(src int, gen int64, op ReduceOp, v float64) {
 	if gen != c.reduce.gen {
 		panic(fmt.Sprintf("tempest: reduction generation mismatch: got %d want %d", gen, c.reduce.gen))
 	}
 	if c.reduce.arrived == 0 {
 		c.reduce.acc = v
+		c.armSyncTimeout(gen, c.missingReduce)
 	} else {
 		c.reduce.acc = op.Combine(c.reduce.acc, v)
 	}
 	c.reduce.arrived++
+	c.reduce.mask |= 1 << uint(src)
 	if c.reduce.arrived < len(c.Nodes) {
 		return
 	}
 	result := c.reduce.acc
 	c.reduce.arrived = 0
+	c.reduce.mask = 0
 	c.reduce.gen++
+	// Journal before the epoch hook: a checkpoint captured at this
+	// epoch must carry this generation's result for ghost replay.
+	c.ReduceJournal = append(c.ReduceJournal, result)
 	c.runBarrierCheck()
 	master := c.Nodes[0]
 	bits := int64(math.Float64bits(result))
@@ -160,6 +222,9 @@ func (c *Cluster) reduceArrived(gen int64, op ReduceOp, v float64) {
 		if n.ID == 0 {
 			n.reduceResult = result
 			c.releaseParked(n)
+			continue
+		}
+		if c.Net.Dead(n.ID) {
 			continue
 		}
 		master.OccupyProto(c.MC.SendOver)
@@ -182,7 +247,7 @@ func (c *Cluster) AllReduce(p *sim.Proc, n *Node, op ReduceOp, v float64) float6
 	n.parked = &n.parkSig
 	sig := n.parked
 	if n.ID == 0 {
-		c.reduceArrived(c.reduce.gen, op, v)
+		c.reduceArrived(0, c.reduce.gen, op, v)
 	} else {
 		m := c.Net.NewMessage()
 		m.Dst, m.Kind = 0, KindReduceContrib

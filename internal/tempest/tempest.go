@@ -107,6 +107,8 @@ type Node struct {
 	pendingSig *sim.Signal
 	pendSig    sim.Signal // the reusable signal pendingSig points at
 
+	hq int // handler invocations queued on the engine but not yet run
+
 	parked       *sim.Signal // compute process parked at a barrier/reduction
 	parkSig      sim.Signal  // the reusable signal parked points at
 	reduceResult float64     // result delivered by KindReduceResult
@@ -161,12 +163,27 @@ func (n *Node) receive(m *network.Message) {
 	}
 	hv.m = m
 	hv.start = start
+	n.hq++
 	n.Env.ScheduleArg(start, hinvokeEvent, hv)
 }
+
+// HandlersQueued returns the number of handler invocations accepted by
+// the endpoint but not yet run (scheduled on the engine). Zero is part
+// of the cluster quiescence predicate checkpoints rely on.
+func (n *Node) HandlersQueued() int { return n.hq }
 
 func (hv *hinvoke) run() {
 	n := hv.n
 	m := hv.m
+	n.hq--
+	if n.Net.Dead(n.ID) {
+		// The node crashed between the endpoint accepting the message
+		// and the engine slot coming free: the handler never runs.
+		n.Net.Recycle(m)
+		hv.m = nil
+		n.hfree = append(n.hfree, hv)
+		return
+	}
 	h := n.handlers[m.Kind]
 	if h == nil {
 		panic(fmt.Sprintf("tempest: node %d has no handler for kind %d", n.ID, m.Kind))
@@ -421,11 +438,41 @@ type Cluster struct {
 	// stop the run.
 	BarrierCheck func() error
 
+	// OnEpoch, if non-nil, runs at every all-arrived instant after the
+	// epoch counter advances and the coherence audit runs, still before
+	// any release departs. The recovery layer hooks it to capture
+	// barrier-consistent checkpoints and to fire epoch-triggered
+	// crash injections.
+	OnEpoch func(epoch int64)
+
+	// ReduceJournal accumulates every completed reduction's combined
+	// result in generation order. On recovery the journal from the
+	// checkpoint epoch replays results to ghost-forwarded processes
+	// without re-running the arithmetic.
+	ReduceJournal []float64
+
 	checkErr  error
 	checksRun int64
+	epoch     int64
 
 	barrier barrierState
 	reduce  reduceState
+}
+
+// Epoch returns the number of completed synchronization epochs
+// (barriers and reductions that reached their all-arrived instant).
+func (c *Cluster) Epoch() int64 { return c.epoch }
+
+// ReduceGen returns the number of completed reduction generations.
+func (c *Cluster) ReduceGen() int64 { return c.reduce.gen }
+
+// RestoreEpoch rebases the epoch counter, reduction generation, and
+// reduce journal from a checkpoint (recovery only; the cluster must be
+// idle).
+func (c *Cluster) RestoreEpoch(epoch, reduceGen int64, journal []float64) {
+	c.epoch = epoch
+	c.reduce.gen = reduceGen
+	c.ReduceJournal = append(c.ReduceJournal[:0], journal...)
 }
 
 // CheckErr returns the first barrier-check failure, or nil.
@@ -434,14 +481,33 @@ func (c *Cluster) CheckErr() error { return c.checkErr }
 // BarrierChecks returns how many barrier-instant audits ran.
 func (c *Cluster) BarrierChecks() int64 { return c.checksRun }
 
-// runBarrierCheck audits the cluster at an all-arrived instant.
+// runBarrierCheck advances the epoch and audits the cluster at an
+// all-arrived instant (all live nodes present, no release sent yet).
 func (c *Cluster) runBarrierCheck() {
-	if c.BarrierCheck == nil {
-		return
+	c.epoch++
+	if c.BarrierCheck != nil {
+		c.checksRun++
+		if err := c.BarrierCheck(); err != nil && c.checkErr == nil {
+			c.checkErr = fmt.Errorf("coherence check at sync point %d (t=%dns): %w", c.checksRun, c.Env.Now(), err)
+		}
 	}
-	c.checksRun++
-	if err := c.BarrierCheck(); err != nil && c.checkErr == nil {
-		c.checkErr = fmt.Errorf("coherence check at sync point %d (t=%dns): %w", c.checksRun, c.Env.Now(), err)
+	if c.OnEpoch != nil {
+		c.OnEpoch(c.epoch)
+	}
+}
+
+// Crash injects a crash-stop failure of node id at the current instant:
+// the node's compute process dies wherever it stands, its NIC gather
+// buffers are discarded (no posthumous carriers), and the network stops
+// carrying traffic to or from it. Survivors learn of the death only
+// through the failure detector.
+func (c *Cluster) Crash(id int) {
+	c.Net.MarkDead(id)
+	if co := c.Net.CoalescerOf(id); co != nil {
+		co.Teardown()
+	}
+	if p := c.Nodes[id].proc; p != nil {
+		c.Env.CrashProc(p)
 	}
 }
 

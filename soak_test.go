@@ -18,6 +18,116 @@ import (
 	"hpfdsm/internal/runtime"
 )
 
+// TestCrashSoakUnderFaults composes every fault dimension at once: a
+// lossy, duplicating, reordering wire, the aggregation layer on and
+// off, and one or two crash-stop node failures with checkpoint/restart
+// recovery — with the barrier-instant coherence audit armed. The final
+// data must stay bit-identical to the clean (fault-free, crash-free)
+// run: retransmission, carrier dedup, failure detection, rollback, and
+// ghost replay must all compose without touching a single data bit.
+func TestCrashSoakUnderFaults(t *testing.T) {
+	wire := config.Faults{Drop: 0.02, Dup: 0.01, Reorder: 0.01, Jitter: 5000, Seed: 1}
+	crashGrids := [][]config.CrashSpec{
+		{{Node: 2, Epoch: 4}},
+		{{Node: 2, Epoch: 4}, {Node: 3, Epoch: 8}},
+	}
+	for _, name := range []string{"jacobi", "shallow"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := apps.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := a.Program(a.ScaledParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(m config.Machine) *runtime.Result {
+				r, err := runtime.Run(prog, runtime.Options{Machine: m, Opt: compiler.OptRTElim, Check: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			clean := run(config.Default())
+			want := map[string][]float64{}
+			for _, arr := range a.CheckArrays {
+				want[arr] = clean.ArrayData(arr)
+			}
+			for _, crashes := range crashGrids {
+				for _, agg := range []bool{true, false} {
+					f := wire
+					f.Crashes = crashes
+					mc := config.Default().WithFaults(f)
+					if !agg {
+						mc = mc.WithoutCoalesce()
+					}
+					res := run(mc)
+					if int(res.Recoveries) != len(crashes) {
+						t.Fatalf("agg=%v crashes=%d: %d recoveries", agg, len(crashes), res.Recoveries)
+					}
+					if res.Stats.TotalWireDrops() == 0 {
+						t.Fatalf("agg=%v crashes=%d: wire faults inert", agg, len(crashes))
+					}
+					for _, arr := range a.CheckArrays {
+						got := res.ArrayData(arr)
+						for i := range want[arr] {
+							if got[i] != want[arr][i] {
+								t.Fatalf("agg=%v crashes=%d: array %s[%d] = %x, clean run %x (must be bit-identical)",
+									agg, len(crashes), arr, i,
+									math.Float64bits(got[i]), math.Float64bits(want[arr][i]))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrashSoakDeterministic reruns one fully loaded configuration —
+// lossy wire plus two crashes — and demands identical timing, fault
+// counters, and recovery accounting: the whole failure path draws from
+// the one seeded PRNG and the deterministic event order.
+func TestCrashSoakDeterministic(t *testing.T) {
+	a, err := apps.ByName("jacobi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.Program(a.ScaledParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := config.Faults{Drop: 0.03, Dup: 0.02, Reorder: 0.02, Jitter: 5000, Seed: 7,
+		Crashes: []config.CrashSpec{{Node: 1, Epoch: 3}, {Node: 3, Epoch: 7}}}
+	run := func() *runtime.Result {
+		r, err := runtime.Run(prog, runtime.Options{
+			Machine: config.Default().WithFaults(f), Opt: compiler.OptRTElim, Check: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	if r1.Elapsed != r2.Elapsed {
+		t.Fatalf("elapsed %d vs %d: crash soak not deterministic", r1.Elapsed, r2.Elapsed)
+	}
+	for _, pair := range [][2]int64{
+		{r1.Stats.TotalWireDrops(), r2.Stats.TotalWireDrops()},
+		{r1.Stats.TotalRetransmits(), r2.Stats.TotalRetransmits()},
+		{r1.Stats.TotalProbesSent(), r2.Stats.TotalProbesSent()},
+		{r1.CrashesDetected, r2.CrashesDetected},
+		{r1.CheckpointsTaken, r2.CheckpointsTaken},
+		{r1.CheckpointBytes, r2.CheckpointBytes},
+		{int64(r1.RecoveryTime), int64(r2.RecoveryTime)},
+		{r1.BarrierChecks, r2.BarrierChecks},
+	} {
+		if pair[0] != pair[1] {
+			t.Fatalf("counters differ between identical crash-soak runs: %d vs %d", pair[0], pair[1])
+		}
+	}
+}
+
 func TestAggregationSoakUnderFaults(t *testing.T) {
 	faults := config.Faults{Drop: 0.02, Dup: 0.01, Reorder: 0.01, Jitter: 5000, Seed: 1}
 	// cg's AllReduce combines contributions in arrival order, and the
