@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race lint check bench fmt cover
+.PHONY: all build test vet race lint lint-go check bench fmt cover
 
 # Every shipped application, linted by the static incoherence-safety
 # verifier at every optimization level.
@@ -33,8 +33,16 @@ lint:
 		$(GO) run ./cmd/hpfc -app $$a -lint || exit 1; \
 	done
 
+# Determinism/hot-path lint over the simulator's own Go source: no
+# unordered map iteration, wall-clock reads, pooled-value lifetime
+# bugs, hotpath allocations, or stray concurrency in the deterministic
+# set. Fails on any unsuppressed finding; every suppression is listed
+# with its reason.
+lint-go:
+	$(GO) run ./cmd/simlint ./...
+
 # Everything the CI gate runs.
-check: build vet test race lint
+check: build vet test race lint lint-go
 
 # Perf trajectory: run the short regression suite and write the next
 # BENCH_<n>.json in sequence. Compare any two files entry-by-entry;
@@ -67,4 +75,6 @@ cover:
 		hpfdsm/internal/trace=90 \
 		hpfdsm/internal/protocol=85 \
 		hpfdsm/internal/network=85 \
-		hpfdsm/internal/profiling=75
+		hpfdsm/internal/profiling=75 \
+		hpfdsm/internal/simlint=80 \
+		hpfdsm/internal/analysis=80

@@ -1,0 +1,24 @@
+// Command simlint runs the repository's own static-analysis suite —
+// the determinism and hot-path invariants of internal/simlint — over
+// the module source:
+//
+//	go run ./cmd/simlint ./...
+//
+// It loads every matched package with full type information (stdlib
+// go/types through `go list -export`; no third-party dependencies),
+// applies the registered analyzers (maporder, wallclock, freelist,
+// hotalloc, goroutine), and prints each unsuppressed finding with
+// file:line provenance followed by the tracked-suppression summary.
+// Exit status: 0 clean, 1 on any unsuppressed finding, 2 on a load
+// failure.
+package main
+
+import (
+	"os"
+
+	"hpfdsm/internal/simlint"
+)
+
+func main() {
+	os.Exit(simlint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

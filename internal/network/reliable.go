@@ -298,6 +298,10 @@ func (r *reliable) scheduleAck(c *relChan) {
 // covers. The ACK from dst about channel (src→dst) arrives at src.
 func (r *reliable) handleAck(m *Message) {
 	c := r.channel(m.Dst, m.Src)
+	// Deleting every sequence number <= the cumulative ACK is a pure
+	// set subtraction: no retired entry is observed again, so the
+	// visit order cannot leak into simulated state.
+	//simlint:commutative
 	for seq := range c.out {
 		if seq <= m.Arg {
 			delete(c.out, seq)
@@ -465,10 +469,15 @@ func (n *Network) ChannelsQuiescent() bool {
 	if n.rel == nil {
 		return true
 	}
+	// Both loops are pure universally-quantified checks: the answer is
+	// the conjunction over all channels/sequence numbers, independent
+	// of visit order, and nothing is mutated.
+	//simlint:commutative
 	for _, c := range n.rel.chans {
 		if len(c.buf) > 0 || c.probing {
 			return false
 		}
+		//simlint:commutative
 		for s := range c.out {
 			if s >= c.expect {
 				return false

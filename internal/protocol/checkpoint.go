@@ -41,6 +41,9 @@ func (p *Proto) Quiescent() bool {
 		if np.coal != nil && np.coal.PendingAny() {
 			return false
 		}
+		// Pure any-check over the directory: quiescence is the
+		// conjunction over all entries, order-free, mutation-free.
+		//simlint:commutative
 		for _, e := range np.dir {
 			if e.busy || e.pending != 0 || len(e.waitQ) != 0 {
 				return false

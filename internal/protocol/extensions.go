@@ -470,6 +470,10 @@ func (np *nodeProto) hCCFlushDir(hc *tempest.HContext, m *network.Message) {
 	np.ccFlushDir(m.Addr, int(m.Arg), int(m.Arg2), m.Src)
 }
 
+// sendTagged is the shared transport for SendBlocks/FlushBlocks: the
+// per-epoch bulk of compiler-directed traffic flows through it.
+//
+//simlint:hotpath
 func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, mode SendMode, kind network.Kind) {
 	np := x.np
 	n := np.n
@@ -538,6 +542,10 @@ func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, mode SendMode, k
 	}
 }
 
+// installCC installs a compiler-controlled data/flush payload — the
+// receive-side hot path for every specially tagged message.
+//
+//simlint:hotpath
 func (np *nodeProto) installCC(m *network.Message, markDirty bool) {
 	mem := np.n.Mem
 	bs := mem.Space().BlockSize()

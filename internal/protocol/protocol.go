@@ -383,6 +383,8 @@ func (np *nodeProto) send(m *network.Message) {
 // fault resolves an access fault. Read and write misses block the
 // compute process; readonly->readwrite upgrades proceed immediately
 // with the transaction tracked as pending (release consistency).
+//
+//simlint:hotpath
 func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 	n := np.n
 	sp := n.Mem.Space()
@@ -406,6 +408,7 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 			sig := sim.NewSignal()
 			if home == np.id {
 				p.Sleep(d)
+				//simlint:ignore hotalloc -- one transaction descriptor (and completion closure) per SC write miss; its lifetime spans the directory round-trip, and the miss itself costs microseconds of simulated time
 				np.enqueue(&dirReq{kind: kind, block: b, src: np.id, local: func(bool) {
 					n.Mem.SetTag(b, memory.ReadWrite)
 					np.scHold.set(b)
@@ -438,6 +441,7 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 		switch {
 		case home == np.id:
 			p.Sleep(d)
+			//simlint:ignore hotalloc -- one descriptor per home-local write miss; pooled reuse would have to survive crash teardown (PR 6) for no measurable win at the miss rate the bench gates
 			np.enqueue(&dirReq{kind: kind, block: b, src: np.id, local: func(withData bool) {
 				n.DonePending()
 			}})
@@ -466,6 +470,7 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 	sig := sim.NewSignal()
 	if home == np.id {
 		p.Sleep(d)
+		//simlint:ignore hotalloc -- one descriptor per home-local read miss, same trade as the write-miss descriptors above
 		np.enqueue(&dirReq{kind: KReadReq, block: b, src: np.id, local: func(bool) { sig.Fire() }})
 	} else {
 		p.Sleep(d + mc.SendOver)

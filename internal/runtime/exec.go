@@ -126,6 +126,9 @@ func newExec(prog *ir.Program, an *compiler.Analysis, layouts map[*ir.Array]sect
 		lastSched: map[any]*compiler.Schedule{},
 		fast:      map[any]*fastLoop{},
 	}
+	// Map-to-map copy with distinct keys: the destination is identical
+	// under any visit order.
+	//simlint:commutative
 	for k, v := range prog.Params {
 		e.env[k] = v
 	}

@@ -370,9 +370,12 @@ func (fl *fastLoop) newMach(e *exec, p *sim.Proc) *fmach {
 
 // iterate walks the compiled nest (index 0 fastest) calling elem per
 // element — the slot-indexed mirror of the interpreter's nest.
+//
+//simlint:hotpath
 func (fl *fastLoop) iterate(m *fmach, pt *compiler.Partition, elem func()) {
 	e := m.e
 	var nest func(d int)
+	//simlint:ignore hotalloc -- one recursive-nest closure per loop instance (not per element); Go cannot express the self-referential nest without a closure
 	nest = func(d int) {
 		if d < 0 {
 			elem()
@@ -407,8 +410,11 @@ func (fl *fastLoop) iterate(m *fmach, pt *compiler.Partition, elem func()) {
 }
 
 // runBody executes a compiled parallel-loop instance.
+//
+//simlint:hotpath
 func (fl *fastLoop) runBody(m *fmach, pt *compiler.Partition, elemCost sim.Time) {
 	e := m.e
+	//simlint:ignore hotalloc -- one element-body closure per loop instance (not per element); the per-element path inside it is closure- and alloc-free
 	fl.iterate(m, pt, func() {
 		e.n.Compute(elemCost)
 		for i := range fl.assigns {
@@ -427,10 +433,13 @@ func (fl *fastLoop) runBody(m *fmach, pt *compiler.Partition, elemCost sim.Time)
 // runReduce executes a compiled reduction instance, returning this
 // node's partial value (seeded by the first element, like the
 // interpreter).
+//
+//simlint:hotpath
 func (fl *fastLoop) runReduce(m *fmach, pt *compiler.Partition, elemCost sim.Time, op ir.RedOp) (float64, bool) {
 	e := m.e
 	partial := redIdentity(op)
 	seen := false
+	//simlint:ignore hotalloc -- one reduction-body closure per loop instance (not per element)
 	fl.iterate(m, pt, func() {
 		e.n.Compute(elemCost)
 		v := fl.expr(m)

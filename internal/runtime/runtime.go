@@ -422,6 +422,9 @@ func runAttempt(prog *ir.Program, opt Options, rec *recovery, startAt sim.Time, 
 			trace.I64("dispatches", ev.Dispatches), trace.I64("arg_events", ev.ArgEvents),
 			trace.I64("fn_events", ev.FnEvents), trace.I64("total", ev.Total()))
 	}
+	// Map-to-map copy with distinct keys: order-free. The scalars were
+	// computed deterministically; only their transfer iterates a map.
+	//simlint:commutative
 	for k, v := range execs[0].scalars {
 		res.Scalars[k] = v
 	}

@@ -64,7 +64,11 @@ func eventLess(a, b *event) bool {
 func (h eventHeap) peekTime() Time { return h[0].t }
 func (h eventHeap) empty() bool    { return len(h) == 0 }
 
+// push inserts one event, sifting up through the 4-ary order.
+//
+//simlint:hotpath
 func (hp *eventHeap) push(e event) {
+	//simlint:ignore hotalloc -- the heap grows to its high-water mark once per run; steady state reuses the slice capacity (bench gate holds allocs/op at the PR 3 floor)
 	h := append(*hp, e)
 	i := len(h) - 1
 	for i > 0 {
@@ -78,6 +82,9 @@ func (hp *eventHeap) push(e event) {
 	*hp = h
 }
 
+// pop removes the minimum event, sifting the tail down.
+//
+//simlint:hotpath
 func (hp *eventHeap) pop() event {
 	h := *hp
 	top := h[0]
@@ -158,6 +165,8 @@ func NewEnvAt(t Time) *Env {
 func (e *Env) Now() Time { return e.now }
 
 // Schedule runs fn at absolute virtual time t (>= Now) in scheduler context.
+//
+//simlint:hotpath
 func (e *Env) Schedule(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule in the past: t=%d now=%d", t, e.now))
@@ -170,6 +179,8 @@ func (e *Env) Schedule(t Time, fn func()) {
 // allocation-free variant of Schedule for hot paths: fn is typically a
 // shared package-level function and arg a pointer, so no closure is
 // built per event.
+//
+//simlint:hotpath
 func (e *Env) ScheduleArg(t Time, fn func(any), arg any) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule in the past: t=%d now=%d", t, e.now))
@@ -179,12 +190,17 @@ func (e *Env) ScheduleArg(t Time, fn func(any), arg any) {
 }
 
 // scheduleProc enqueues a dispatch of p at time t without allocating.
+//
+//simlint:hotpath
 func (e *Env) scheduleProc(t Time, p *Proc) {
 	e.seq++
 	e.events.push(event{t: t, seq: e.seq, proc: p})
 }
 
-// run executes one popped event.
+// exec executes one popped event. This is the event-dispatch loop's
+// body: every simulated action in the model funnels through here.
+//
+//simlint:hotpath
 func (e *Env) exec(ev *event) {
 	switch {
 	case ev.proc != nil:
@@ -262,6 +278,8 @@ func (e *Env) stallError() error {
 // deadlock; if a watchdog is armed and the simulation stalls (events
 // fire but no process runs past the horizon), Run returns the
 // watchdog's diagnostic.
+//
+//simlint:hotpath
 func (e *Env) Run() error {
 	for !e.events.empty() {
 		ev := e.events.pop()
@@ -428,6 +446,8 @@ func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 
 // dispatch hands the scheduler's control to p until p yields or finishes.
 // Must be called from scheduler context.
+//
+//simlint:hotpath
 func (e *Env) dispatch(p *Proc) {
 	if p.crashed {
 		return // stale dispatch event for a crashed process

@@ -1,0 +1,213 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestCutReason(t *testing.T) {
+	for _, tc := range []struct {
+		in, args, reason string
+		ok               bool
+	}{
+		{"maporder -- keys are independent", "maporder", "keys are independent", true},
+		{"maporder", "maporder", "", false},
+		{" -- only a reason", "", "only a reason", true},
+		{"", "", "", false},
+	} {
+		args, reason, ok := cutReason(tc.in)
+		if args != tc.args || reason != tc.reason || ok != tc.ok {
+			t.Errorf("cutReason(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.in, args, reason, ok, tc.args, tc.reason, tc.ok)
+		}
+	}
+}
+
+func TestParseDirectivesPlacement(t *testing.T) {
+	src := `//simlint:ignore wallclock -- whole file is exempt
+
+package d
+
+func a() {
+	//simlint:ignore maporder -- line above
+	_ = 1
+	_ = 2 //simlint:ignore freelist -- same line
+	//simlint:commutative
+	_ = 3
+}
+`
+	fset, f := parseSrc(t, src)
+	names := AnalyzerNames()
+	ds, malformed := ParseDirectives(fset, []*ast.File{f}, names)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", malformed)
+	}
+	all := ds.all()
+	if len(all) != 4 {
+		t.Fatalf("parsed %d directives, want 4", len(all))
+	}
+	if !all[0].FileWide {
+		t.Errorf("directive before the package clause should be file-wide: %s", all[0])
+	}
+	for _, d := range all[1:] {
+		if d.FileWide {
+			t.Errorf("directive inside the file marked file-wide: %s", d)
+		}
+	}
+
+	// Line-above suppression: directive on line 6, violation on line 7.
+	diag := Diagnostic{Pos: token.Position{Filename: "d.go", Line: 7}, Analyzer: "maporder"}
+	if !ds.suppress(&diag) || diag.Reason != "line above" {
+		t.Errorf("line-above suppression failed: %+v", diag)
+	}
+	// Same-line suppression on line 8.
+	diag = Diagnostic{Pos: token.Position{Filename: "d.go", Line: 8}, Analyzer: "freelist"}
+	if !ds.suppress(&diag) || diag.Reason != "same line" {
+		t.Errorf("same-line suppression failed: %+v", diag)
+	}
+	// File-wide wallclock waiver reaches any line.
+	diag = Diagnostic{Pos: token.Position{Filename: "d.go", Line: 100}, Analyzer: "wallclock"}
+	if !ds.suppress(&diag) {
+		t.Errorf("file-wide suppression failed: %+v", diag)
+	}
+	// Wrong analyzer is not suppressed.
+	diag = Diagnostic{Pos: token.Position{Filename: "d.go", Line: 7}, Analyzer: "hotalloc"}
+	if ds.suppress(&diag) {
+		t.Errorf("suppression crossed analyzers: %+v", diag)
+	}
+	// Commutative annotation attaches to the line below it.
+	if !ds.CommutativeAt("d.go", 10) {
+		t.Error("CommutativeAt missed the annotated line")
+	}
+	if ds.CommutativeAt("d.go", 5) {
+		t.Error("CommutativeAt matched an unannotated line")
+	}
+}
+
+func TestParseDirectivesMalformed(t *testing.T) {
+	src := `package d
+
+//simlint:ignore maporder
+func a() {}
+
+//simlint:ignore unknownone -- reason
+func b() {}
+
+//simlint:nonsense
+func c() {}
+
+//simlint:commutative trailing words
+func d2() {}
+`
+	fset, f := parseSrc(t, src)
+	_, malformed := ParseDirectives(fset, []*ast.File{f}, AnalyzerNames())
+	if len(malformed) != 4 {
+		for _, m := range malformed {
+			t.Logf("malformed: %s", m)
+		}
+		t.Fatalf("got %d malformed directives, want 4", len(malformed))
+	}
+	for _, m := range malformed {
+		if m.Analyzer != "simlint" {
+			t.Errorf("malformed directive attributed to %q, want simlint", m.Analyzer)
+		}
+	}
+}
+
+func TestFuncHotpath(t *testing.T) {
+	src := `package d
+
+//simlint:hotpath
+func hot() {}
+
+// cold has an ordinary doc comment.
+func cold() {}
+
+func bare() {}
+`
+	fset, f := parseSrc(t, src)
+	ds, malformed := ParseDirectives(fset, []*ast.File{f}, AnalyzerNames())
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", malformed)
+	}
+	byName := map[string]*ast.FuncDecl{}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			byName[fd.Name.Name] = fd
+		}
+	}
+	if !ds.funcHotpath(fset, byName["hot"]) {
+		t.Error("funcHotpath missed the annotated function")
+	}
+	if ds.funcHotpath(fset, byName["cold"]) {
+		t.Error("funcHotpath matched an ordinary doc comment")
+	}
+	if ds.funcHotpath(fset, byName["bare"]) {
+		t.Error("funcHotpath matched a function with no doc")
+	}
+}
+
+func TestDirectiveAndDiagnosticString(t *testing.T) {
+	d := &Directive{Kind: DirIgnore, Analyzer: "maporder", Reason: "why", File: "f.go", Line: 3}
+	if got := d.String(); got != "f.go:3: ignore maporder -- why" {
+		t.Errorf("Directive.String() = %q", got)
+	}
+	diag := Diagnostic{
+		Pos:      token.Position{Filename: "f.go", Line: 3, Column: 7},
+		Analyzer: "maporder",
+		Message:  "msg",
+	}
+	if got := diag.String(); got != "f.go:3:7: maporder: msg" {
+		t.Errorf("Diagnostic.String() = %q", got)
+	}
+}
+
+func TestRegistryScoping(t *testing.T) {
+	if !isDeterministic("hpfdsm/internal/sim") || isDeterministic("hpfdsm/internal/bench") {
+		t.Error("isDeterministic misclassifies")
+	}
+	if !isWallclockExempt("hpfdsm/internal/profiling") ||
+		!isWallclockExempt("hpfdsm/cmd/hpfc") ||
+		isWallclockExempt("hpfdsm/internal/sim") {
+		t.Error("isWallclockExempt misclassifies")
+	}
+	if !goroutineExemptFile("hpfdsm/internal/sim", "/repo/internal/sim/sim.go") {
+		t.Error("sim kernel file should be goroutine-exempt")
+	}
+	if !goroutineExemptFile("hpfdsm/internal/sim", `C:\repo\internal\sim\sim.go`) {
+		t.Error("windows-style path should still resolve the base name")
+	}
+	if goroutineExemptFile("hpfdsm/internal/sim", "/repo/internal/sim/signal.go") {
+		t.Error("non-kernel sim file should not be exempt")
+	}
+	if goroutineExemptFile("hpfdsm/internal/network", "/repo/internal/network/sim.go") {
+		t.Error("whitelist must be scoped to the sim package")
+	}
+	names := AnalyzerNames()
+	for _, want := range []string{"maporder", "wallclock", "freelist", "hotalloc", "goroutine"} {
+		if !names[want] {
+			t.Errorf("AnalyzerNames missing %q", want)
+		}
+	}
+	if len(Analyzers()) != 5 {
+		t.Errorf("registry has %d analyzers, want 5", len(Analyzers()))
+	}
+	for _, a := range Analyzers() {
+		if a.Doc == "" || !strings.ContainsAny(a.Name, "abcdefghijklmnopqrstuvwxyz") {
+			t.Errorf("analyzer %q lacks a name or doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package simlint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts expected-diagnostic markers from fixture comments:
+//
+//	code() // want `substring of the expected message`
+//
+// The marker sits on the same line as the expected finding; several
+// markers on one line expect several findings there.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// runFixture loads one testdata package and runs the given analyzers
+// over it with their package filters bypassed (the fixture's import
+// path is fixture/<name>, which no registry filter would admit).
+func runFixture(t *testing.T, name string, analyzers ...*Analyzer) (*Package, *Result) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	suite := make([]*Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		cp := *a
+		cp.Applies = nil
+		suite = append(suite, &cp)
+	}
+	return pkg, RunPackages([]*Package{pkg}, suite)
+}
+
+// checkWants asserts that the result's unsuppressed findings match the
+// fixture's want markers exactly: every finding has a marker on its
+// line, every marker is consumed by a finding.
+func checkWants(t *testing.T, pkg *Package, res *Result) {
+	t.Helper()
+	wants := map[string][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					wants[key] = append(wants[key], m[1])
+				}
+			}
+		}
+	}
+	for _, d := range res.Findings() {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		ws := wants[key]
+		matched := -1
+		for i, w := range ws {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", d)
+			continue
+		}
+		wants[key] = append(ws[:matched], ws[matched+1:]...)
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("missing finding at %s: no diagnostic containing %q", key, w)
+		}
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	pkg, res := runFixture(t, "maporder", MapOrder)
+	checkWants(t, pkg, res)
+	if res.Commutative != 1 {
+		t.Errorf("commutative annotations honored = %d, want 1", res.Commutative)
+	}
+}
+
+func TestWallclockFixture(t *testing.T) {
+	pkg, res := runFixture(t, "wallclock", Wallclock)
+	checkWants(t, pkg, res)
+}
+
+func TestFreelistFixture(t *testing.T) {
+	pkg, res := runFixture(t, "freelist", Freelist)
+	checkWants(t, pkg, res)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	pkg, res := runFixture(t, "hotalloc", HotAlloc)
+	checkWants(t, pkg, res)
+	if res.Hotpath != 4 {
+		t.Errorf("hotpath functions honored = %d, want 4", res.Hotpath)
+	}
+}
+
+func TestGoroutineFixture(t *testing.T) {
+	pkg, res := runFixture(t, "goroutine", Goroutine)
+	checkWants(t, pkg, res)
+}
+
+// TestSuppressFixture exercises the directive machinery end to end:
+// valid suppressions (line-above, same-line, file-wide) are tracked
+// with their reasons; an unused suppression and the malformed shapes
+// surface as findings of the "simlint" pseudo-analyzer.
+func TestSuppressFixture(t *testing.T) {
+	_, res := runFixture(t, "suppress", Analyzers()...)
+
+	findings := res.Findings()
+	wantSubstrings := []string{
+		// filewide.go sorts before suppress.go; findings are position-sorted.
+		"unused suppression for \"goroutine\"",
+		"must carry a reason",
+		"needs a known analyzer name",
+		"unknown kind \"frobnicate\"",
+	}
+	if len(findings) != len(wantSubstrings) {
+		for _, d := range findings {
+			t.Logf("finding: %s", d)
+		}
+		t.Fatalf("got %d findings, want %d", len(findings), len(wantSubstrings))
+	}
+	for i, w := range wantSubstrings {
+		if !strings.Contains(findings[i].Message, w) {
+			t.Errorf("finding %d = %q, want it to contain %q", i, findings[i].Message, w)
+		}
+		if findings[i].Analyzer != "simlint" {
+			t.Errorf("finding %d attributed to %q, want the simlint pseudo-analyzer", i, findings[i].Analyzer)
+		}
+	}
+
+	// Three distinct directives earned their keep: line-above,
+	// same-line, and the file-wide waiver (used twice, listed once).
+	if len(res.Suppressions) != 3 {
+		for _, s := range res.Suppressions {
+			t.Logf("suppression: %s", s)
+		}
+		t.Fatalf("got %d tracked suppressions, want 3", len(res.Suppressions))
+	}
+	for _, s := range res.Suppressions {
+		if s.Analyzer != "wallclock" {
+			t.Errorf("suppression %s targets %q, want wallclock", s, s.Analyzer)
+		}
+		if s.Reason == "" {
+			t.Errorf("suppression %s has no reason", s)
+		}
+	}
+
+	// The file-wide directive suppressed both violations in its file.
+	suppressed := 0
+	for _, d := range res.Diags {
+		if d.Suppressed {
+			suppressed++
+			if d.Reason == "" {
+				t.Errorf("suppressed diagnostic %s carries no reason", d)
+			}
+		}
+	}
+	if suppressed != 4 {
+		t.Errorf("got %d suppressed diagnostics, want 4", suppressed)
+	}
+}

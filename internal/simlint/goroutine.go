@@ -1,0 +1,49 @@
+package simlint
+
+import (
+	"go/ast"
+)
+
+// Goroutine enforces the one-runnable-goroutine discipline: inside the
+// deterministic set, only the sim kernel (internal/sim/sim.go) may
+// spawn goroutines, build channels, or use sync primitives. The kernel
+// hands control between process goroutines through unbuffered channels
+// with exactly one runnable at any instant; a second scheduler anywhere
+// else would reintroduce host-scheduler ordering into the simulated
+// machine. The parallel-sweep runner parallelizes across whole runs,
+// outside this set.
+var Goroutine = &Analyzer{
+	Name:    "goroutine",
+	Doc:     "goroutine, channel, or sync primitive outside the sim kernel",
+	Applies: isDeterministic,
+	Run:     runGoroutine,
+}
+
+func runGoroutine(pass *Pass) {
+	for _, f := range pass.Files {
+		file := pass.Fset.Position(f.Package).Filename
+		if goroutineExemptFile(pass.PkgPath, file) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement outside the sim kernel; processes are spawned through sim.Env.Spawn only")
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type outside the sim kernel; cross-process signaling goes through sim.Signal and the event queue")
+			case *ast.SelectorExpr:
+				obj := pass.Info.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "sync", "sync/atomic":
+					pass.Reportf(n.Pos(), "%s.%s introduces a sync primitive outside the sim kernel; the deterministic set is single-threaded by construction", obj.Pkg().Name(), obj.Name())
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement outside the sim kernel")
+			}
+			return true
+		})
+	}
+}

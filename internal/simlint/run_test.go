@@ -1,0 +1,126 @@
+package simlint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the suite's meta-test: the live tree must carry
+// zero unsuppressed findings. Every accepted violation is a tracked
+// suppression with a reason; the log below keeps the inventory visible
+// in test output.
+func TestRepoIsClean(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	res := RunPackages(pkgs, Analyzers())
+	for _, d := range res.Findings() {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+	if len(res.Suppressions) == 0 {
+		t.Error("expected tracked suppressions in the live tree (the freelist high-water-mark growth at least)")
+	}
+	for _, s := range res.Suppressions {
+		t.Logf("tracked suppression: %s", s)
+	}
+	if res.Commutative == 0 {
+		t.Error("expected commutative annotations in the live tree")
+	}
+	if res.Hotpath == 0 {
+		t.Error("expected hotpath functions in the live tree")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	res := &Result{
+		Packages: 2,
+		Diags: []Diagnostic{
+			{Pos: token.Position{Filename: "/r/a.go", Line: 3, Column: 1}, Analyzer: "maporder", Message: "bad order"},
+			{Pos: token.Position{Filename: "/r/b.go", Line: 9, Column: 2}, Analyzer: "hotalloc", Message: "alloc", Suppressed: true, Reason: "ok"},
+		},
+		Suppressions: []*Directive{
+			{Kind: DirIgnore, Analyzer: "hotalloc", Reason: "ok", File: "/r/b.go", Line: 8},
+		},
+		Commutative: 1,
+		Hotpath:     2,
+	}
+	var buf strings.Builder
+	res.Format(&buf, "/r")
+	out := buf.String()
+	for _, want := range []string{
+		"a.go:3:1: maporder: bad order",
+		"simlint: 2 package(s): 1 finding(s), 1 suppressed, 1 commutative annotation(s), 2 hotpath function(s)",
+		"tracked suppressions:",
+		"b.go:8: hotalloc -- ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "/r/a.go") {
+		t.Errorf("Format did not relativize paths:\n%s", out)
+	}
+
+	// With no root, paths pass through; with no suppressions, the
+	// tracked list is omitted.
+	res.Suppressions = nil
+	buf.Reset()
+	res.Format(&buf, "")
+	out = buf.String()
+	if !strings.Contains(out, "/r/a.go:3:1") {
+		t.Errorf("Format with empty root should keep absolute paths:\n%s", out)
+	}
+	if strings.Contains(out, "tracked suppressions") {
+		t.Errorf("Format printed an empty suppression list:\n%s", out)
+	}
+}
+
+func TestMainCleanTree(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := Main(nil, &out, &errOut); code != 0 {
+		t.Fatalf("Main = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "0 finding(s)") {
+		t.Errorf("Main output missing the clean summary:\n%s", out.String())
+	}
+}
+
+func TestMainLoadFailure(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := Main([]string{"./does/not/exist/..."}, &out, &errOut); code != 2 {
+		t.Fatalf("Main on a bogus pattern = %d, want 2", code)
+	}
+	if errOut.Len() == 0 {
+		t.Error("Main load failure produced no stderr")
+	}
+}
+
+func TestModuleRootNotFound(t *testing.T) {
+	if _, err := ModuleRoot(t.TempDir()); err == nil {
+		t.Error("ModuleRoot outside any module should fail")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("LoadDir on a missing directory should fail")
+	}
+	empty := t.TempDir()
+	if err := os.WriteFile(filepath.Join(empty, "go.mod"), []byte("module tmp\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(empty); err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("LoadDir on an empty directory = %v, want a no-Go-files error", err)
+	}
+}

@@ -1,0 +1,35 @@
+// Package goroutine is a simlint fixture: concurrency-primitive cases
+// for the one-runnable-goroutine analyzer.
+package goroutine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func spawn(f func()) {
+	go f() // want `go statement outside the sim kernel`
+}
+
+var pipe chan int // want `channel type outside the sim kernel`
+
+func mkpipe() {
+	pipe = make(chan int, 1) // want `channel type outside the sim kernel`
+}
+
+func locked(mu *sync.Mutex) { // want `sync.Mutex introduces a sync primitive`
+	mu.Lock() // want `sync.Lock introduces a sync primitive`
+}
+
+func count(c *int64) int64 {
+	return atomic.AddInt64(c, 1) // want `atomic.AddInt64 introduces a sync primitive`
+}
+
+func wait() {
+	select {} // want `select statement outside the sim kernel`
+}
+
+// arithmetic uses no concurrency; nothing to flag.
+func arithmetic(a, b int) int {
+	return a + b
+}

@@ -1,0 +1,45 @@
+// Package hotalloc is a simlint fixture: allocation cases inside
+// //simlint:hotpath functions.
+package hotalloc
+
+type node struct{ next *node }
+
+type ev struct{ a, b int }
+
+//simlint:hotpath
+func hotPointerLit() *node {
+	return &node{} // want `&node{...} allocates on the hot path`
+}
+
+//simlint:hotpath
+func hotMany(xs []int) int {
+	ys := []int{1, 2}                  // want `slice literal allocates its backing array on the hot path`
+	m := map[int]int{1: 1}             // want `map literal allocates on the hot path`
+	f := func() int { return len(xs) } // want `closure allocates its context on the hot path`
+	xs = append(xs, 1)                 // want `append may grow on the hot path`
+	c := make(map[string]int)          // want `make(map) allocates on the hot path`
+	return ys[0] + m[1] + f() + xs[0] + len(c)
+}
+
+//simlint:hotpath
+func hotChan() int {
+	ch := make(chan int, 1) // want `make(chan) allocates on the hot path`
+	ch <- 1
+	return <-ch
+}
+
+// hotValue builds only stack values: a struct literal, an array
+// literal, and a preallocated slice. None are flagged.
+//
+//simlint:hotpath
+func hotValue() int {
+	e := ev{a: 1, b: 2}
+	pair := [2]int{3, 4}
+	buf := make([]byte, 4)
+	return e.a + pair[0] + len(buf)
+}
+
+// coldAlloc is not annotated; it may allocate freely.
+func coldAlloc() *node {
+	return &node{next: &node{}}
+}

@@ -1,0 +1,68 @@
+// Package maporder is a simlint fixture: positive and negative cases
+// for the map-iteration-order analyzer.
+package maporder
+
+import "sort"
+
+// ordered uses the collect-then-sort idiom; the range is not flagged.
+func ordered(m map[int]string) []string {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// filtered collects under a condition; still the idiom.
+func filtered(m map[string]int) []string {
+	var names []string
+	for k, v := range m {
+		if v > 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// unordered lets map order reach the output.
+func unordered(m map[int]string) string {
+	s := ""
+	for _, v := range m { // want `range over map has nondeterministic order`
+		s += v
+	}
+	return s
+}
+
+// collectNoSort accumulates but never sorts; the order leaks.
+func collectNoSort(m map[string]int) []string {
+	var names []string
+	for k := range m { // want `range over map has nondeterministic order`
+		names = append(names, k)
+	}
+	return names
+}
+
+// commutative is order-independent and annotated as such.
+func commutative(m map[int]int) int {
+	sum := 0
+	//simlint:commutative
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+//simlint:ignore wallclock -- fixture: file-wide waiver, this whole file is host-time helpers
+
+package suppress
+
+import "time"
+
+func hostStamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func hostElapsed(t time.Time) time.Duration {
+	return time.Since(t)
+}

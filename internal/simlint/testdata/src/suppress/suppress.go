@@ -1,0 +1,39 @@
+// Package suppress is a simlint fixture: suppression-directive
+// mechanics — line-above and same-line ignores, an unused ignore, and
+// the malformed shapes.
+package suppress
+
+import "time"
+
+func stamped() int64 {
+	//simlint:ignore wallclock -- fixture: demonstrates a line-above suppression
+	return time.Now().UnixNano()
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) //simlint:ignore wallclock -- fixture: demonstrates a same-line suppression
+}
+
+//simlint:ignore goroutine -- fixture: nothing below violates goroutine, so this is stale
+
+func harmless() int {
+	return 1
+}
+
+//simlint:ignore wallclock
+
+func missingReason() int {
+	return 2
+}
+
+//simlint:ignore nosuchanalyzer -- fixture: the analyzer name is unknown
+
+func unknownAnalyzer() int {
+	return 3
+}
+
+//simlint:frobnicate
+
+func unknownKind() int {
+	return 4
+}

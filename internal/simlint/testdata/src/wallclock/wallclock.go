@@ -1,0 +1,43 @@
+// Package wallclock is a simlint fixture: host-time, environment, and
+// randomness cases for the wallclock analyzer.
+package wallclock
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `time.Now reads the host clock`
+	return t.UnixNano()
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `time.Since reads the host clock`
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the host clock`
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os.Getenv reads the process environment`
+}
+
+func global() int {
+	return rand.Intn(6) // want `rand.Intn draws from the global`
+}
+
+// seeded builds an explicitly seeded generator; the constructors and
+// the methods on the resulting *rand.Rand are both fine.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// arithmetic manipulates a time.Time that came from elsewhere; only
+// minting one from the host clock is banned.
+func arithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}

@@ -1,0 +1,80 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock bans host-time, unseeded-randomness, and process-
+// environment reads in sim-visible packages. The simulated clock is
+// sim.Time; any real-time or per-process entropy leaking into a
+// sim-visible computation makes two runs of the same seed diverge.
+// The profiling and CLI layers (see wallclockExempt) legitimately read
+// wall time and the environment; they sit outside the deterministic
+// set.
+var Wallclock = &Analyzer{
+	Name:    "wallclock",
+	Doc:     "wall-clock time, unseeded randomness, or environment reads in a sim-visible package",
+	Applies: func(p string) bool { return isDeterministic(p) && !isWallclockExempt(p) },
+	Run:     runWallclock,
+}
+
+// bannedTime are the time package's real-clock entry points. time.Time
+// arithmetic on values that came from elsewhere is fine; minting one
+// from the host clock is not, and neither is any real-time wait.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// bannedOS are the process-environment reads.
+var bannedOS = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded generators; everything else at package scope draws from the
+// shared global source, which is seeded from runtime entropy.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallclock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			name := fn.Name()
+			switch obj.Pkg().Path() {
+			case "time":
+				if bannedTime[name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the host clock; sim-visible time must come from sim.Env/Proc", name)
+				}
+			case "os":
+				if bannedOS[name] {
+					pass.Reportf(sel.Pos(), "os.%s reads the process environment; sim-visible configuration must come from config structs", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[name] {
+					pass.Reportf(sel.Pos(), "rand.%s draws from the global, runtime-seeded source; use a rand.New(rand.NewSource(seed)) generator owned by the run", name)
+				}
+			}
+			return true
+		})
+	}
+}
