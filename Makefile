@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race lint lint-go check bench fmt cover
+.PHONY: all build test vet race lint lint-go check bench fmt cover clean
 
 # Every shipped application, linted by the static incoherence-safety
 # verifier at every optimization level.
@@ -78,3 +78,10 @@ cover:
 		hpfdsm/internal/profiling=75 \
 		hpfdsm/internal/simlint=80 \
 		hpfdsm/internal/analysis=80
+
+# Remove generated artifacts: coverage profiles, CPU/heap profiles,
+# runtime traces, and the CI benchmark scratch json. Committed
+# BENCH_<n>.json baselines are never touched.
+clean:
+	rm -f cover.out BENCH_ci.json trace.out paperbench_output.txt
+	rm -f *.pprof *.cpuprofile *.memprofile

@@ -90,6 +90,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	traceOut := flag.String("trace-out", "", "write the causal protocol-event trace (Chrome trace-event JSON, loadable in Perfetto) to this file")
+	pdes := flag.Int("pdes", 1, "parallel simulation: partition the simulated nodes across this many OS threads (1 = sequential; statistics are bit-identical either way)")
 	noAgg := flag.Bool("no-agg", false, "disable the barrier-epoch message aggregation layer")
 	aggThreshold := flag.Int("agg-threshold", 0, "aggregation: per-(loop,destination) byte volume at which epoch aggregation replaces bulk transfer (0 = default of 2 blocks)")
 	aggDelay := flag.Int64("agg-delay", 0, "aggregation: engine-side batch window in microseconds (0 = default)")
@@ -196,7 +197,8 @@ func main() {
 	}
 	opts := runtime.Options{Machine: mc, Opt: opt, Check: *check,
 		Checkpoint: *ckpt || *ckptDir != "", CkptDir: *ckptDir,
-		Profile: *profile || *gantt > 0 || *profileJSON != ""}
+		Profile:    *profile || *gantt > 0 || *profileJSON != "",
+		Partitions: *pdes}
 	var tracer *trace.Tracer
 	if *traceOut != "" || *heatmap || *heatmapJSON != "" {
 		tracer = trace.New(mc.Nodes)

@@ -28,6 +28,7 @@ func main() {
 	nodes := flag.Int("nodes", 8, "cluster size for suite experiments")
 	verbose := flag.Bool("v", false, "log each run")
 	workers := flag.Int("j", goruntime.GOMAXPROCS(0), "max concurrent simulations in sweeps")
+	pdes := flag.Int("pdes", 1, "partition each simulation across this many OS threads (conservative PDES; 1 = sequential, statistics bit-identical either way)")
 	benchOut := flag.String("bench", "", "run the short regression suite and write BENCH json to this file (skips -exp)")
 	benchBase := flag.String("bench-baseline", "", "with -bench: compare against this BENCH json; exit 1 on >2x ns/op regression or sim-ms drift")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -40,6 +41,9 @@ func main() {
 		*workers = 1
 	}
 	bench.SuiteWorkers = *workers
+	if *pdes > 1 {
+		bench.Partitions = *pdes
+	}
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile, *traceFile)
 	if err != nil {

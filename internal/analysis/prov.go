@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"hpfdsm/internal/compiler"
 	"hpfdsm/internal/protocol"
@@ -31,6 +32,14 @@ type ProvIndex struct {
 	// compiler, so after the first instantiation a repeat record is just
 	// slice stores — no formatting, no allocation.
 	stamps map[provKey][]provStamp
+
+	// mu guards stamps and last. Under the PDES window scheduler,
+	// compute processes on different partitions instantiate schedules
+	// concurrently; provenance is diagnostic metadata outside the
+	// simulated machine, so a lock (not an Env) is the right tool. The
+	// recorded winner for a block is whichever record ran last — same
+	// best-effort semantics the sequential path has.
+	mu sync.Mutex
 }
 
 type provSpan struct {
@@ -80,6 +89,8 @@ func (px *ProvIndex) RecordSchedule(label string, sched *compiler.Schedule) {
 	if px == nil || sched == nil {
 		return
 	}
+	px.mu.Lock()
+	defer px.mu.Unlock()
 	k := provKey{label: label, sched: sched}
 	stamps, ok := px.stamps[k]
 	if !ok {
@@ -112,6 +123,8 @@ func (px *ProvIndex) Describe(b int) string {
 	if px == nil {
 		return ""
 	}
+	px.mu.Lock()
+	defer px.mu.Unlock()
 	var parts []string
 	for _, s := range px.spans {
 		if b >= s.lo && b < s.hi {

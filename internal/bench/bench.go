@@ -119,6 +119,13 @@ func forEachLimit(n, workers int, f func(int) error) error {
 	return nil
 }
 
+// Partitions selects the conservative-PDES partition count for RunApp
+// simulations (the -pdes flag). Values <= 1 keep the sequential event
+// loop. Message-passing variants always run sequentially: the MP
+// backend models send/receive outside the window scheduler's
+// lookahead analysis, and the runtime would reject the combination.
+var Partitions = 1
+
 // RunApp executes one app under one variant.
 func RunApp(a *apps.App, params map[string]int, v Variant) (*runtime.Result, error) {
 	prog, err := a.Program(params)
@@ -126,7 +133,11 @@ func RunApp(a *apps.App, params map[string]int, v Variant) (*runtime.Result, err
 		return nil, err
 	}
 	mc := config.Default().WithNodes(v.Nodes).WithCPUMode(v.CPUMode)
-	return runtime.Run(prog, runtime.Options{Machine: mc, Opt: v.Opt, Backend: v.Backend})
+	opts := runtime.Options{Machine: mc, Opt: v.Opt, Backend: v.Backend}
+	if Partitions > 1 && v.Backend != runtime.MessagePassing {
+		opts.Partitions = Partitions
+	}
+	return runtime.Run(prog, opts)
 }
 
 // SuiteResults holds one result per (app, variant key).

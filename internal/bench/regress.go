@@ -15,6 +15,7 @@ import (
 	goruntime "runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"hpfdsm/internal/apps"
 	"hpfdsm/internal/compiler"
@@ -159,6 +160,70 @@ func regressionBenchmarks() []struct {
 		}},
 		{"fig3-jacobi", fig3("jacobi")},
 		{"fig3-lu", fig3("lu")},
+		{"pdes-lu", func(b *testing.B) {
+			// Conservative-PDES gate. The timed loop is the -pdes 1 path
+			// (must cost the same as the plain sequential loop — its
+			// ns/op and sim-ms are drift-gated across BENCH files like
+			// fig3-lu's). Untimed, every multi-partition count is run
+			// and REQUIRED to be bit-identical to the sequential run;
+			// wall-clock speedups are reported but not gated (they
+			// depend on the host).
+			a, err := apps.ByName("lu")
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := a.Program(a.ScaledParams)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mc := config.Default()
+			run := func(parts int) *runtime.Result {
+				res, err := runtime.Run(prog, runtime.Options{
+					Machine: mc, Opt: compiler.OptRTElim, Partitions: parts})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var seq *runtime.Result
+			for i := 0; i < b.N; i++ {
+				seq = run(1)
+			}
+			b.StopTimer()
+			wall := func(parts int) time.Duration {
+				best := time.Duration(0)
+				for rep := 0; rep < 3; rep++ {
+					t0 := time.Now()
+					run(parts)
+					if d := time.Since(t0); best == 0 || d < best {
+						best = d
+					}
+				}
+				return best
+			}
+			seqWall := wall(1)
+			for _, parts := range []int{2, 4, 8} {
+				res := run(parts)
+				if res.Elapsed != seq.Elapsed ||
+					res.Stats.TotalMisses() != seq.Stats.TotalMisses() ||
+					res.Stats.TotalMessages() != seq.Stats.TotalMessages() ||
+					res.Stats.TotalBytes() != seq.Stats.TotalBytes() {
+					b.Fatalf("pdes %d-partition run diverged from sequential: elapsed %d vs %d, misses %d vs %d, msgs %d vs %d, bytes %d vs %d",
+						parts, res.Elapsed, seq.Elapsed,
+						res.Stats.TotalMisses(), seq.Stats.TotalMisses(),
+						res.Stats.TotalMessages(), seq.Stats.TotalMessages(),
+						res.Stats.TotalBytes(), seq.Stats.TotalBytes())
+				}
+				b.ReportMetric(float64(seqWall)/float64(wall(parts)),
+					fmt.Sprintf("speedup-p%d", parts))
+			}
+			b.ReportMetric(ms(seq.Elapsed), "sim-ms")
+			b.ReportMetric(float64(seq.Stats.TotalMisses()), "misses")
+			b.ReportMetric(float64(seq.Stats.TotalMessages()), "msgs")
+			b.ReportMetric(float64(seq.Stats.TotalBytes()), "wire-bytes")
+		}},
 		{"suite-scaled", func(b *testing.B) {
 			b.ReportAllocs()
 			var suite *SuiteResults

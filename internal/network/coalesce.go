@@ -63,6 +63,7 @@ func timerEvent(a any) {
 // Coalescer is one node's NIC-level coalescing scheduler.
 type Coalescer struct {
 	net     *Network
+	env     *sim.Env // the Env node src's events run on (partition Env in PDES mode)
 	src     int
 	kind    Kind           // carrier message kind (protocol-defined)
 	ctrl    int            // Size of a payload-free standalone message
@@ -91,7 +92,7 @@ func (n *Network) AttachCoalescer(src int, kind Kind, ctrl int, delay sim.Time, 
 		panic(fmt.Sprintf("network: node %d already has a coalescer", src))
 	}
 	c := &Coalescer{
-		net: n, src: src, kind: kind, ctrl: ctrl, delay: delay, send: send,
+		net: n, env: n.envOf(src), src: src, kind: kind, ctrl: ctrl, delay: delay, send: send,
 		bufs:   make([]dstBuf, len(n.eps)),
 		timers: make([]timerArg, len(n.eps)),
 		st:     &n.st.Nodes[src],
@@ -146,8 +147,8 @@ func (c *Coalescer) Append(dst int, kind Kind, addr int, arg, arg2 int64, payloa
 		// the buffer drains when it closes, no matter how many later
 		// appends joined. (A refreshing debounce would hold a steady
 		// request stream back until the next synchronization point.)
-		b.deadline = c.net.env.Now() + c.delay
-		c.net.env.ScheduleArg(b.deadline, timerEvent, &c.timers[dst])
+		b.deadline = c.env.Now() + c.delay
+		c.env.ScheduleArg(b.deadline, timerEvent, &c.timers[dst])
 	}
 }
 
@@ -221,10 +222,10 @@ func (c *Coalescer) timerFire(dst int) {
 	if c.dead || b.segs == 0 {
 		return // a dead node's armed window must not compose a carrier
 	}
-	if now := c.net.env.Now(); now < b.deadline {
+	if now := c.env.Now(); now < b.deadline {
 		// Deadline moved (flush + refill since this event was armed):
 		// re-check at the current deadline.
-		c.net.env.ScheduleArg(b.deadline, timerEvent, &c.timers[dst])
+		c.env.ScheduleArg(b.deadline, timerEvent, &c.timers[dst])
 		return
 	}
 	c.FlushDst(dst)

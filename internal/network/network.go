@@ -79,8 +79,17 @@ type Network struct {
 	mc       config.Machine
 	eps      []Endpoint
 	linkFree []sim.Time // sender-link next-free time
+	mseq     []uint32   // per-source delivery sequence (sim.ScheduleDelivery key)
 	st       *stats.Cluster
 	rel      *reliable // nil unless fault injection is active
+
+	// Conservative-PDES mode (NewPartitioned): envs[i] is node i's
+	// partition Env and post is the cross-partition mailbox hook. A
+	// send whose source and destination share an Env schedules locally;
+	// anything else is posted for injection at the next window
+	// boundary. nil envs (New) is the sequential single-Env mode.
+	envs []*sim.Env
+	post PostFn
 
 	// Freelists for zero-steady-state-allocation messaging. A network
 	// belongs to exactly one single-threaded Env, so plain slices beat
@@ -131,6 +140,7 @@ func New(env *sim.Env, mc config.Machine, st *stats.Cluster) *Network {
 		mc:       mc,
 		eps:      make([]Endpoint, mc.Nodes),
 		linkFree: make([]sim.Time, mc.Nodes),
+		mseq:     make([]uint32, mc.Nodes),
 		st:       st,
 		pool:     !mc.Faults.Active(),
 		dead:     make([]bool, mc.Nodes),
@@ -139,6 +149,46 @@ func New(env *sim.Env, mc config.Machine, st *stats.Cluster) *Network {
 		n.rel = newReliable(n, mc.Faults)
 	}
 	return n
+}
+
+// PostFn queues a cross-partition event: fn(arg) must run on dst's
+// partition Env at virtual time arrival. sent is the virtual time the
+// source executed the send and seq the per-source delivery sequence —
+// together with the source node id they form the schedule-independent
+// delivery key the destination heap orders by.
+type PostFn func(src, dst int, sent, arrival sim.Time, seq uint32, fn func(any), arg any)
+
+// NewPartitioned creates a network in conservative-PDES mode: envs[i]
+// is node i's partition environment and post the cross-partition
+// mailbox hook. Message and buffer pooling is disabled — the freelists
+// are single-threaded by construction, and a message crossing a
+// partition boundary would be recycled on a different thread than it
+// was allocated on. Fault injection is rejected: the reliable-delivery
+// layer's retransmission timers are per-channel state that the window
+// scheduler does not partition.
+func NewPartitioned(envs []*sim.Env, post PostFn, mc config.Machine, st *stats.Cluster) *Network {
+	if mc.Faults.Active() {
+		panic("network: fault injection is not supported in partitioned (PDES) mode")
+	}
+	if len(envs) != mc.Nodes {
+		panic(fmt.Sprintf("network: NewPartitioned needs one env per node: %d != %d", len(envs), mc.Nodes))
+	}
+	n := New(envs[0], mc, st)
+	n.envs = envs
+	n.post = post
+	n.pool = false
+	return n
+}
+
+// envOf returns the Env that owns node's events: its partition Env in
+// PDES mode, the single shared Env otherwise.
+//
+//simlint:hotpath
+func (n *Network) envOf(node int) *sim.Env {
+	if n.envs != nil {
+		return n.envs[node]
+	}
+	return n.env
 }
 
 // NewMessage returns a zeroed message owned by this network, reusing a
@@ -168,6 +218,12 @@ func (n *Network) NewMessage() *Message {
 //
 //simlint:hotpath
 func (n *Network) AllocBlock() []byte {
+	if n.envs != nil {
+		// PDES mode: the freelist is not thread-safe and a buffer may be
+		// freed on another partition's thread. Fresh allocation, like
+		// the faults path.
+		return make([]byte, n.mc.BlockSize)
+	}
 	if k := len(n.bufFree); k > 0 {
 		b := n.bufFree[k-1]
 		n.bufFree = n.bufFree[:k-1]
@@ -184,6 +240,9 @@ func (n *Network) AllocBlock() []byte {
 //simlint:hotpath
 func (n *Network) AllocVar(size int) []byte {
 	idx := varBucket(size)
+	if n.envs != nil {
+		return make([]byte, 1<<idx) // PDES mode: see AllocBlock
+	}
 	if l := n.varFree[idx]; len(l) > 0 {
 		b := l[len(l)-1]
 		n.varFree[idx] = l[:len(l)-1]
@@ -202,6 +261,9 @@ func varBucket(size int) int {
 }
 
 func (n *Network) recycleVar(b []byte) {
+	if n.envs != nil {
+		return // PDES mode: see AllocBlock; the GC reclaims it
+	}
 	c := cap(b)
 	if c < 64 || c&(c-1) != 0 {
 		return // not one of ours; let the GC have it
@@ -263,15 +325,24 @@ func (n *Network) Send(m *Message) {
 	}
 	if m.Src == m.Dst {
 		// Loopback: deliver after local copy time only. Loopback never
-		// touches the wire, so it bypasses fault injection.
+		// touches the wire, so it bypasses fault injection — and never
+		// crosses a partition.
+		env := n.envOf(m.Src)
 		n.accountSend(m)
-		n.accountRecv(m)
-		at := n.env.Now() + sim.Time(m.Size)*n.mc.NsPerByte/4 + 1
-		if n.tr != nil {
-			n.traceTx(m, n.env.Now(), at, false)
+		sent := env.Now()
+		at := sent + sim.Time(m.Size)*n.mc.NsPerByte/4 + 1
+		sq := n.mseq[m.Src]
+		n.mseq[m.Src]++
+		if n.envs == nil {
+			n.accountRecv(m)
+			if n.tr != nil {
+				n.traceTx(m, sent, at, false)
+			}
+			n.inflight++
+			env.ScheduleDelivery(at, sent, m.Src, sq, deliverEvent, m)
+			return
 		}
-		n.inflight++
-		n.env.ScheduleArg(at, deliverEvent, m)
+		env.ScheduleDelivery(at, sent, m.Src, sq, deliverEventP, m)
 		return
 	}
 	if n.rel != nil {
@@ -279,15 +350,35 @@ func (n *Network) Send(m *Message) {
 		return
 	}
 	n.accountSend(m)
-	n.accountRecv(m)
 	arrival := n.wireArrival(m)
-	if n.tr != nil {
-		ser := sim.Time(n.mc.MsgHeader+m.Size) * n.mc.NsPerByte
-		depart := arrival - n.mc.WireLatency - ser
-		n.traceTx(m, depart, depart+ser, false)
+	sq := n.mseq[m.Src]
+	n.mseq[m.Src]++
+	if n.envs == nil {
+		n.accountRecv(m)
+		if n.tr != nil {
+			ser := sim.Time(n.mc.MsgHeader+m.Size) * n.mc.NsPerByte
+			depart := arrival - n.mc.WireLatency - ser
+			n.traceTx(m, depart, depart+ser, false)
+		}
+		n.inflight++
+		n.env.ScheduleDelivery(arrival, n.env.Now(), m.Src, sq, deliverEvent, m)
+		return
 	}
-	n.inflight++
-	n.env.ScheduleArg(arrival, deliverEvent, m)
+	// PDES mode: receive-side accounting happens at delivery (on the
+	// destination's thread); the inflight counter — one leg of the
+	// checkpoint quiescence predicate, which PDES rejects — is not
+	// maintained. The lossless wire makes send-time vs delivery-time
+	// receive accounting equivalent: every send is delivered.
+	srcEnv, dstEnv := n.envOf(m.Src), n.envOf(m.Dst)
+	if srcEnv == dstEnv {
+		srcEnv.ScheduleDelivery(arrival, srcEnv.Now(), m.Src, sq, deliverEventP, m)
+		return
+	}
+	// Cross-partition: arrival >= send time + MsgTime(0) (serialization
+	// of at least the header plus the wire latency), which is exactly
+	// the window scheduler's lookahead — the mail always lands at or
+	// past the current window's edge.
+	n.post(m.Src, m.Dst, srcEnv.Now(), arrival, sq, deliverEventP, m)
 }
 
 // traceTx records one physical transmission: a serialization span on
@@ -316,17 +407,27 @@ func (n *Network) traceTx(m *Message, start, end sim.Time, retx bool) {
 
 // deliverEvent and sendEvent are the shared event functions for
 // ScheduleArg: one package-level func value each, so scheduling a
-// delivery or a delayed departure allocates nothing.
+// delivery or a delayed departure allocates nothing. The P variants
+// are their PDES-mode twins: they skip the inflight counter, which is
+// only maintained single-threaded (checkpoint quiescence is rejected
+// in PDES mode anyway).
 var (
-	deliverEvent = func(a any) { m := a.(*Message); m.net.inflight--; m.net.deliver(m) }
-	sendEvent    = func(a any) { m := a.(*Message); m.net.inflight--; m.net.Send(m) }
+	deliverEvent  = func(a any) { m := a.(*Message); m.net.inflight--; m.net.deliver(m) }
+	sendEvent     = func(a any) { m := a.(*Message); m.net.inflight--; m.net.Send(m) }
+	deliverEventP = func(a any) { m := a.(*Message); m.net.deliver(m) }
+	sendEventP    = func(a any) { m := a.(*Message); m.net.Send(m) }
 )
 
 // SendAt injects m at absolute virtual time t (a delayed departure,
 // e.g. a reply leaving when the protocol engine's queued work
-// completes).
+// completes). The departure event runs on the sender's Env; Send then
+// routes the transmission.
 func (n *Network) SendAt(t sim.Time, m *Message) {
 	m.net = n
+	if n.envs != nil {
+		n.envOf(m.Src).ScheduleArg(t, sendEventP, m)
+		return
+	}
 	n.inflight++
 	n.env.ScheduleArg(t, sendEvent, m)
 }
@@ -350,9 +451,11 @@ func (n *Network) accountRecv(m *Message) {
 
 // wireArrival reserves the sender's link for one transmission and
 // returns its arrival time at the destination: serialization behind any
-// queued transmissions plus the wire latency.
+// queued transmissions plus the wire latency. linkFree[src] is only
+// touched from src's own Env, so the reservation is single-threaded in
+// PDES mode too.
 func (n *Network) wireArrival(m *Message) sim.Time {
-	depart := n.env.Now()
+	depart := n.envOf(m.Src).Now()
 	if n.linkFree[m.Src] > depart {
 		depart = n.linkFree[m.Src]
 	}
@@ -369,11 +472,18 @@ func (n *Network) deliver(m *Message) {
 	if ep == nil {
 		panic(fmt.Sprintf("network: no endpoint bound for node %d", m.Dst))
 	}
+	if n.envs != nil {
+		// PDES mode charges receive counters at delivery: the write
+		// lands on the destination's thread. Loopback keeps send-time
+		// accounting semantics but routes through here too, so the
+		// charge is unconditional.
+		n.accountRecv(m)
+	}
 	// A delivery is forward progress for the stall watchdog even while
 	// every compute process is blocked at a sync point: a long
 	// transaction drain must not be mistaken for a stall. (Duplicates
 	// discarded by the reliable layer never reach this point.)
-	n.env.Progress()
+	n.envOf(m.Dst).Progress()
 	ep(m)
 }
 

@@ -25,10 +25,13 @@ import (
 // it is almost always false.
 func (p *Proto) Quiescent() bool {
 	net := p.C.Net
-	if net.Inflight() != 0 || !net.ChannelsQuiescent() || p.defers != 0 {
+	if net.Inflight() != 0 || !net.ChannelsQuiescent() {
 		return false
 	}
 	for _, np := range p.nodes {
+		if np.defers != 0 {
+			return false
+		}
 		if np.n.HandlersQueued() != 0 || np.n.Pending() != 0 {
 			return false
 		}

@@ -76,9 +76,9 @@ func (np *nodeProto) entry(b int) *dirEntry {
 // at the already-scheduled resume time.
 func (np *nodeProto) enqueue(r *dirReq) {
 	if np.scHold.get(r.block) && r.src != np.id {
-		np.p.defers++
+		np.defers++
 		np.n.Env.After(2*sim.Microsecond, func() {
-			np.p.defers--
+			np.defers--
 			np.enqueue(r)
 		})
 		return

@@ -451,9 +451,9 @@ func (np *nodeProto) ccFlushDir(start, n, owner, flusher int) {
 		e := np.entry(b)
 		if e.busy {
 			b := b
-			np.p.defers++
+			np.defers++
 			np.n.Env.After(2*sim.Microsecond, func() {
-				np.p.defers--
+				np.defers--
 				np.ccFlushDir(b, 1, owner, flusher)
 			})
 			continue

@@ -133,12 +133,6 @@ type Proto struct {
 	// runtime installs analysis.ProvIndex.Describe here; the hook is a
 	// plain function so the protocol does not import the verifier.
 	BlockInfo func(b int) string
-
-	// defers counts protocol actions parked on short re-delivery timers
-	// (scHold deferrals, busy-directory retries). Nonzero means hidden
-	// work is pending even though no message is in flight, so the
-	// quiescence predicate refuses to checkpoint.
-	defers int
 }
 
 // nodeProto is the per-node protocol state: the directory for blocks
@@ -148,6 +142,14 @@ type nodeProto struct {
 	p  *Proto
 	n  *tempest.Node
 	id int
+
+	// defers counts this node's protocol actions parked on short
+	// re-delivery timers (scHold deferrals, busy-directory retries).
+	// Nonzero means hidden work is pending even though no message is in
+	// flight, so the quiescence predicate refuses to checkpoint. Kept
+	// per node — the timers fire on the owning node's Env, so the
+	// counter stays single-writer under the PDES window scheduler.
+	defers int
 
 	dir  map[int]*dirEntry   // blocks homed at this node
 	fill map[int]*sim.Signal // block -> local blocking miss completion
@@ -636,9 +638,9 @@ func (np *nodeProto) hInval(hc *tempest.HContext, m *network.Message) {
 // yet retired.
 func (np *nodeProto) deferMsg(m *network.Message, h func(*tempest.HContext, *network.Message)) {
 	m.Retain() // the message outlives this delivery
-	np.p.defers++
+	np.defers++
 	np.n.Env.After(2*sim.Microsecond, func() {
-		np.p.defers--
+		np.defers--
 		h(&tempest.HContext{Node: np.n}, m)
 	})
 }

@@ -71,6 +71,17 @@ type Options struct {
 	// <dir>/<program>.ckpt after each capture — a diagnostic artifact;
 	// recovery restores from the in-memory copy.
 	CkptDir string
+	// Partitions > 1 runs the simulation itself in parallel:
+	// conservative PDES with the nodes split across that many OS
+	// threads, advancing in lockstep windows derived from the minimum
+	// cross-partition message latency (see sim.Shards). Statistics are
+	// bit-identical to the sequential event loop. 0 or 1 selects the
+	// sequential loop (zero overhead); values above the node count are
+	// clamped. Incompatible with fault injection, checkpointing,
+	// barrier-instant checks, tracing, profiling, and the
+	// message-passing backend — those are rejected with an error rather
+	// than silently diverging.
+	Partitions int
 }
 
 // Result is the outcome of one simulated run.
@@ -194,6 +205,30 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	if opt.Backend == MessagePassing && len(mc.Faults.Crashes) > 0 {
 		return nil, fmt.Errorf("runtime: crash injection requires the shared-memory backend (program %s)", prog.Name)
 	}
+	if opt.Partitions > mc.Nodes {
+		opt.Partitions = mc.Nodes
+	}
+	if opt.Partitions > 1 {
+		// Modes whose machinery is inherently cross-partition are
+		// rejected loudly: a run that silently diverged from the
+		// sequential loop would defeat the bit-identity contract.
+		switch {
+		case opt.Backend == MessagePassing:
+			return nil, fmt.Errorf("runtime: pdes (Partitions=%d) supports the shared-memory backend only; rerun without -pdes (program %s)", opt.Partitions, prog.Name)
+		case mc.Faults.Active():
+			return nil, fmt.Errorf("runtime: pdes (Partitions=%d) is incompatible with fault injection — the reliable-delivery timers and crash recovery are not partitioned; rerun without -pdes (program %s)", opt.Partitions, prog.Name)
+		case opt.Checkpoint:
+			return nil, fmt.Errorf("runtime: pdes (Partitions=%d) is incompatible with checkpointing — the quiescence predicate needs the single-threaded inflight counter; rerun without -pdes (program %s)", opt.Partitions, prog.Name)
+		case opt.Check:
+			return nil, fmt.Errorf("runtime: pdes (Partitions=%d) is incompatible with barrier-instant coherence checks — the audit reads every node's state from one thread mid-run; rerun without -pdes (program %s)", opt.Partitions, prog.Name)
+		case opt.Trace != nil:
+			return nil, fmt.Errorf("runtime: pdes (Partitions=%d) is incompatible with tracing — the tracer's buffers are single-threaded; rerun without -pdes (program %s)", opt.Partitions, prog.Name)
+		case opt.Profile:
+			return nil, fmt.Errorf("runtime: pdes (Partitions=%d) is incompatible with per-loop profiling — the profile accumulator is single-threaded; rerun without -pdes (program %s)", opt.Partitions, prog.Name)
+		case mc.MsgTime(0) <= 0:
+			return nil, fmt.Errorf("runtime: pdes needs a positive minimum message latency for its lookahead window; this machine has MsgTime(0)=%d (program %s)", mc.MsgTime(0), prog.Name)
+		}
+	}
 	rec := &recovery{
 		enabled: opt.Backend == SharedMemory && (opt.Checkpoint || len(mc.Faults.Crashes) > 0),
 		specs:   mc.Faults.Crashes,
@@ -233,14 +268,45 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 // errors so the caller can recover.
 func runAttempt(prog *ir.Program, opt Options, rec *recovery, startAt sim.Time, attempt int) (*Result, *crashError, error) {
 	mc := opt.Machine
-	env := sim.NewEnvAt(startAt)
 	sp := memory.NewSpace(mc)
 	layouts := make(map[*ir.Array]sections.Layout)
 	for _, arr := range prog.Arrays {
 		base := sp.Alloc(arr.Name, arr.Elems()*8)
 		layouts[arr] = sections.Layout{Base: base, Extents: arr.Extents, ElemSize: 8}
 	}
-	cluster := tempest.NewCluster(env, sp)
+	var (
+		env     *sim.Env
+		shards  *sim.Shards
+		cluster *tempest.Cluster
+	)
+	if opt.Partitions > 1 {
+		// Conservative PDES: one Env per partition, nodes split in
+		// contiguous runs (node i -> partition i*P/N), cross-partition
+		// sends routed through the window scheduler's mailbox. The
+		// lookahead is the machine's minimum message latency: header
+		// serialization plus the wire latency, the floor of any
+		// cross-node delivery delay.
+		parts := opt.Partitions
+		penvs := make([]*sim.Env, parts)
+		for i := range penvs {
+			penvs[i] = sim.NewEnvAt(startAt)
+		}
+		part := make([]int, mc.Nodes)
+		nodeEnvs := make([]*sim.Env, mc.Nodes)
+		for i := range part {
+			part[i] = i * parts / mc.Nodes
+			nodeEnvs[i] = penvs[part[i]]
+		}
+		shards = sim.NewShards(penvs, mc.MsgTime(0))
+		post := func(src, dst int, sent, arrival sim.Time, seq uint32, fn func(any), arg any) {
+			shards.Post(part[src], part[dst], arrival, sent, src, seq, fn, arg)
+		}
+		cluster = tempest.NewPartitionedCluster(nodeEnvs, sp, post)
+		env = penvs[0]
+	} else {
+		env = sim.NewEnvAt(startAt)
+		cluster = tempest.NewCluster(env, sp)
+	}
 	proto := protocol.Attach(cluster)
 	// The NIC-level coalescing scheduler rides on eager release
 	// consistency (its buffered legs are exactly the latency-tolerant
@@ -308,6 +374,16 @@ func runAttempt(prog *ir.Program, opt Options, rec *recovery, startAt sim.Time, 
 	}
 	if mc.Faults.Active() {
 		env.SetWatchdog(mc.Faults.EffectiveWatchdogHorizon(), func() string {
+			return watchdogDump(cluster, proto)
+		})
+	}
+	if shards != nil {
+		// Horizon 0 leaves the per-partition stall watchdog disarmed
+		// (matching the sequential no-faults default) but installs the
+		// node-state dump: a cross-partition deadlock error carries
+		// every node's blocked state, not just the reporting
+		// partition's.
+		shards.SetWatchdog(0, func() string {
 			return watchdogDump(cluster, proto)
 		})
 	}
@@ -386,9 +462,17 @@ func runAttempt(prog *ir.Program, opt Options, rec *recovery, startAt sim.Time, 
 
 	for i := 0; i < mc.Nodes; i++ {
 		e := execs[i]
-		env.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) { e.run(p) })
+		// Each node's compute process lives on the node's own Env — its
+		// partition Env under PDES, the single Env otherwise.
+		cluster.Nodes[i].Env.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) { e.run(p) })
 	}
-	if err := env.Run(); err != nil {
+	if shards != nil {
+		err := shards.Run()
+		shards.Shutdown()
+		if err != nil {
+			return nil, nil, fmt.Errorf("runtime: %w (program %s)", err, prog.Name)
+		}
+	} else if err := env.Run(); err != nil {
 		var ce *crashError
 		if errors.As(err, &ce) {
 			// Tear down the aborted attempt completely (every parked
@@ -413,7 +497,11 @@ func runAttempt(prog *ir.Program, opt Options, rec *recovery, startAt sim.Time, 
 			return nil, nil, fmt.Errorf("runtime: post-run invariant violation: %w (program %s)", err, prog.Name)
 		}
 	}
-	res.Elapsed = env.Now() - cluster.TimerStart
+	if shards != nil {
+		res.Elapsed = shards.Now() - cluster.TimerStart
+	} else {
+		res.Elapsed = env.Now() - cluster.TimerStart
+	}
 	if tr := opt.Trace; tr != nil {
 		// Close the record with the simulator's event-dispatch census
 		// (always-on counters in sim.Env), visible in the trace viewer.

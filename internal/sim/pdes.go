@@ -1,0 +1,360 @@
+//simlint:concurrent -- the window coordinator parks every partition worker at a barrier before touching any Env; channel send/receive pairs establish the happens-before edges, and the six-app differential suite runs under -race
+
+// Conservative parallel discrete-event simulation (PDES) over a set of
+// per-partition Envs. The simulated machine's minimum cross-partition
+// message latency L (wire latency plus header serialization) is a
+// conservative lookahead: no message sent at time s can be delivered
+// remotely before s+L. The coordinator therefore advances all
+// partitions in lockstep windows [m, m+L), where m is the global
+// minimum pending-event time: any cross-partition send executed inside
+// the window has s >= m, so its arrival s+L' >= m+L lands at or past
+// the window edge and cannot affect another partition's current window.
+//
+// Cross-partition sends are not scheduled directly on the destination
+// heap (that would race with the destination worker). They are posted
+// to a per-(src,dst) outbox row — single writer, the source worker —
+// and drained into the destination heap by the coordinator at the next
+// window boundary via ScheduleDelivery, which orders same-instant
+// deliveries by the schedule-independent key (arrival, sent, srcNode,
+// per-source seq) that the sequential loop uses for the same events.
+// Pop order therefore does not depend on which worker finished first
+// or on when the mail was injected, which is what makes the parallel
+// run's statistics bit-identical to the sequential loop's.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// mail is one cross-partition message in flight between windows. The
+// (arrival, sent, srcNode, seq) tuple is the delivery key handed to
+// ScheduleDelivery at injection — identical to the key the source
+// would have used scheduling the delivery directly.
+type mail struct {
+	arrival Time      // virtual delivery time at the destination
+	sent    Time      // virtual time the source executed the send
+	srcNode int       // simulated source node
+	seq     uint32    // per-source message sequence (caller-assigned)
+	afn     func(any) // delivery function (closure-free, as ScheduleArg)
+	arg     any
+}
+
+// partResult is one worker's report for one window.
+type partResult struct {
+	part int
+	err  error
+}
+
+// Shards runs P partition Envs in conservative lockstep windows. All
+// methods except Post must be called from the coordinator goroutine
+// (the one that calls Run); Post is called by partition workers while
+// their window executes.
+type Shards struct {
+	envs      []*Env
+	lookahead Time
+
+	// out[src*P+dst] is the (src,dst) outbox row. Exactly one writer —
+	// partition src's worker during its window — and one reader, the
+	// coordinator between windows.
+	out    [][]mail
+	merged []mail // coordinator scratch for the per-destination merge
+
+	start []chan Time     // coordinator -> worker: run a window to t1
+	done  chan partResult // worker -> coordinator: window finished
+
+	// inline: run every window on the coordinator goroutine, in
+	// partition order, without waking workers. Chosen at construction
+	// when the host cannot run two workers at once (GOMAXPROCS < 2):
+	// the handshakes would buy no overlap, only latency. The simulated
+	// results are identical either way — the delivery-key heap order
+	// makes execution independent of window structure — so this is a
+	// wall-clock decision only, and SetInline allows tests to force
+	// either path.
+	inline bool
+
+	wdDump func() string // extra diagnostic lines for stall/deadlock errors
+}
+
+// NewShards wraps envs (one per partition, all sharing a start time)
+// in a window scheduler with the given conservative lookahead: the
+// minimum virtual latency of any cross-partition message. lookahead
+// must be positive, or windows could not make guaranteed progress.
+func NewShards(envs []*Env, lookahead Time) *Shards {
+	if len(envs) == 0 {
+		panic("sim: NewShards with no partitions")
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: NewShards lookahead must be positive, got %d", lookahead))
+	}
+	p := len(envs)
+	s := &Shards{
+		envs:      envs,
+		lookahead: lookahead,
+		out:       make([][]mail, p*p),
+		start:     make([]chan Time, p),
+		done:      make(chan partResult, p),
+	}
+	for i := range s.start {
+		s.start[i] = make(chan Time)
+	}
+	for i := range envs {
+		go s.worker(i)
+	}
+	s.inline = runtime.GOMAXPROCS(0) < 2
+	return s
+}
+
+// SetInline overrides the automatic coordinator-inline decision (see
+// the inline field). Simulated results do not depend on it.
+func (s *Shards) SetInline(v bool) { s.inline = v }
+
+// worker is partition part's OS-thread-side loop: run one window per
+// start message, report completion, park. It exits when Shutdown
+// closes the start channel.
+func (s *Shards) worker(part int) {
+	env := s.envs[part]
+	for t1 := range s.start[part] {
+		s.done <- partResult{part: part, err: env.RunWindow(t1)}
+	}
+}
+
+// Env returns partition p's environment. Interact with it only between
+// Run calls or before Run (e.g. to Spawn processes).
+func (s *Shards) Env(p int) *Env { return s.envs[p] }
+
+// Partitions returns the partition count.
+func (s *Shards) Partitions() int { return len(s.envs) }
+
+// SetWatchdog arms each partition's stall watchdog (see Env.SetWatchdog)
+// and records dump as the extra diagnostic for stall and deadlock
+// errors. The per-Env dump stays nil: when a partition stalls, the
+// coordinator appends every partition's blocked-process state, so a
+// cross-partition deadlock is diagnosable from any one partition's
+// error.
+func (s *Shards) SetWatchdog(horizon Time, dump func() string) {
+	s.wdDump = dump
+	for _, env := range s.envs {
+		env.SetWatchdog(horizon, nil)
+	}
+}
+
+// Post queues a cross-partition delivery: fn(arg) runs on partition
+// dstPart's Env at virtual time arrival. Called by partition srcPart's
+// worker while its window executes; arrival must be at or past the
+// current window's edge (guaranteed by the lookahead if sent is inside
+// the window). sent, srcNode, and seq are the delivery key the
+// destination heap orders by — the same key the source would pass to
+// ScheduleDelivery for an intra-partition send.
+//
+//simlint:hotpath
+func (s *Shards) Post(srcPart, dstPart int, arrival, sent Time, srcNode int, seq uint32, fn func(any), arg any) {
+	row := srcPart*len(s.envs) + dstPart
+	//simlint:ignore hotalloc -- outbox rows grow to their high-water mark once; boundary drains truncate to length zero and reuse capacity
+	s.out[row] = append(s.out[row], mail{
+		arrival: arrival,
+		sent:    sent,
+		srcNode: srcNode,
+		seq:     seq,
+		afn:     fn,
+		arg:     arg,
+	})
+}
+
+// inject drains every outbox row into its destination Env via
+// ScheduleDelivery. The heap orders same-instant deliveries by the
+// (sent, srcNode, seq) key, so injection order is immaterial; the sort
+// only keeps the lookahead check's error attribution deterministic.
+func (s *Shards) inject() {
+	p := len(s.envs)
+	for dst := 0; dst < p; dst++ {
+		s.merged = s.merged[:0]
+		for src := 0; src < p; src++ {
+			row := src*p + dst
+			s.merged = append(s.merged, s.out[row]...)
+			s.out[row] = s.out[row][:0]
+		}
+		if len(s.merged) == 0 {
+			continue
+		}
+		m := s.merged
+		sort.Slice(m, func(i, j int) bool {
+			if m[i].arrival != m[j].arrival {
+				return m[i].arrival < m[j].arrival
+			}
+			if m[i].sent != m[j].sent {
+				return m[i].sent < m[j].sent
+			}
+			if m[i].srcNode != m[j].srcNode {
+				return m[i].srcNode < m[j].srcNode
+			}
+			return m[i].seq < m[j].seq
+		})
+		env := s.envs[dst]
+		for i := range m {
+			if m[i].arrival < env.now {
+				panic(fmt.Sprintf("sim: pdes lookahead violated: mail from node %d sent t=%d arrives t=%d behind partition clock t=%d",
+					m[i].srcNode, m[i].sent, m[i].arrival, env.now))
+			}
+			env.ScheduleDelivery(m[i].arrival, m[i].sent, m[i].srcNode, m[i].seq, m[i].afn, m[i].arg)
+			m[i].arg = nil // drop the reference; the heap owns it now
+		}
+	}
+}
+
+// nextEventTime returns the global minimum pending-event time across
+// all partitions, after mailbox injection.
+func (s *Shards) nextEventTime() (Time, bool) {
+	var min Time
+	ok := false
+	for _, env := range s.envs {
+		if t, has := env.NextEventTime(); has && (!ok || t < min) {
+			min, ok = t, true
+		}
+	}
+	return min, ok
+}
+
+// Run drives the simulation to completion: inject boundary mail,
+// compute the next window [m, m+lookahead), run every partition's
+// window concurrently, repeat. The partition owning the global minimum
+// event always executes at least one event per window, so the loop
+// makes progress whenever any event is pending. Returns nil when every
+// heap and outbox drains with no process blocked; a deadlock error
+// (with all partitions' blocked-process state) otherwise; or the first
+// partition's window error — lowest partition index wins, a
+// deterministic choice — annotated with every partition's state.
+//
+// Two overhead eliminations, both invisible to the simulation:
+// partitions with no event before t1 are not woken (they could only
+// no-op — intra-partition events are created by the partition itself
+// and mail is injected here, before the check), and a window with
+// exactly one active partition runs inline on the coordinator's
+// goroutine, so effectively-sequential phases pay zero handoffs.
+func (s *Shards) Run() error {
+	for {
+		s.inject()
+		m, ok := s.nextEventTime()
+		if !ok {
+			if s.totalBlocked() > 0 {
+				return s.deadlockError()
+			}
+			return nil
+		}
+		t1 := m + s.lookahead
+		nActive, lastActive := 0, -1
+		for p, env := range s.envs {
+			if t, has := env.NextEventTime(); has && t < t1 {
+				nActive++
+				lastActive = p
+			}
+		}
+		if nActive == 1 {
+			if err := s.envs[lastActive].RunWindow(t1); err != nil {
+				return fmt.Errorf("sim: partition %d: %w\n%s", lastActive, err, s.dumpAll())
+			}
+			continue
+		}
+		if s.inline {
+			for p, env := range s.envs {
+				if t, has := env.NextEventTime(); has && t < t1 {
+					if err := env.RunWindow(t1); err != nil {
+						return fmt.Errorf("sim: partition %d: %w\n%s", p, err, s.dumpAll())
+					}
+				}
+			}
+			continue
+		}
+		for p, env := range s.envs {
+			if t, has := env.NextEventTime(); has && t < t1 {
+				s.start[p] <- t1
+			}
+		}
+		var firstErr error
+		firstPart := -1
+		for i := 0; i < nActive; i++ {
+			r := <-s.done
+			if r.err != nil && (firstPart == -1 || r.part < firstPart) {
+				firstPart, firstErr = r.part, r.err
+			}
+		}
+		if firstErr != nil {
+			return fmt.Errorf("sim: partition %d: %w\n%s", firstPart, firstErr, s.dumpAll())
+		}
+	}
+}
+
+// totalBlocked sums condition-blocked processes across partitions.
+func (s *Shards) totalBlocked() int {
+	n := 0
+	for _, env := range s.envs {
+		n += env.blocked
+	}
+	return n
+}
+
+func (s *Shards) deadlockError() error {
+	msg := fmt.Sprintf("sim: deadlock at t=%d: %d process(es) blocked forever across %d partition(s)\n%s",
+		s.Now(), s.totalBlocked(), len(s.envs), s.dumpAll())
+	return fmt.Errorf("%s", msg)
+}
+
+// dumpAll renders every partition's clock and blocked-process state
+// (reusing blockedNames), plus the external dump hook if set. Called
+// only with all workers parked.
+func (s *Shards) dumpAll() string {
+	var b strings.Builder
+	b.WriteString("partition state:")
+	for p, env := range s.envs {
+		fmt.Fprintf(&b, "\n  partition %d: t=%dns, %d/%d process(es) blocked", p, env.now, env.blocked, env.alive)
+		if env.blocked > 0 {
+			fmt.Fprintf(&b, ": %s", env.blockedNames())
+		}
+	}
+	if s.wdDump != nil {
+		if d := s.wdDump(); d != "" {
+			b.WriteString("\n")
+			b.WriteString(d)
+		}
+	}
+	return b.String()
+}
+
+// Now returns the maximum partition clock: the virtual time the merged
+// run has reached. Matches the sequential loop's final Now() because
+// window execution never forces a clock past its last executed event.
+func (s *Shards) Now() Time {
+	max := s.envs[0].now
+	for _, env := range s.envs[1:] {
+		if env.now > max {
+			max = env.now
+		}
+	}
+	return max
+}
+
+// Events returns the event-dispatch counters summed across partitions.
+func (s *Shards) Events() EventStats {
+	var total EventStats
+	for _, env := range s.envs {
+		st := env.Events()
+		total.Dispatches += st.Dispatches
+		total.ArgEvents += st.ArgEvents
+		total.FnEvents += st.FnEvents
+	}
+	return total
+}
+
+// Shutdown stops the workers and force-terminates every partition's
+// unfinished processes. Must be called after Run has returned; the
+// shards are unusable afterwards.
+func (s *Shards) Shutdown() {
+	for _, ch := range s.start {
+		close(ch)
+	}
+	for _, env := range s.envs {
+		env.Shutdown()
+	}
+}

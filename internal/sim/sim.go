@@ -1,3 +1,5 @@
+//simlint:concurrent -- the coroutine scheduler hands control between process goroutines through unbuffered channels with exactly one runnable at any instant; the race detector proves the discipline dynamically
+
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // The kernel drives two kinds of activity:
@@ -44,12 +46,23 @@ type event struct {
 	afn  func(any) // shared function applied to arg
 	arg  any
 	fn   func()
+
+	// Delivery ordering key (ScheduleDelivery). Message deliveries
+	// carry a schedule-independent tie-break — (send time, source id,
+	// per-source sequence) — instead of relying on heap insertion
+	// order, so two executions that schedule the same deliveries in
+	// different orders (the sequential loop vs the partitioned window
+	// scheduler) still pop them identically. del marks the event as a
+	// delivery; locals sort before deliveries at the same instant.
+	del   bool
+	dsent Time
+	dsrc  int32
+	dseq  uint32
 }
 
-// eventHeap is an index-free 4-ary min-heap ordered by (t, seq). The
-// (t, seq) keys are unique, so the heap order is a total order and the
-// pop sequence is identical to the seed's binary container/heap —
-// bit-reproducibility does not depend on heap shape. 4-ary halves the
+// eventHeap is an index-free 4-ary min-heap ordered by (t, delivery
+// key, seq). The keys are unique, so the heap order is a total order
+// and the pop sequence does not depend on heap shape. 4-ary halves the
 // tree depth, and the flat value slice avoids container/heap's
 // interface boxing (one allocation per Push/Pop in the seed).
 type eventHeap []event
@@ -57,6 +70,20 @@ type eventHeap []event
 func eventLess(a, b *event) bool {
 	if a.t != b.t {
 		return a.t < b.t
+	}
+	if a.del != b.del {
+		return !a.del // locals before deliveries at the same instant
+	}
+	if a.del {
+		if a.dsent != b.dsent {
+			return a.dsent < b.dsent
+		}
+		if a.dsrc != b.dsrc {
+			return a.dsrc < b.dsrc
+		}
+		if a.dseq != b.dseq {
+			return a.dseq < b.dseq
+		}
 	}
 	return a.seq < b.seq
 }
@@ -187,6 +214,26 @@ func (e *Env) ScheduleArg(t Time, fn func(any), arg any) {
 	}
 	e.seq++
 	e.events.push(event{t: t, seq: e.seq, afn: fn, arg: arg})
+}
+
+// ScheduleDelivery runs fn(arg) at absolute virtual time t, ordered
+// among same-instant events by an explicit message-delivery key rather
+// than by insertion order: at equal t, locals (Schedule/ScheduleArg/
+// process dispatches) run first, then deliveries in (sent, src, dseq)
+// order. sent is the virtual time the source issued the send, src its
+// node id, and dseq a per-source sequence number — all three are
+// properties of the message itself, so the sequential event loop and
+// the partitioned window scheduler compute the identical pop order no
+// matter when the event was inserted.
+//
+//simlint:hotpath
+func (e *Env) ScheduleDelivery(t, sent Time, src int, dseq uint32, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: t=%d now=%d", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{t: t, seq: e.seq, afn: fn, arg: arg,
+		del: true, dsent: sent, dsrc: int32(src), dseq: dseq})
 }
 
 // scheduleProc enqueues a dispatch of p at time t without allocating.
@@ -364,6 +411,48 @@ func (e *Env) RunUntil(t Time) {
 		e.now = t
 	}
 }
+
+// RunWindow executes events with time strictly below limit. Windows are
+// half-open [start, limit): an event scheduled exactly at the edge
+// belongs to the next window, so consecutive windows partition the
+// timeline without executing an edge event early or twice. Unlike
+// RunUntil the clock is never forced forward — virtual time advances
+// only through executed events, so the final Now() of a windowed run
+// equals the sequential loop's. Returns the abort error or the stall
+// watchdog's diagnostic exactly like Run. Running dry, or having only
+// events at or past limit, is not an error: under the window scheduler
+// (Shards) deadlock is a global condition decided by the coordinator,
+// not by any one partition.
+//
+//simlint:hotpath
+func (e *Env) RunWindow(limit Time) error {
+	for !e.events.empty() && e.events.peekTime() < limit {
+		ev := e.events.pop()
+		e.now = ev.t
+		e.exec(&ev)
+		if e.abortErr != nil {
+			return e.abortErr
+		}
+		if e.stalled() {
+			return e.stallError()
+		}
+	}
+	return nil
+}
+
+// NextEventTime returns the time of the earliest pending event and
+// whether one exists. Scheduler-context diagnostics and the window
+// coordinator only.
+func (e *Env) NextEventTime() (Time, bool) {
+	if e.events.empty() {
+		return 0, false
+	}
+	return e.events.peekTime(), true
+}
+
+// Blocked returns the number of live processes blocked on conditions.
+// Scheduler-context diagnostics only.
+func (e *Env) Blocked() int { return e.blocked }
 
 func (e *Env) blockedNames() string {
 	var names []string

@@ -127,6 +127,68 @@ func d2() {}
 	}
 }
 
+func TestParseConcurrentDirective(t *testing.T) {
+	src := `//simlint:concurrent -- the scheduler file hands control through channels
+
+package d
+
+func a() {}
+`
+	fset, f := parseSrc(t, src)
+	ds, malformed := ParseDirectives(fset, []*ast.File{f}, AnalyzerNames())
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", malformed)
+	}
+	d := ds.ConcurrentFile("d.go")
+	if d == nil {
+		t.Fatal("ConcurrentFile missed the file-wide annotation")
+	}
+	if !d.FileWide || d.Reason == "" {
+		t.Errorf("parsed concurrent directive = %+v, want file-wide with reason", d)
+	}
+	if d.used {
+		t.Error("ConcurrentFile must not consume the directive; only an actual primitive does")
+	}
+	if ds.ConcurrentFile("other.go") != nil {
+		t.Error("ConcurrentFile crossed files")
+	}
+}
+
+func TestParseConcurrentDirectiveMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		name, src, want string
+	}{
+		{
+			"missing reason",
+			"//simlint:concurrent\n\npackage d\n",
+			"must carry a reason",
+		},
+		{
+			"trailing arguments",
+			"//simlint:concurrent goroutine -- reason\n\npackage d\n",
+			"unexpected arguments",
+		},
+		{
+			"not file-wide",
+			"package d\n\n//simlint:concurrent -- reason\nfunc a() {}\n",
+			"file-wide only",
+		},
+	} {
+		fset, f := parseSrc(t, tc.src)
+		ds, malformed := ParseDirectives(fset, []*ast.File{f}, AnalyzerNames())
+		if len(malformed) != 1 {
+			t.Errorf("%s: got %d malformed directives, want 1", tc.name, len(malformed))
+			continue
+		}
+		if !strings.Contains(malformed[0].Message, tc.want) {
+			t.Errorf("%s: message %q does not contain %q", tc.name, malformed[0].Message, tc.want)
+		}
+		if ds.ConcurrentFile("d.go") != nil {
+			t.Errorf("%s: malformed directive still registered", tc.name)
+		}
+	}
+}
+
 func TestFuncHotpath(t *testing.T) {
 	src := `package d
 
@@ -183,18 +245,6 @@ func TestRegistryScoping(t *testing.T) {
 		!isWallclockExempt("hpfdsm/cmd/hpfc") ||
 		isWallclockExempt("hpfdsm/internal/sim") {
 		t.Error("isWallclockExempt misclassifies")
-	}
-	if !goroutineExemptFile("hpfdsm/internal/sim", "/repo/internal/sim/sim.go") {
-		t.Error("sim kernel file should be goroutine-exempt")
-	}
-	if !goroutineExemptFile("hpfdsm/internal/sim", `C:\repo\internal\sim\sim.go`) {
-		t.Error("windows-style path should still resolve the base name")
-	}
-	if goroutineExemptFile("hpfdsm/internal/sim", "/repo/internal/sim/signal.go") {
-		t.Error("non-kernel sim file should not be exempt")
-	}
-	if goroutineExemptFile("hpfdsm/internal/network", "/repo/internal/network/sim.go") {
-		t.Error("whitelist must be scoped to the sim package")
 	}
 	names := AnalyzerNames()
 	for _, want := range []string{"maporder", "wallclock", "freelist", "hotalloc", "goroutine"} {

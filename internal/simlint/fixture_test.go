@@ -104,6 +104,12 @@ func TestHotAllocFixture(t *testing.T) {
 func TestGoroutineFixture(t *testing.T) {
 	pkg, res := runFixture(t, "goroutine", Goroutine)
 	checkWants(t, pkg, res)
+	// concurrent.go's file-wide carve-out admits its primitives and is
+	// counted as in use; stale.go's carve-out guards no primitive and
+	// surfaces as an unused-annotation finding (matched by its marker).
+	if res.Concurrent != 1 {
+		t.Errorf("concurrent carve-outs in use = %d, want 1", res.Concurrent)
+	}
 }
 
 // TestSuppressFixture exercises the directive machinery end to end:

@@ -5,13 +5,16 @@ import (
 )
 
 // Goroutine enforces the one-runnable-goroutine discipline: inside the
-// deterministic set, only the sim kernel (internal/sim/sim.go) may
-// spawn goroutines, build channels, or use sync primitives. The kernel
-// hands control between process goroutines through unbuffered channels
-// with exactly one runnable at any instant; a second scheduler anywhere
-// else would reintroduce host-scheduler ordering into the simulated
-// machine. The parallel-sweep runner parallelizes across whole runs,
-// outside this set.
+// deterministic set, only files carrying a file-wide
+// //simlint:concurrent annotation (the sim kernel's scheduler files)
+// may spawn goroutines, build channels, or use sync primitives. The
+// kernel hands control between process goroutines through unbuffered
+// channels with exactly one runnable at any instant; a second scheduler
+// anywhere else would reintroduce host-scheduler ordering into the
+// simulated machine. The parallel-sweep runner parallelizes across
+// whole runs, outside this set. An annotated file with no concurrency
+// primitive left in it surfaces as an unused-annotation finding, so
+// carve-outs cannot quietly outlive the code that justified them.
 var Goroutine = &Analyzer{
 	Name:    "goroutine",
 	Doc:     "goroutine, channel, or sync primitive outside the sim kernel",
@@ -22,7 +25,15 @@ var Goroutine = &Analyzer{
 func runGoroutine(pass *Pass) {
 	for _, f := range pass.Files {
 		file := pass.Fset.Position(f.Package).Filename
-		if goroutineExemptFile(pass.PkgPath, file) {
+		if d := pass.Directives.ConcurrentFile(file); d != nil {
+			// Admitted file: no reports, but only primitives actually
+			// present consume the annotation.
+			ast.Inspect(f, func(n ast.Node) bool {
+				if goroutinePrimitive(pass, n) {
+					d.used = true
+				}
+				return true
+			})
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -46,4 +57,22 @@ func runGoroutine(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// goroutinePrimitive reports whether n is one of the constructs the
+// analyzer polices: a go statement, channel type, select statement, or
+// a sync / sync-atomic selector.
+func goroutinePrimitive(pass *Pass, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.GoStmt, *ast.ChanType, *ast.SelectStmt:
+		return true
+	case *ast.SelectorExpr:
+		obj := pass.Info.Uses[n.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		p := obj.Pkg().Path()
+		return p == "sync" || p == "sync/atomic"
+	}
+	return false
 }

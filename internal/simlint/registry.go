@@ -1,7 +1,6 @@
 package simlint
 
 import (
-	"path"
 	"strings"
 )
 
@@ -34,34 +33,17 @@ var wallclockExempt = []string{
 	"hpfdsm/examples/",
 }
 
-// goroutineWhitelist lists the files allowed to spawn goroutines,
-// build channels, or touch sync primitives inside the deterministic
-// set: the sim kernel itself, whose coroutine scheduler hands control
-// between process goroutines through unbuffered channels while keeping
-// exactly one runnable at a time (the race detector proves the
-// discipline dynamically; this analyzer pins it statically). The
-// parallel-sweep runner (internal/bench) and the compiler's memoization
-// locks live outside the deterministic set and need no entry.
-var goroutineWhitelist = map[string][]string{
-	"hpfdsm/internal/sim": {"sim.go"},
-}
-
+// Files allowed to spawn goroutines, build channels, or touch sync
+// primitives inside the deterministic set carry a file-wide
+// //simlint:concurrent annotation with a mandatory reason (see the
+// goroutine analyzer). There is no central whitelist: the carve-out
+// lives next to the code it admits, and an annotation left on a file
+// with no concurrency primitive becomes an unused-annotation finding.
 func isDeterministic(pkgPath string) bool { return deterministicPkgs[pkgPath] }
 
 func isWallclockExempt(pkgPath string) bool {
 	for _, p := range wallclockExempt {
 		if pkgPath == p || strings.HasPrefix(pkgPath, p) {
-			return true
-		}
-	}
-	return false
-}
-
-// goroutineExemptFile reports whether file (by base name) in pkgPath
-// may use goroutines, channels, and sync primitives.
-func goroutineExemptFile(pkgPath, file string) bool {
-	for _, f := range goroutineWhitelist[pkgPath] {
-		if path.Base(strings.ReplaceAll(file, "\\", "/")) == f {
 			return true
 		}
 	}

@@ -16,6 +16,7 @@ type Result struct {
 	Suppressions []*Directive // used ignore directives, with reasons
 	Commutative  int          // commutative annotations honored
 	Hotpath      int          // hotpath annotations honored
+	Concurrent   int          // file-wide concurrency carve-outs in use
 	Packages     int
 }
 
@@ -85,6 +86,17 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) *Result {
 				if d.used {
 					res.Hotpath++
 				}
+			case DirConcurrent:
+				if d.used {
+					res.Concurrent++
+				} else {
+					res.Diags = append(res.Diags, Diagnostic{
+						Pos:      positionOf(d),
+						Analyzer: "simlint",
+						Message: fmt.Sprintf("unused concurrent carve-out (reason: %s); the file no longer uses goroutines, channels, or sync primitives — delete it",
+							d.Reason),
+					})
+				}
 			}
 		}
 	}
@@ -136,8 +148,8 @@ func (r *Result) Format(w io.Writer, root string) {
 	for _, d := range findings {
 		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
-	fmt.Fprintf(w, "simlint: %d package(s): %d finding(s), %d suppressed, %d commutative annotation(s), %d hotpath function(s)\n",
-		r.Packages, len(findings), len(r.Suppressions), r.Commutative, r.Hotpath)
+	fmt.Fprintf(w, "simlint: %d package(s): %d finding(s), %d suppressed, %d commutative annotation(s), %d hotpath function(s), %d concurrent file(s)\n",
+		r.Packages, len(findings), len(r.Suppressions), r.Commutative, r.Hotpath, r.Concurrent)
 	if len(r.Suppressions) > 0 {
 		fmt.Fprintf(w, "tracked suppressions:\n")
 		for _, s := range r.Suppressions {

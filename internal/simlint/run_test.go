@@ -40,6 +40,9 @@ func TestRepoIsClean(t *testing.T) {
 	if res.Hotpath == 0 {
 		t.Error("expected hotpath functions in the live tree")
 	}
+	if res.Concurrent == 0 {
+		t.Error("expected concurrent carve-outs in the live tree (the sim kernel's scheduler files at least)")
+	}
 }
 
 func TestFormat(t *testing.T) {
@@ -54,13 +57,14 @@ func TestFormat(t *testing.T) {
 		},
 		Commutative: 1,
 		Hotpath:     2,
+		Concurrent:  1,
 	}
 	var buf strings.Builder
 	res.Format(&buf, "/r")
 	out := buf.String()
 	for _, want := range []string{
 		"a.go:3:1: maporder: bad order",
-		"simlint: 2 package(s): 1 finding(s), 1 suppressed, 1 commutative annotation(s), 2 hotpath function(s)",
+		"simlint: 2 package(s): 1 finding(s), 1 suppressed, 1 commutative annotation(s), 2 hotpath function(s), 1 concurrent file(s)",
 		"tracked suppressions:",
 		"b.go:8: hotalloc -- ok",
 	} {

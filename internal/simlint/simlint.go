@@ -27,10 +27,14 @@
 // placed on, or on the line above, the offending line (or before the
 // package clause for a file-wide waiver). The reason is mandatory and
 // every suppression is reported in the driver's summary, mirroring the
-// tracked suppressions of the HPF-level verifier. Two further
+// tracked suppressions of the HPF-level verifier. Three further
 // annotations feed specific analyzers: //simlint:commutative marks a
-// map-ranging loop whose body is order-independent, and
-// //simlint:hotpath opts a function into the hotalloc discipline.
+// map-ranging loop whose body is order-independent,
+// //simlint:hotpath opts a function into the hotalloc discipline, and
+// //simlint:concurrent (file-wide only, mandatory reason) admits one
+// file into the goroutine analyzer's concurrency carve-out — the sim
+// kernel's scheduler files; anything else using goroutines, channels,
+// or sync primitives in the deterministic set still fails.
 package simlint
 
 import (
@@ -98,6 +102,7 @@ const (
 	DirIgnore      = "ignore"      // suppress one analyzer's findings at a line (or file-wide)
 	DirCommutative = "commutative" // the annotated map range is order-independent
 	DirHotpath     = "hotpath"     // the annotated function must not allocate
+	DirConcurrent  = "concurrent"  // this file may use goroutines/channels/sync (file-wide, reason mandatory)
 )
 
 // Directive is one parsed //simlint: comment.
@@ -179,6 +184,22 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File, analyzerNames map[s
 						bad(c.Pos(), "malformed directive %q: unexpected arguments (use \"-- reason\" for a justification)", c.Text)
 						continue
 					}
+				case DirConcurrent:
+					// Admitting a whole file to the concurrency
+					// carve-out is a big hammer: it must sit before
+					// the package clause and must say why it is safe.
+					if strings.TrimSpace(args) != "" {
+						bad(c.Pos(), "malformed directive %q: unexpected arguments (use \"//simlint:concurrent -- why the file is safe\")", c.Text)
+						continue
+					}
+					if !hasReason || reason == "" {
+						bad(c.Pos(), "malformed directive %q: a concurrency carve-out must carry a reason (\"//simlint:concurrent -- why the file is safe\")", c.Text)
+						continue
+					}
+					if !d.FileWide {
+						bad(c.Pos(), "malformed directive %q: concurrent is file-wide only; place it before the package clause", c.Text)
+						continue
+					}
 				default:
 					bad(c.Pos(), "malformed directive %q: unknown kind %q", c.Text, kind)
 					continue
@@ -217,6 +238,20 @@ func (ds *DirectiveSet) CommutativeAt(file string, line int) bool {
 		return true
 	}
 	return false
+}
+
+// ConcurrentFile returns the file-wide //simlint:concurrent directive
+// for file, or nil. The caller (the goroutine analyzer) marks it used
+// only when the file actually contains a concurrency primitive, so a
+// stale carve-out on a since-cleaned file surfaces as an unused
+// annotation finding.
+func (ds *DirectiveSet) ConcurrentFile(file string) *Directive {
+	for _, d := range ds.byFile[file] {
+		if d.Kind == DirConcurrent && d.FileWide {
+			return d
+		}
+	}
+	return nil
 }
 
 // suppress marks diag suppressed if a matching ignore directive exists,

@@ -1,0 +1,10 @@
+//simlint:concurrent -- fixture: stale carve-out guarding nothing // want `unused concurrent carve-out`
+
+// stale.go carries the carve-out but no concurrency primitive: the
+// annotation is unused and must surface as a finding so carve-outs
+// cannot quietly outlive the code that justified them.
+package goroutine
+
+func plainArithmetic(a, b int) int {
+	return a * b
+}

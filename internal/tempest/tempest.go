@@ -517,20 +517,41 @@ func NewCluster(env *sim.Env, sp *memory.Space) *Cluster {
 	st := stats.New(mc.Nodes)
 	net := network.New(env, mc, st)
 	c := &Cluster{Env: env, MC: mc, Space: sp, Net: net, Stats: st}
-	for i := 0; i < mc.Nodes; i++ {
+	c.assemble(func(int) *sim.Env { return env })
+	return c
+}
+
+// NewPartitionedCluster builds a cluster in conservative-PDES mode:
+// envs[i] is node i's partition environment and post the network's
+// cross-partition mailbox hook (see network.NewPartitioned). Each
+// node's handlers, timers, and compute process live entirely on its
+// own Env; Cluster.Env is node 0's — the home of the barrier and
+// reduction master state, which only node 0's handlers mutate.
+func NewPartitionedCluster(envs []*sim.Env, sp *memory.Space, post network.PostFn) *Cluster {
+	mc := sp.Machine()
+	st := stats.New(mc.Nodes)
+	net := network.NewPartitioned(envs, post, mc, st)
+	c := &Cluster{Env: envs[0], MC: mc, Space: sp, Net: net, Stats: st}
+	c.assemble(func(i int) *sim.Env { return envs[i] })
+	return c
+}
+
+// assemble builds and binds the per-node state; envOf maps a node id
+// to the Env its events run on.
+func (c *Cluster) assemble(envOf func(int) *sim.Env) {
+	for i := 0; i < c.MC.Nodes; i++ {
 		n := &Node{
 			ID:  i,
-			Env: env,
-			Net: net,
-			Mem: memory.NewNodeMem(sp, i),
-			MC:  mc,
-			St:  &st.Nodes[i],
+			Env: envOf(i),
+			Net: c.Net,
+			Mem: memory.NewNodeMem(c.Space, i),
+			MC:  c.MC,
+			St:  &c.Stats.Nodes[i],
 		}
-		net.Bind(i, n.receive)
+		c.Net.Bind(i, n.receive)
 		c.Nodes = append(c.Nodes, n)
 	}
 	c.installSync()
-	return c
 }
 
 // SetTracer installs the causal event tracer on the cluster: the
