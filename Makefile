@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race lint lint-go check bench fmt cover clean
+.PHONY: all build test vet race lint lint-go artifact-guard check bench fmt cover clean
 
 # Every shipped application, linted by the static incoherence-safety
 # verifier at every optimization level.
@@ -20,9 +20,11 @@ vet:
 # The sim kernel hands control between goroutines through unbuffered
 # channels; the race detector is the proof that the one-runnable-
 # goroutine discipline holds everywhere, including the fault-injection
-# and reliable-delivery layer.
+# and reliable-delivery layer. Instrumentation slows the differential
+# suites ~10x, so the gate sets its own deadline instead of relying on
+# go test's 10-minute default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Static verification: the schedule contract checker and IR race
 # analysis over every shipped application, all optimization levels.
@@ -41,8 +43,20 @@ lint:
 lint-go:
 	$(GO) run ./cmd/simlint ./...
 
+# Generated outputs (coverage profiles, CPU/heap profiles, runtime
+# traces, CI benchmark scratch) must never be committed: the
+# .gitignore patterns keep them out of `git add .`, and this guard
+# fails the gate if one slips into the index anyway.
+artifact-guard:
+	@bad=$$(git ls-files -- 'cover.out' '*.out' '*.pprof' '*.cpuprofile' '*.memprofile' \
+		'BENCH_ci.json' 'paperbench_output.txt' | grep -v '_test\.go$$' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "build artifacts are tracked by git:"; echo "$$bad"; \
+		echo "run 'git rm --cached <file>' and commit"; exit 1; \
+	fi
+
 # Everything the CI gate runs.
-check: build vet test race lint lint-go
+check: build vet test race lint lint-go artifact-guard
 
 # Perf trajectory: run the short regression suite and write the next
 # BENCH_<n>.json in sequence. Compare any two files entry-by-entry;

@@ -66,6 +66,8 @@ func main() {
 	file := flag.String("file", "", "mini-HPF source file (alternative to -app)")
 	size := flag.String("size", "bench", "problem sizes for -app: bench, paper, scaled")
 	nodes := flag.Int("nodes", 8, "cluster size")
+	topoName := flag.String("topo", "flat", "synchronization/invalidation topology: flat (master unicast) or tree (combining tree + multicast fan-out)")
+	radix := flag.Int("radix", 0, "combining-tree radix for -topo tree (0 = default of 4)")
 	cpus := flag.Int("cpus", 2, "CPUs per node: 2 = dedicated protocol processor, 1 = interleaved")
 	optName := flag.String("opt", "rtelim", "optimization level: none, base, bulk, rtelim, pre")
 	backend := flag.String("backend", "sm", "backend: sm (shared memory) or mp (message passing)")
@@ -168,6 +170,11 @@ func main() {
 		}
 	}
 	mc = mc.WithNodes(*nodes).WithBlockSize(*blockSize)
+	tp, err := config.ParseTopology(*topoName)
+	if err != nil {
+		fail(err)
+	}
+	mc = mc.WithTopology(tp).WithRadix(*radix)
 	switch *cpus {
 	case 1:
 		mc = mc.WithCPUMode(config.SingleCPU)
@@ -231,6 +238,9 @@ func main() {
 	fmt.Printf("program   %s\n", prog.Name)
 	fmt.Printf("machine   %d node(s), %s, %dB blocks, backend %v, opt %v\n",
 		mc.Nodes, mc.CPUMode, mc.BlockSize, opts.Backend, opt)
+	if mc.Topology == config.TreeTopo {
+		fmt.Printf("topology  tree, radix %d\n", mc.EffectiveRadix())
+	}
 	if f := mc.Faults; f.Active() {
 		fmt.Printf("faults    drop=%.2g dup=%.2g jitter=%dus reorder=%.2g seed=%d crashes=%d\n",
 			f.Drop, f.Dup, f.Jitter/1000, f.Reorder, f.Seed, len(f.Crashes))

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|fig1|table1|table2|fig3|table3|fig4|pre|blocksize]
+//	paperbench [-exp all|fig1|table1|table2|fig3|table3|fig4|pre|blocksize|scale]
 //	           [-size bench|paper|scaled] [-nodes 8] [-v]
 //
 // Absolute times come from the simulation's 1996-class machine model;
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, table1, table2, fig3, table3, fig4, pre, blocksize, prefetch, consistency, distribution, irregular, network, faults, agg")
+	exp := flag.String("exp", "all", "experiment: all, fig1, table1, table2, fig3, table3, fig4, pre, blocksize, prefetch, consistency, distribution, irregular, network, faults, agg, scale")
 	size := flag.String("size", "bench", "problem sizes: bench, paper, scaled")
 	nodes := flag.Int("nodes", 8, "cluster size for suite experiments")
 	verbose := flag.Bool("v", false, "log each run")
@@ -183,6 +183,13 @@ func main() {
 			show(name, out)
 		case "agg":
 			out, err := bench.Agg(sizing)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			show(name, out)
+		case "scale":
+			out, err := bench.Scale(sizing, *pdes)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				os.Exit(1)

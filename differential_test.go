@@ -8,9 +8,13 @@
 // tests or scalars), so the DSM run performs the identical sequence of
 // floating-point operations as the reference. cg is the exception —
 // its AllReduce results (dot products) feed back into the array
-// updates, and the protocol combines contributions in arrival order,
-// so reassociation shifts low-order bits; it is compared under the
-// app's documented tolerance instead.
+// updates, and the protocol folds per-node partial sums in canonical
+// ascending node order, which still associates differently from the
+// reference's single serial loop; it is compared under the app's
+// documented tolerance instead. (The canonical fold is what makes the
+// DSM result deterministic and topology-independent — see
+// scale_differential_test.go — but no fold order can match a serial
+// sum bit-for-bit.)
 package hpfdsm_test
 
 import (

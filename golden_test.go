@@ -7,10 +7,13 @@
 // aggregation layer, which re-captured every row — must update them
 // together with the differential tests, which remain the semantic
 // gate: data words are bit-identical with aggregation on or off.
-// (Most recent such change: same-instant message deliveries are now
-// ordered by the schedule-independent (sent, src, seq) key rather than
-// heap insertion order, so the sequential loop and the PDES window
-// scheduler pop identically; see DESIGN.md §13.)
+// (Most recent such change: a direct protocol-engine send now drains
+// the destination's gather buffer at compose time, so buffered
+// segments keep their earlier departure slots — previously a write
+// grant parked in a buffer could be overtaken by the next
+// transaction's invalidation, leaving the grantee a writer the
+// directory had already retired. shallow/grav/cg shifted; the others
+// never hit the reordering window.)
 package hpfdsm_test
 
 import (
@@ -31,10 +34,10 @@ var goldenOptRTElim = []struct {
 	bytes   int64
 }{
 	{"pde", 549657000, 8680, 36404, 4945108},
-	{"shallow", 118570090, 1298, 9038, 1067268},
-	{"grav", 55251250, 207, 3159, 169788},
+	{"shallow", 118847410, 1298, 9034, 1067276},
+	{"grav", 55140330, 211, 3164, 169952},
 	{"lu", 77808310, 609, 5584, 403200},
-	{"cg", 52969660, 555, 3651, 225393},
+	{"cg", 53025230, 555, 3658, 225379},
 	{"jacobi", 24362300, 224, 1612, 183536},
 }
 

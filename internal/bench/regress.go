@@ -224,6 +224,58 @@ func regressionBenchmarks() []struct {
 			b.ReportMetric(float64(seq.Stats.TotalMessages()), "msgs")
 			b.ReportMetric(float64(seq.Stats.TotalBytes()), "wire-bytes")
 		}},
+		{"scale-sync", func(b *testing.B) {
+			// Hierarchical-coherence gate: the full N x {flat, tree}
+			// microbenchmark sweep. The sweep itself enforces the
+			// contract (tree reductions bit-identical to flat at every
+			// N); here its totals become drift witnesses, and the
+			// N=1024 barrier latencies record the O(N) vs O(log N)
+			// separation as informational metrics.
+			b.ReportAllocs()
+			var cells []ScaleCell
+			var err error
+			for i := 0; i < b.N; i++ {
+				cells, err = ScaleSweep(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var total float64
+			var msgs, bytes int64
+			for _, c := range cells {
+				total += ms(c.Barrier) + ms(c.Reduce) + ms(c.InvalLat)
+				msgs += c.SyncMsgs + c.InvalMsgs
+				bytes += c.SyncBytes + c.InvalBytes
+				if c.Nodes == 1024 {
+					key := "bar-us-flat-1024"
+					if c.Topo == config.TreeTopo {
+						key = "bar-us-tree-1024"
+					}
+					b.ReportMetric(us(c.Barrier), key)
+				}
+			}
+			b.ReportMetric(total, "sim-ms")
+			b.ReportMetric(float64(msgs), "msgs")
+			b.ReportMetric(float64(bytes), "wire-bytes")
+		}},
+		{"scale-app64", func(b *testing.B) {
+			// One real program at 64 nodes on both topologies: the pair
+			// run fails unless every checked array is bit-identical, and
+			// the tree side's simulated quantities are drift-gated.
+			b.ReportAllocs()
+			var flat, tree *runtime.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				flat, tree, err = scaleAppPair("jacobi", 64, Scaled, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(ms(tree.Elapsed), "sim-ms")
+			b.ReportMetric(float64(tree.Stats.TotalMessages()), "msgs")
+			b.ReportMetric(float64(tree.Stats.TotalBytes()), "wire-bytes")
+			b.ReportMetric(float64(flat.Elapsed)/float64(tree.Elapsed), "speedup-tree")
+		}},
 		{"suite-scaled", func(b *testing.B) {
 			b.ReportAllocs()
 			var suite *SuiteResults

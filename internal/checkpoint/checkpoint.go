@@ -27,8 +27,10 @@ import (
 // Magic opens every encoded snapshot.
 const Magic = "HPFCKPT1"
 
-// Version is the current codec version.
-const Version = 1
+// Version is the current codec version. Version 2 widened the
+// directory sharer/writer/stale sets from one uint64 mask each to
+// length-prefixed word vectors, lifting the 64-node cluster cap.
+const Version = 2
 
 // Snapshot is the cluster-wide recovery image for one epoch.
 type Snapshot struct {
@@ -67,12 +69,14 @@ type BlockImage struct {
 	Data  []byte
 }
 
-// DirEntry is one home-side directory entry.
+// DirEntry is one home-side directory entry. The three node sets are
+// multi-word bitmaps (ceil(Nodes/64) words) so clusters past 64 nodes
+// checkpoint exactly like small ones.
 type DirEntry struct {
 	Block   int32
-	Sharers uint64
-	Writers uint64
-	Stale   uint64
+	Sharers []uint64
+	Writers []uint64
+	Stale   []uint64
 }
 
 // IWKey is one completed install-window key (block, writer).
@@ -120,9 +124,9 @@ func encodeNode(w *writer, n *NodeState) {
 	w.u32(uint32(len(n.Dir)))
 	for _, d := range n.Dir {
 		w.u32(uint32(d.Block))
-		w.u64(d.Sharers)
-		w.u64(d.Writers)
-		w.u64(d.Stale)
+		w.words(d.Sharers)
+		w.words(d.Writers)
+		w.words(d.Stale)
 	}
 	w.u32(uint32(len(n.IWDone)))
 	for _, k := range n.IWDone {
@@ -198,10 +202,10 @@ func decodeNode(r *reader) (NodeState, error) {
 	for i := 0; i < nb && r.err == nil; i++ {
 		n.Blocks = append(n.Blocks, BlockImage{Block: int32(r.u32()), Data: r.blob()})
 	}
-	ne := r.count(28)
+	ne := r.count(16) // block + three (possibly empty) word vectors
 	for i := 0; i < ne && r.err == nil; i++ {
 		n.Dir = append(n.Dir, DirEntry{
-			Block: int32(r.u32()), Sharers: r.u64(), Writers: r.u64(), Stale: r.u64(),
+			Block: int32(r.u32()), Sharers: r.words(), Writers: r.words(), Stale: r.words(),
 		})
 	}
 	nk := r.count(8)
@@ -240,6 +244,14 @@ func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
 func (w *writer) blob(b []byte) {
 	w.u32(uint32(len(b)))
 	w.raw(b)
+}
+
+// words writes a length-prefixed uint64 vector (a node-set bitmap).
+func (w *writer) words(v []uint64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.u64(x)
+	}
 }
 
 type reader struct {
@@ -301,6 +313,19 @@ func (r *reader) count(elemSize int) int {
 		return 0
 	}
 	return n
+}
+
+// words reads a length-prefixed uint64 vector.
+func (r *reader) words() []uint64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = r.u64()
+	}
+	return v
 }
 
 // blob reads a length-prefixed byte slice (copied out of the input).

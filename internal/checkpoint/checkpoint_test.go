@@ -25,7 +25,7 @@ func sample() *Snapshot {
 				Dirty:      []uint16{0, 0xffff, 0x8001, 0},
 				Mapped:     []byte{1, 0},
 				Blocks:     []BlockImage{{Block: 1, Data: []byte{9, 8, 7, 6}}},
-				Dir:        []DirEntry{{Block: 0, Sharers: 0b1010, Writers: 0b0100, Stale: 0b0001}},
+				Dir:        []DirEntry{{Block: 0, Sharers: []uint64{0b1010}, Writers: []uint64{0b0100, 1}, Stale: []uint64{0b0001}}},
 				IWDone:     []IWKey{{A: 3, B: 5}},
 				CCFrames:   []byte{0, 1, 0, 0},
 				CCTouched:  []byte{0, 0, 1, 0},

@@ -41,6 +41,42 @@ func (c Consistency) String() string {
 	return "release"
 }
 
+// Topology selects how synchronization and invalidation traffic is
+// routed between nodes.
+type Topology int
+
+const (
+	// Flat is the paper's 8-node layout: node 0 masters every barrier
+	// and reduction point-to-point, and a block's home unicasts one
+	// invalidation per sharer. O(N) messages serialize through single
+	// nodes, which is affordable at 8 nodes and ruinous at 1024.
+	Flat Topology = iota
+	// TreeTopo routes synchronization through a K-ary combining tree
+	// (one up-pass, one down-pass, K = Radix) and fans invalidations
+	// out through per-cluster relays with combined acks. Data words
+	// stay bit-identical to Flat; only the message topology changes.
+	TreeTopo
+)
+
+func (t Topology) String() string {
+	if t == TreeTopo {
+		return "tree"
+	}
+	return "flat"
+}
+
+// ParseTopology parses the hpfrun -topo syntax.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "flat", "":
+		return Flat, nil
+	case "tree":
+		return TreeTopo, nil
+	default:
+		return Flat, fmt.Errorf(`config: bad topology %q (want "flat" or "tree")`, s)
+	}
+}
+
 // CPUMode selects how protocol handlers share the node's processors.
 type CPUMode int
 
@@ -312,10 +348,44 @@ type Machine struct {
 	AggThreshold int
 	AggDelay     sim.Time
 
+	// Topology selects flat (paper) or tree-structured routing for
+	// synchronization and invalidation; Radix is the combining-tree
+	// fan-out (0 selects DefaultRadix). Radix is capped at 64 so a
+	// parent's child-arrival set and a cluster's leaf membership each
+	// fit one uint64 word regardless of N.
+	Topology Topology
+	Radix    int
+
 	// Faults configures unreliable-network fault injection (off by
 	// default; the paper's Myrinet never drops or reorders messages).
 	Faults Faults
 }
+
+// MaxNodes bounds the cluster size. Directory sharer sets are
+// multi-word bitmaps, so the cap is no longer the historic 64-bit
+// mask width; 4096 keeps per-block directory state and the O(N)
+// memory image per node within reason for the scale experiments.
+const MaxNodes = 4096
+
+// DefaultRadix is the combining-tree fan-out when Radix is zero. 4 is
+// the knee for the Table 1 cost model: each extra level pays one
+// send+receive+handler hop (~31 µs), while each extra child serializes
+// one more SendOver (~9 µs) through the parent.
+const DefaultRadix = 4
+
+// EffectiveRadix returns Radix or its default.
+func (m Machine) EffectiveRadix() int {
+	if m.Radix > 0 {
+		return m.Radix
+	}
+	return DefaultRadix
+}
+
+// WithTopology returns a copy of m with the given routing topology.
+func (m Machine) WithTopology(t Topology) Machine { m.Topology = t; return m }
+
+// WithRadix returns a copy of m with the given combining-tree radix.
+func (m Machine) WithRadix(k int) Machine { m.Radix = k; return m }
 
 // Default returns the paper's Table 1 cluster, dual-CPU, 8 nodes,
 // 128-byte blocks.
@@ -424,8 +494,10 @@ func (m Machine) Validate() error {
 	switch {
 	case m.Nodes < 1:
 		return fmt.Errorf("config: need at least 1 node, have %d", m.Nodes)
-	case m.Nodes > 64:
-		return fmt.Errorf("config: directory sharer sets are 64-bit; %d nodes unsupported", m.Nodes)
+	case m.Nodes > MaxNodes:
+		return fmt.Errorf("config: %d nodes exceeds the %d-node cap", m.Nodes, MaxNodes)
+	case m.Radix < 0 || m.Radix == 1 || m.Radix > 64:
+		return fmt.Errorf("config: combining-tree radix %d outside [2, 64] (0 selects the default of %d)", m.Radix, DefaultRadix)
 	case m.BlockSize <= 0 || m.BlockSize%8 != 0:
 		return fmt.Errorf("config: block size %d must be a positive multiple of 8", m.BlockSize)
 	case m.PageSize <= 0 || m.PageSize%m.BlockSize != 0:

@@ -34,7 +34,9 @@ func TestValidateRejections(t *testing.T) {
 		mut  func(*Machine)
 	}{
 		{"zero nodes", func(m *Machine) { m.Nodes = 0 }},
-		{"too many nodes", func(m *Machine) { m.Nodes = 65 }},
+		{"too many nodes", func(m *Machine) { m.Nodes = MaxNodes + 1 }},
+		{"bad radix", func(m *Machine) { m.Radix = 1 }},
+		{"oversize radix", func(m *Machine) { m.Radix = 65 }},
 		{"zero block", func(m *Machine) { m.BlockSize = 0 }},
 		{"odd block", func(m *Machine) { m.BlockSize = 100 }},
 		{"page not multiple", func(m *Machine) { m.PageSize = 1000 }},
@@ -91,7 +93,7 @@ func TestFromJSON(t *testing.T) {
 	if m.BlockSize != 128 {
 		t.Fatal("defaults not preserved")
 	}
-	if _, err := FromJSON(strings.NewReader(`{"Nodes": 99}`)); err == nil {
+	if _, err := FromJSON(strings.NewReader(`{"Nodes": 9999}`)); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 	if _, err := FromJSON(strings.NewReader(`{"Bogus": 1}`)); err == nil {

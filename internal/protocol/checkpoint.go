@@ -44,6 +44,9 @@ func (p *Proto) Quiescent() bool {
 		if np.coal != nil && np.coal.PendingAny() {
 			return false
 		}
+		if len(np.relay) != 0 {
+			return false
+		}
 		// Pure any-check over the directory: quiescence is the
 		// conjunction over all entries, order-free, mutation-free.
 		//simlint:commutative
@@ -110,7 +113,10 @@ func (p *Proto) Capture() *checkpoint.Snapshot {
 				panic(fmt.Sprintf("protocol: capture with busy directory entry for block %d on node %d", b, np.id))
 			}
 			ns.Dir = append(ns.Dir, checkpoint.DirEntry{
-				Block: int32(b), Sharers: e.sharers, Writers: e.writers, Stale: e.stale,
+				Block:   int32(b),
+				Sharers: append([]uint64(nil), e.sharers.words()...),
+				Writers: append([]uint64(nil), e.writers.words()...),
+				Stale:   append([]uint64(nil), e.stale.words()...),
 			})
 		}
 		keys := make([][2]int, 0, len(np.iwDone))
@@ -171,12 +177,21 @@ func (p *Proto) Restore(s *checkpoint.Snapshot) error {
 			}
 		}
 		np.dir = make(map[int]*dirEntry, len(ns.Dir))
+		nnodes := len(p.nodes)
+		words := nsWords(nnodes)
 		for _, d := range ns.Dir {
 			b := int(d.Block)
 			if b < 0 || b >= nb || sp.HomeOfBlock(b) != np.id {
 				return fmt.Errorf("protocol: snapshot node %d has directory entry for foreign block %d", i, b)
 			}
-			np.dir[b] = &dirEntry{sharers: d.Sharers, writers: d.Writers, stale: d.Stale}
+			if len(d.Sharers) > words || len(d.Writers) > words || len(d.Stale) > words {
+				return fmt.Errorf("protocol: snapshot node %d directory entry for block %d sized for a larger cluster", i, b)
+			}
+			e := newDirEntry(nnodes)
+			e.sharers.loadWords(d.Sharers)
+			e.writers.loadWords(d.Writers)
+			e.stale.loadWords(d.Stale)
+			np.dir[b] = e
 		}
 		np.iwDone = make(map[[2]int]bool, len(ns.IWDone))
 		for _, k := range ns.IWDone {

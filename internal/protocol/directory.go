@@ -2,7 +2,6 @@ package protocol
 
 import (
 	"fmt"
-	mbits "math/bits"
 
 	"hpfdsm/internal/memory"
 	"hpfdsm/internal/network"
@@ -16,8 +15,8 @@ import (
 // is collecting flushes or invalidation acknowledgements the entry is
 // busy and later requests queue.
 type dirEntry struct {
-	sharers uint64
-	writers uint64
+	sharers nodeset
+	writers nodeset
 
 	// stale marks nodes whose retained copy may hold stale words: when
 	// a read collects flushes from two or more concurrent writers, each
@@ -25,12 +24,19 @@ type dirEntry struct {
 	// words. The protocol tolerates this (data-race-free programs only
 	// read words they are entitled to), but the invariant checker's
 	// data-agreement audit must not compare those copies against home.
-	stale uint64
+	stale nodeset
 
 	busy    bool
 	cur     *dirReq
 	pending int
 	waitQ   []*dirReq
+}
+
+// newDirEntry allocates an entry with sets sized for an n-node cluster.
+func newDirEntry(n int) *dirEntry {
+	e := &dirEntry{}
+	e.sharers, e.writers, e.stale = newNodesets(n)
+	return e
 }
 
 // dirReq is one directory transaction. For remote requesters the reply
@@ -57,12 +63,12 @@ func (np *nodeProto) entry(b int) *dirEntry {
 	}
 	e, ok := np.dir[b]
 	if !ok {
-		e = &dirEntry{}
+		e = newDirEntry(len(np.p.nodes))
 		switch np.n.Mem.Tag(b) {
 		case memory.ReadWrite:
-			e.writers = bit(np.id)
+			e.writers.set(np.id)
 		case memory.ReadOnly:
-			e.sharers = bit(np.id)
+			e.sharers.set(np.id)
 		}
 		np.dir[b] = e
 	}
@@ -105,7 +111,7 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 			// downgrade the tag.
 			np.occupy(mc.TagChange)
 			mem.ClearDirty(r.block)
-			e.writers &^= bit(np.id)
+			e.writers.clear(np.id)
 			if invalidate {
 				if h := np.heat(); h != nil {
 					h.AddInval(r.block)
@@ -113,7 +119,7 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 				mem.SetTag(r.block, memory.Invalid)
 			} else {
 				mem.SetTag(r.block, memory.ReadOnly)
-				e.sharers |= bit(np.id)
+				e.sharers.set(np.id)
 			}
 			return
 		}
@@ -133,7 +139,7 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 				h.AddInval(r.block)
 			}
 			mem.SetTag(r.block, memory.Invalid)
-			e.sharers &^= bit(np.id)
+			e.sharers.clear(np.id)
 			return
 		}
 		if np.coal != nil {
@@ -161,28 +167,32 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 		// If two or more nodes hold modified words (the home's direct
 		// writes count), the readonly copies the flushed writers keep
 		// are mutually stale; record that for the data-agreement audit.
-		holders := e.writers
-		if mem.Dirty(r.block) != 0 {
-			holders |= bit(np.id)
+		holders := e.writers.count()
+		if mem.Dirty(r.block) != 0 && !e.writers.has(np.id) {
+			holders++
 		}
-		multiWriter := mbits.OnesCount64(holders) >= 2
-		for w := 0; w < len(np.p.nodes); w++ {
-			if e.writers&bit(w) != 0 && w != r.src {
+		multiWriter := holders >= 2
+		for w := e.writers.next(0); w >= 0; w = e.writers.next(w + 1) {
+			if w != r.src {
 				if multiWriter && w != np.id {
-					e.stale |= bit(w)
+					e.stale.set(w)
 				}
 				flushWriter(w, false)
 			}
 		}
 	case KWriteReq, KUpgradeReq, KMkWritableReq:
-		for w := 0; w < len(np.p.nodes); w++ {
-			if e.writers&bit(w) != 0 && w != r.src {
+		for w := e.writers.next(0); w >= 0; w = e.writers.next(w + 1) {
+			if w != r.src {
 				flushWriter(w, true)
 			}
 		}
-		for s := 0; s < len(np.p.nodes); s++ {
-			if e.sharers&bit(s) != 0 && s != r.src {
-				invalSharer(s)
+		if tree := np.p.tree; tree != nil {
+			need += np.invalSharersTree(e, r, invalSharer)
+		} else {
+			for s := e.sharers.next(0); s >= 0; s = e.sharers.next(s + 1) {
+				if s != r.src {
+					invalSharer(s)
+				}
 			}
 		}
 	default:
@@ -205,12 +215,12 @@ func (np *nodeProto) collectDone(b, from int, keeps bool) {
 	if e == nil || !e.busy {
 		panic(fmt.Sprintf("protocol: node %d got a collection response for idle block %d", np.id, b))
 	}
-	e.writers &^= bit(from)
-	e.sharers &^= bit(from)
+	e.writers.clear(from)
+	e.sharers.clear(from)
 	if keeps {
-		e.sharers |= bit(from)
+		e.sharers.set(from)
 	} else {
-		e.stale &^= bit(from) // copy invalidated; staleness moot
+		e.stale.clear(from) // copy invalidated; staleness moot
 	}
 	e.pending--
 	if e.pending > 0 {
@@ -249,8 +259,8 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 
 	switch r.kind {
 	case KReadReq:
-		e.sharers |= bit(r.src)
-		e.stale &^= bit(r.src) // fresh, fully merged copy
+		e.sharers.set(r.src)
+		e.stale.clear(r.src) // fresh, fully merged copy
 		if r.local != nil {
 			np.occupy(mc.TagChange)
 			mem.SetTag(r.block, memory.ReadOnly)
@@ -264,9 +274,10 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 		np.send(rm)
 
 	case KWriteReq:
-		e.writers = bit(r.src)
-		e.sharers = 0
-		e.stale = 0 // every other copy was just invalidated
+		e.writers.clearAll()
+		e.writers.set(r.src)
+		e.sharers.clearAll()
+		e.stale.clearAll() // every other copy was just invalidated
 		if r.local != nil {
 			// Home-local write miss: home memory is the data and the
 			// fault already opened the frame; keep the dirty mask (the
@@ -282,13 +293,13 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 		np.send(rm)
 
 	case KUpgradeReq:
-		hadCopy := e.sharers&bit(r.src) != 0 || e.writers&bit(r.src) != 0
-		e.sharers &^= bit(r.src)
-		e.writers |= bit(r.src)
+		hadCopy := e.sharers.has(r.src) || e.writers.has(r.src)
+		e.sharers.clear(r.src)
+		e.writers.set(r.src)
 		if !hadCopy {
 			// The grant ships fresh data; a retained-copy upgrade keeps
 			// whatever staleness the copy already carried.
-			e.stale &^= bit(r.src)
+			e.stale.clear(r.src)
 		}
 		if r.local != nil {
 			r.local(true)
@@ -322,9 +333,10 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 		np.send(rm)
 
 	case KMkWritableReq:
-		e.writers = bit(r.src)
-		e.sharers = 0
-		e.stale = 0
+		e.writers.clearAll()
+		e.writers.set(r.src)
+		e.sharers.clearAll()
+		e.stale.clearAll()
 		r.agg.blockDone(np, r)
 
 	default:

@@ -458,9 +458,10 @@ func (np *nodeProto) ccFlushDir(start, n, owner, flusher int) {
 			})
 			continue
 		}
-		e.writers = bit(owner)
-		e.sharers = 0
-		e.stale = 0
+		e.writers.clearAll()
+		e.writers.set(owner)
+		e.sharers.clearAll()
+		e.stale.clearAll()
 	}
 	np.occupy(sim.Time(n) * np.n.MC.TagChange)
 }

@@ -63,7 +63,7 @@ func (p *Proto) audit(quiescent bool) error {
 			}
 			continue // mid-transaction at a barrier instant; nothing to audit
 		}
-		var writers, sharers, stale uint64
+		var writers, sharers, stale nodeset
 		if ok {
 			writers = e.writers
 			sharers = e.sharers
@@ -81,21 +81,21 @@ func (p *Proto) audit(quiescent bool) error {
 					return fmt.Errorf("block %d%s: overlapping dirty words across nodes (mask %016b at node %d)", b, p.blockInfo(b), d, i)
 				}
 				dirtyMask |= d
-				if writers&bit(i) == 0 && homeID != i && (quiescent || !cc) {
+				if !writers.has(i) && homeID != i && (quiescent || !cc) {
 					return fmt.Errorf("block %d%s: node %d holds dirty words but is not a directory writer", b, p.blockInfo(b), i)
 				}
 			}
 			if np.n.Mem.Tag(b) != memory.ReadOnly || homeID == i {
 				continue
 			}
-			if (writers|sharers)&bit(i) == 0 {
+			if !writers.has(i) && !sharers.has(i) {
 				if quiescent || !cc {
 					return fmt.Errorf("block %d%s: node %d holds an untracked readonly copy", b, p.blockInfo(b), i)
 				}
 				continue
 			}
 			// Invariant 5: data agreement of the tracked readonly copy.
-			if cc || sharers&bit(i) == 0 || stale&bit(i) != 0 {
+			if cc || !sharers.has(i) || stale.has(i) {
 				continue
 			}
 			hd := home.n.Mem.BlockData(b)
@@ -180,6 +180,16 @@ func (p *Proto) DumpOutstanding() string {
 		for _, b := range busy {
 			e := np.dir[b]
 			lines = append(lines, fmt.Sprintf("directory block %d%s busy (pending=%d queued=%d)", b, p.blockInfo(b), e.pending, len(e.waitQ)))
+		}
+		var rounds []int
+		for b := range np.relay {
+			rounds = append(rounds, b)
+		}
+		sort.Ints(rounds)
+		for _, b := range rounds {
+			rs := np.relay[b]
+			lines = append(lines, fmt.Sprintf("relay round for block %d%s open (%d/%d leaves answered, home %d)",
+				b, p.blockInfo(b), rs.got, rs.expect, rs.home))
 		}
 		for _, l := range lines {
 			fmt.Fprintf(&out, "  node %d: %s\n", np.id, l)

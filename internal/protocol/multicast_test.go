@@ -1,0 +1,182 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"hpfdsm/internal/config"
+	"hpfdsm/internal/memory"
+	"hpfdsm/internal/sim"
+	"hpfdsm/internal/tempest"
+)
+
+// newTreeHarness is newHarness under the tree topology (default radix),
+// optionally with fault injection active.
+func newTreeHarness(t *testing.T, nodes, pages int, f *config.Faults) *harness {
+	t.Helper()
+	mc := config.Default().WithNodes(nodes).WithCPUMode(config.DualCPU).WithTopology(config.TreeTopo)
+	if f != nil {
+		mc = mc.WithFaults(*f)
+	}
+	sp := memory.NewSpace(mc)
+	base := sp.Alloc("arr", pages*mc.PageSize)
+	c := tempest.NewCluster(sim.NewEnv(), sp)
+	return &harness{c: c, p: Attach(c), base: base, space: sp}
+}
+
+func TestTreeInvalFanOutRound(t *testing.T) {
+	// Sixteen nodes (four radix-4 clusters), every node reads one block
+	// homed at node 0, then node 1 upgrades it. The home must open one
+	// relay round per multi-sharer cluster — cluster 0 contributes
+	// sharers {2,3} (home is local, the writer is the requester), the
+	// other three contribute four sharers each — and every reader must
+	// observe the new value afterwards. Barrier-instant audits run
+	// throughout (the -check auditor with tree invalidation on), and the
+	// quiescent audit must pass at the end.
+	h := newTreeHarness(t, 16, 2, nil)
+	h.c.BarrierCheck = h.p.CheckAtBarrier
+	addr := h.addrOnPage(0, 0)
+	got := make([]float64, 16)
+	for id := 0; id < 16; id++ {
+		id := id
+		h.run(id, "n", func(p *sim.Proc, n *tempest.Node) {
+			n.LoadF64(p, addr)
+			n.WaitPending(p)
+			h.c.Barrier(p, n)
+			if id == 1 {
+				n.StoreF64(p, addr, 2.5)
+			}
+			n.WaitPending(p)
+			h.c.Barrier(p, n)
+			got[id] = n.LoadF64(p, addr)
+			n.WaitPending(p)
+			h.c.Barrier(p, n)
+		})
+	}
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.c.CheckErr(); err != nil {
+		t.Fatal(err)
+	}
+	if h.c.BarrierChecks() == 0 {
+		t.Fatal("no barrier audits ran")
+	}
+	if err := h.p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range got {
+		if v != 2.5 {
+			t.Fatalf("node %d read %v after the upgrade, want 2.5", id, v)
+		}
+	}
+	if rounds := h.p.InvalRounds(); rounds != 4 {
+		t.Fatalf("relay rounds = %d, want 4 (one per multi-sharer cluster)", rounds)
+	}
+}
+
+func TestTreeInvalSkipsCrashedSharer(t *testing.T) {
+	// A sharer that crashed before the invalidation round must not stall
+	// it: its copy died with the node, so the home retires it from the
+	// directory up front and the cluster's relay round runs over the
+	// remaining live leaves.
+	h := newTreeHarness(t, 16, 2, nil)
+	addr := h.addrOnPage(0, 0)
+	b := h.space.Block(addr)
+	for id := 0; id < 16; id++ {
+		id := id
+		h.run(id, "n", func(p *sim.Proc, n *tempest.Node) {
+			n.LoadF64(p, addr)
+			n.WaitPending(p)
+			h.c.Barrier(p, n)
+			switch id {
+			case 6:
+				// Crash-stop immediately after the barrier: node 6 is a
+				// registered sharer in cluster 1 but not its relay (the
+				// home picks the lowest live sharer, node 4).
+				h.c.Net.MarkDead(6)
+			case 1:
+				p.Sleep(200 * sim.Microsecond) // let the crash land first
+				n.StoreF64(p, addr, 3.25)
+				n.WaitPending(p) // completes only if the round closes
+			}
+		})
+	}
+	if err := h.c.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	home := h.p.nodes[0]
+	e := home.dir[b]
+	if e == nil {
+		t.Fatal("home has no directory entry for the contested block")
+	}
+	if e.busy || e.pending != 0 {
+		t.Fatalf("round did not close: busy=%v pending=%d", e.busy, e.pending)
+	}
+	if e.sharers.has(6) {
+		t.Fatal("crashed sharer 6 still in the directory sharer set")
+	}
+	for _, id := range []int{2, 3, 4, 5, 7, 8, 11, 12, 15} {
+		if tag := h.c.Nodes[id].Mem.Tag(b); tag != memory.Invalid {
+			t.Fatalf("live sharer %d still holds tag %v after the round", id, tag)
+		}
+	}
+	if rounds := h.p.InvalRounds(); rounds != 4 {
+		t.Fatalf("relay rounds = %d, want 4 (cluster 1 runs with 3 live leaves)", rounds)
+	}
+}
+
+func TestTreeInvalRelayCrashMidRoundDiagnosed(t *testing.T) {
+	// The relay crashes while its KInvalTree is on the wire: the message
+	// vanishes at delivery, the home's pending count can never drain, and
+	// the layered failure machinery must (a) escalate through the probe
+	// path and declare the relay dead, and (b) end the run with a
+	// diagnostic naming the stuck transaction — never hang silently.
+	h := newTreeHarness(t, 16, 2, &config.Faults{
+		Drop: 1e-9, Seed: 7,
+		RetransmitTimeout: 50 * sim.Microsecond,
+		MaxRetries:        3,
+	})
+	h.c.Env.SetWatchdog(50*sim.Millisecond, h.watchdogDump)
+	var detected int
+	var reason string
+	h.c.Net.OnDeath = func(node int, why string) { detected, reason = node, why }
+	addr := h.addrOnPage(0, 0)
+	for id := 0; id < 16; id++ {
+		id := id
+		h.run(id, "n", func(p *sim.Proc, n *tempest.Node) {
+			n.LoadF64(p, addr)
+			n.WaitPending(p)
+			h.c.Barrier(p, n)
+			if id == 1 {
+				p.Sleep(100 * sim.Microsecond)
+				n.StoreF64(p, addr, 4.5)
+				n.WaitPending(p) // blocks forever: cluster 1 never answers
+			}
+		})
+	}
+	// Kill node 4 (cluster 1's relay) the instant the home has opened
+	// its relay rounds: the KInvalTree is then in flight and vanishes.
+	h.c.Env.Spawn("killer", func(p *sim.Proc) {
+		for i := 0; i < 1_000_000; i++ {
+			if h.p.nodes[0].invalRounds > 0 {
+				h.c.Net.MarkDead(4)
+				return
+			}
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	err := h.c.Env.Run()
+	if err == nil {
+		t.Fatal("expected a deadlock or watchdog diagnostic, run completed")
+	}
+	if detected != 4 {
+		t.Fatalf("failure detector declared node %d dead, want relay 4 (reason %q)", detected, reason)
+	}
+	if !strings.Contains(reason, "probes") {
+		t.Fatalf("death verdict did not come from the probe path: %q", reason)
+	}
+	if !strings.Contains(err.Error(), "directory block") || !strings.Contains(err.Error(), "busy") {
+		t.Fatalf("diagnostic does not name the stuck directory transaction:\n%v", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"hpfdsm/internal/network"
 	"hpfdsm/internal/sim"
 	"hpfdsm/internal/tempest"
+	"hpfdsm/internal/topo"
 	"hpfdsm/internal/trace"
 )
 
@@ -59,6 +60,15 @@ const (
 	// scheduler's gather buffer). One header, one receive overhead, and
 	// one handler dispatch cover every contained segment.
 	KCoalesced
+
+	// Multicast fan-out invalidation (tree topology, see multicast.go):
+	// home -> relay (leaf mask in Arg), relay -> sibling leaf (home in
+	// Arg2), leaf -> relay (dirty flag in Arg), relay -> home (clean
+	// leaf mask in Arg).
+	KInvalTree
+	KInvalFwd
+	KInvalAckFwd
+	KInvalAckTree
 )
 
 const ctrlSize = 8 // payload bytes of a control message
@@ -103,6 +113,14 @@ func MsgKindName(k network.Kind) string {
 		return "cc_flush_dir"
 	case KCoalesced:
 		return "coalesced"
+	case KInvalTree:
+		return "inval_tree"
+	case KInvalFwd:
+		return "inval_fwd"
+	case KInvalAckFwd:
+		return "inval_ack_fwd"
+	case KInvalAckTree:
+		return "inval_ack_tree"
 	case tempest.KindBarrierArrive:
 		return "barrier_arrive"
 	case tempest.KindBarrierRelease:
@@ -111,6 +129,14 @@ func MsgKindName(k network.Kind) string {
 		return "reduce_contrib"
 	case tempest.KindReduceResult:
 		return "reduce_result"
+	case tempest.KindTreeBarrierUp:
+		return "tree_barrier_up"
+	case tempest.KindTreeBarrierDown:
+		return "tree_barrier_down"
+	case tempest.KindTreeReduceUp:
+		return "tree_reduce_up"
+	case tempest.KindTreeReduceDown:
+		return "tree_reduce_down"
 	case network.KindAck:
 		return "ack"
 	case network.KindProbe:
@@ -125,6 +151,12 @@ func MsgKindName(k network.Kind) string {
 type Proto struct {
 	C     *tempest.Cluster
 	nodes []*nodeProto
+
+	// tree is the cluster's combining-tree shape under the tree
+	// topology, nil under the paper's flat topology. When set, the
+	// homes route sharer invalidations through per-cluster relays
+	// (multicast.go) instead of unicasting every sharer.
+	tree *topo.Tree
 
 	// BlockInfo, when set, renders schedule provenance for a block
 	// number (which array it belongs to and which compiler-emitted call
@@ -183,6 +215,15 @@ type nodeProto struct {
 	encScratch  [][]encRun
 	homeScratch [][]homeRun
 	mkwScratch  []encRun
+
+	// Multicast fan-out state (tree topology only; see multicast.go).
+	// clusterMask/clusterScratch are the home-side per-round bucketing
+	// scratch; relay holds this node's open fan-out rounds by block;
+	// invalRounds counts rounds this home opened (diagnostic).
+	clusterMask    []uint64
+	clusterScratch []int
+	relay          map[int]*relayState
+	invalRounds    int64
 }
 
 // encRun is a run of blocks with one mk_writable disposition.
@@ -223,6 +264,10 @@ func (f blockFlags) clear(b int) {
 // shared memory.
 func Attach(c *tempest.Cluster) *Proto {
 	p := &Proto{C: c}
+	if c.MC.Topology == config.TreeTopo {
+		t := topo.MustNew(c.MC.Nodes, c.MC.EffectiveRadix())
+		p.tree = &t
+	}
 	nb := c.Space.NumBlocks()
 	for _, n := range c.Nodes {
 		np := &nodeProto{
@@ -255,6 +300,10 @@ func Attach(c *tempest.Cluster) *Proto {
 		n.On(KCCFlush, np.hCCFlush)
 		n.On(KCCFlushDir, np.hCCFlushDir)
 		n.On(KCoalesced, np.hCoalesced)
+		n.On(KInvalTree, np.hInvalTree)
+		n.On(KInvalFwd, np.hInvalFwd)
+		n.On(KInvalAckFwd, np.hInvalAckFwd)
+		n.On(KInvalAckTree, np.hInvalAckTree)
 	}
 	return p
 }
@@ -275,6 +324,7 @@ func (p *Proto) EnableAggregation(delay sim.Time) {
 		np.coal = p.C.Net.AttachCoalescer(np.id, KCoalesced, ctrlSize, delay, np.n.SendFromProto)
 		np.n.NICDrain = np.coal.FlushAll
 		np.n.NICBurst = np.coal.Burst
+		np.n.NICFlushTo = np.coal.FlushDst
 	}
 }
 
@@ -348,9 +398,9 @@ func (p *Proto) CoherentRead(addr int) float64 {
 	home := p.nodes[sp.HomeOfBlock(b)]
 	w := uint((addr % sp.BlockSize()) / 8)
 	if e, ok := home.dir[b]; ok {
-		for i, np := range p.nodes {
-			if e.writers&bit(i) != 0 && np.n.Mem.Dirty(b)&(1<<w) != 0 {
-				return np.n.Mem.ReadF64(addr)
+		for i := e.writers.next(0); i >= 0; i = e.writers.next(i + 1) {
+			if p.nodes[i].n.Mem.Dirty(b)&(1<<w) != 0 {
+				return p.nodes[i].n.Mem.ReadF64(addr)
 			}
 		}
 	}
@@ -358,8 +408,6 @@ func (p *Proto) CoherentRead(addr int) float64 {
 	// writes land there directly).
 	return home.n.Mem.ReadF64(addr)
 }
-
-func bit(i int) uint64 { return 1 << uint(i) }
 
 // occupy charges protocol-engine time on this node.
 func (np *nodeProto) occupy(d sim.Time) { np.n.OccupyProto(d) }

@@ -114,6 +114,14 @@ type Result struct {
 // tools and tests).
 func (r *Result) Analysis() *compiler.Analysis { return r.analysis }
 
+// ReduceJournal returns every completed reduction's combined value in
+// completion order. Reductions are where a topology change could leak
+// into the computation (a different combination order shifts low
+// mantissa bits), so the journal is the sim-visible witness that the
+// combining tree reproduces the flat master's canonical ascending fold
+// bit-for-bit.
+func (r *Result) ReduceJournal() []float64 { return r.cluster.ReduceJournal }
+
 // ArrayData assembles an array's final contents (in address order,
 // i.e. column-major flattened). On the shared-memory backend each word
 // is read coherently through the directory; on the message-passing
@@ -204,6 +212,14 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 	}
 	if opt.Backend == MessagePassing && len(mc.Faults.Crashes) > 0 {
 		return nil, fmt.Errorf("runtime: crash injection requires the shared-memory backend (program %s)", prog.Name)
+	}
+	if mc.Topology == config.TreeTopo {
+		switch {
+		case len(mc.Faults.Crashes) > 0:
+			return nil, fmt.Errorf("runtime: crash injection is incompatible with the tree topology — a barrier cannot route around a dead interior node; rerun with -topo flat (program %s)", prog.Name)
+		case opt.Checkpoint:
+			return nil, fmt.Errorf("runtime: checkpointing is incompatible with the tree topology — restore does not rebase the per-node combining-tree generations; rerun with -topo flat (program %s)", prog.Name)
+		}
 	}
 	if opt.Partitions > mc.Nodes {
 		opt.Partitions = mc.Nodes

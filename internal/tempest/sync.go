@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"hpfdsm/internal/config"
 	"hpfdsm/internal/network"
 	"hpfdsm/internal/sim"
 	"hpfdsm/internal/trace"
@@ -50,18 +51,24 @@ func (o ReduceOp) Combine(a, b float64) float64 {
 
 type barrierState struct {
 	arrived int
-	mask    uint64 // nodes whose arrival the master has seen
+	seen    []bool // nodes whose arrival the master has seen
 	gen     int64  // completed-barrier count (stale-timeout invalidation)
 }
 
 type reduceState struct {
 	arrived int
-	mask    uint64
-	acc     float64
+	seen    []bool
+	vals    []float64 // per-node contributions, folded in id order
 	gen     int64
 }
 
+// installSync wires the synchronization layer matching the configured
+// topology: the flat master/worker protocol, or the combining tree.
 func (c *Cluster) installSync() {
+	if c.MC.Topology == config.TreeTopo {
+		c.installTreeSync()
+		return
+	}
 	master := c.Nodes[0]
 	master.On(KindBarrierArrive, func(hc *HContext, m *network.Message) {
 		hc.AddCost(c.MC.BarrierEntry)
@@ -94,61 +101,75 @@ func (c *Cluster) releaseParked(n *Node) {
 	s.Fire()
 }
 
-// armSyncTimeout schedules the master's membership audit for one
-// collection in progress: if missing(gen) still reports absentees when
-// the timeout expires, the master probes each of them through the
-// failure detector and re-arms. A completed (or superseded) collection
-// makes missing return zero, which retires the chain. Only armed on the
-// unreliable network — lossless barriers cannot hang.
-func (c *Cluster) armSyncTimeout(gen int64, missing func(int64) uint64) {
+// armSyncTimeout schedules a membership audit for one collection in
+// progress: if missing(gen) still reports absentees when the timeout
+// expires, probeSrc interrogates each of them through the failure
+// detector and re-arms. A completed (or superseded) collection makes
+// missing return nothing, which retires the chain. Only armed on the
+// unreliable network — lossless barriers cannot hang. The audit runs
+// on env, which must be the env owning the collection's state.
+func (c *Cluster) armSyncTimeout(env *sim.Env, probeSrc int, gen int64, missing func(int64) []int) {
 	if !c.Net.Unreliable() {
 		return
 	}
-	c.Env.After(c.MC.Faults.EffectiveBarrierTimeout(), func() {
+	env.After(c.MC.Faults.EffectiveBarrierTimeout(), func() {
 		miss := missing(gen)
-		if miss == 0 {
+		if len(miss) == 0 {
 			return
 		}
-		for i := 1; i < len(c.Nodes); i++ {
-			if miss&(1<<uint(i)) != 0 {
-				c.Net.Probe(0, i)
-			}
+		for _, id := range miss {
+			c.Net.Probe(probeSrc, id)
 		}
-		c.armSyncTimeout(gen, missing)
+		c.armSyncTimeout(env, probeSrc, gen, missing)
 	})
 }
 
-// missingBarrier reports the nodes not yet arrived at barrier gen, or 0
-// once that barrier completed.
-func (c *Cluster) missingBarrier(gen int64) uint64 {
+// missingBarrier reports the nodes not yet arrived at barrier gen, or
+// nothing once that barrier completed.
+func (c *Cluster) missingBarrier(gen int64) []int {
 	if c.barrier.gen != gen || c.barrier.arrived == 0 {
-		return 0
+		return nil
 	}
-	full := uint64(1)<<uint(len(c.Nodes)) - 1
-	return full &^ c.barrier.mask
+	var out []int
+	for i := range c.Nodes {
+		if !c.barrier.seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // missingReduce reports the nodes not yet contributed to reduction gen,
-// or 0 once it completed.
-func (c *Cluster) missingReduce(gen int64) uint64 {
+// or nothing once it completed.
+func (c *Cluster) missingReduce(gen int64) []int {
 	if c.reduce.gen != gen || c.reduce.arrived == 0 {
-		return 0
+		return nil
 	}
-	full := uint64(1)<<uint(len(c.Nodes)) - 1
-	return full &^ c.reduce.mask
+	var out []int
+	for i := range c.Nodes {
+		if !c.reduce.seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 func (c *Cluster) barrierArrived(src int) {
+	if c.barrier.seen == nil {
+		c.barrier.seen = make([]bool, len(c.Nodes))
+	}
 	if c.barrier.arrived == 0 {
-		c.armSyncTimeout(c.barrier.gen, c.missingBarrier)
+		c.armSyncTimeout(c.Env, 0, c.barrier.gen, c.missingBarrier)
 	}
 	c.barrier.arrived++
-	c.barrier.mask |= 1 << uint(src)
+	c.barrier.seen[src] = true
 	if c.barrier.arrived < len(c.Nodes) {
 		return
 	}
 	c.barrier.arrived = 0
-	c.barrier.mask = 0
+	for i := range c.barrier.seen {
+		c.barrier.seen[i] = false
+	}
 	c.barrier.gen++
 	c.runBarrierCheck()
 	master := c.Nodes[0]
@@ -178,9 +199,12 @@ func (c *Cluster) Barrier(p *sim.Proc, n *Node) {
 	n.parkSig.Reset()
 	n.parked = &n.parkSig
 	sig := n.parked
-	if n.ID == 0 {
+	switch {
+	case c.Topo != nil:
+		c.treeBarrierArrive(n, n.ID)
+	case n.ID == 0:
 		c.barrierArrived(0)
-	} else {
+	default:
 		m := c.Net.NewMessage()
 		m.Dst, m.Kind, m.Size = 0, KindBarrierArrive, 4
 		n.SendFromCompute(m)
@@ -197,20 +221,31 @@ func (c *Cluster) reduceArrived(src int, gen int64, op ReduceOp, v float64) {
 	if gen != c.reduce.gen {
 		panic(fmt.Sprintf("tempest: reduction generation mismatch: got %d want %d", gen, c.reduce.gen))
 	}
+	if c.reduce.seen == nil {
+		c.reduce.seen = make([]bool, len(c.Nodes))
+		c.reduce.vals = make([]float64, len(c.Nodes))
+	}
 	if c.reduce.arrived == 0 {
-		c.reduce.acc = v
-		c.armSyncTimeout(gen, c.missingReduce)
-	} else {
-		c.reduce.acc = op.Combine(c.reduce.acc, v)
+		c.armSyncTimeout(c.Env, 0, gen, c.missingReduce)
 	}
 	c.reduce.arrived++
-	c.reduce.mask |= 1 << uint(src)
+	c.reduce.seen[src] = true
+	c.reduce.vals[src] = v
 	if c.reduce.arrived < len(c.Nodes) {
 		return
 	}
-	result := c.reduce.acc
+	// Fold in ascending node-id order, not arrival order: the canonical
+	// fold makes the result bit-identical to the combining tree's (which
+	// scatters contributions by id at the root) and independent of
+	// message interleaving.
+	result := c.reduce.vals[0]
+	for i := 1; i < len(c.Nodes); i++ {
+		result = op.Combine(result, c.reduce.vals[i])
+	}
 	c.reduce.arrived = 0
-	c.reduce.mask = 0
+	for i := range c.reduce.seen {
+		c.reduce.seen[i] = false
+	}
 	c.reduce.gen++
 	// Journal before the epoch hook: a checkpoint captured at this
 	// epoch must carry this generation's result for ghost replay.
@@ -246,9 +281,12 @@ func (c *Cluster) AllReduce(p *sim.Proc, n *Node, op ReduceOp, v float64) float6
 	n.parkSig.Reset()
 	n.parked = &n.parkSig
 	sig := n.parked
-	if n.ID == 0 {
+	switch {
+	case c.Topo != nil:
+		c.treeReduceArrive(n, n.ID, op, n.tred.gen, []redPair{{id: int32(n.ID), bits: math.Float64bits(v)}})
+	case n.ID == 0:
 		c.reduceArrived(0, c.reduce.gen, op, v)
-	} else {
+	default:
 		m := c.Net.NewMessage()
 		m.Dst, m.Kind = 0, KindReduceContrib
 		m.Addr, m.Arg, m.Arg2, m.Size = int(op), int64(math.Float64bits(v)), c.reduce.gen, 12

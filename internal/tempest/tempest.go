@@ -21,6 +21,7 @@ import (
 	"hpfdsm/internal/network"
 	"hpfdsm/internal/sim"
 	"hpfdsm/internal/stats"
+	"hpfdsm/internal/topo"
 	"hpfdsm/internal/trace"
 )
 
@@ -31,6 +32,10 @@ const (
 	KindBarrierRelease
 	KindReduceContrib
 	KindReduceResult
+	KindTreeBarrierUp
+	KindTreeBarrierDown
+	KindTreeReduceUp
+	KindTreeReduceDown
 )
 
 // HContext is passed to active-message handlers. Handlers perform their
@@ -89,6 +94,16 @@ type Node struct {
 	// one carrier without waiting out the drain timer.
 	NICBurst func(begin bool)
 
+	// NICFlushTo, when non-nil, flushes this node's open gather buffer
+	// for one destination. SendFromProto invokes it before reserving a
+	// direct message's departure slot: buffered segments bound for the
+	// same destination must take their engine slots first, or a reply
+	// composed later could overtake them on the wire (a write grant
+	// parked in a gather buffer overtaken by the next transaction's
+	// invalidation leaves the grantee a writer the directory already
+	// retired).
+	NICFlushTo func(dst int)
+
 	// handlers is indexed directly by message kind: a dispatch per
 	// message must not pay for hashing.
 	handlers [256]Handler
@@ -112,6 +127,13 @@ type Node struct {
 	parked       *sim.Signal // compute process parked at a barrier/reduction
 	parkSig      sim.Signal  // the reusable signal parked points at
 	reduceResult float64     // result delivered by KindReduceResult
+
+	// Combining-tree position and per-round state (tree topology only;
+	// per-node so the PDES single-writer discipline holds at any depth).
+	treeParent   int
+	treeChildren []int
+	tbar         treeBar
+	tred         treeRed
 
 	proc *sim.Proc // the node's compute process, set by SetProc
 }
@@ -252,6 +274,13 @@ func (n *Node) ProtoBusyUntil() sim.Time { return n.protoFree }
 // handler processing they conclude, preserving per-destination order.
 func (n *Node) SendFromProto(m *network.Message) {
 	m.Src = n.ID
+	if n.NICFlushTo != nil && m.Dst != n.ID {
+		// Departure slots are taken at compose time: drain segments
+		// already buffered for this destination so they keep their
+		// earlier slots. Re-entrancy is safe — the flush empties the
+		// buffer before injecting, so the nested call is a no-op.
+		n.NICFlushTo(m.Dst)
+	}
 	n.OccupyProto(n.MC.SendOver)
 	depart := n.protoFree
 	if depart <= n.Env.Now() {
@@ -450,6 +479,10 @@ type Cluster struct {
 	// checkpoint epoch replays results to ghost-forwarded processes
 	// without re-running the arithmetic.
 	ReduceJournal []float64
+
+	// Topo is the combining-tree shape when the machine runs the tree
+	// topology (nil under the flat protocol). Set by installSync.
+	Topo *topo.Tree
 
 	checkErr  error
 	checksRun int64

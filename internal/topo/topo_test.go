@@ -1,0 +1,191 @@
+package topo
+
+import "testing"
+
+func TestNewRejectsBadShapes(t *testing.T) {
+	for _, tc := range []struct{ n, radix int }{
+		{0, 4}, {-1, 4}, {8, 1}, {8, 0}, {8, -2}, {8, 65}, {8, 1000},
+	} {
+		if _, err := New(tc.n, tc.radix); err == nil {
+			t.Errorf("New(%d, %d): want error", tc.n, tc.radix)
+		}
+	}
+	if _, err := New(1, 2); err != nil {
+		t.Errorf("New(1, 2): %v", err)
+	}
+	if _, err := New(4096, 64); err != nil {
+		t.Errorf("New(4096, 64): %v", err)
+	}
+}
+
+// The heap shape: every non-root node's parent is (id-1)/K, children
+// are contiguous, and the parent/child relations invert each other.
+func TestParentChildrenInvert(t *testing.T) {
+	for _, tc := range []struct{ n, radix int }{
+		{1, 2}, {2, 2}, {8, 2}, {8, 4}, {9, 3}, {27, 3}, {64, 4}, {100, 7}, {1024, 4},
+	} {
+		tr := MustNew(tc.n, tc.radix)
+		seen := make([]bool, tc.n)
+		seen[Root] = true
+		var kids []int
+		for id := 0; id < tc.n; id++ {
+			kids = tr.Children(id, kids[:0])
+			if len(kids) != tr.NumChildren(id) {
+				t.Fatalf("n=%d K=%d id=%d: len(Children)=%d NumChildren=%d",
+					tc.n, tc.radix, id, len(kids), tr.NumChildren(id))
+			}
+			for _, c := range kids {
+				if tr.Parent(c) != id {
+					t.Fatalf("n=%d K=%d: Parent(%d)=%d, want %d", tc.n, tc.radix, c, tr.Parent(c), id)
+				}
+				if seen[c] {
+					t.Fatalf("n=%d K=%d: node %d is a child twice", tc.n, tc.radix, c)
+				}
+				seen[c] = true
+			}
+		}
+		for id, ok := range seen {
+			if !ok {
+				t.Fatalf("n=%d K=%d: node %d unreachable", tc.n, tc.radix, id)
+			}
+		}
+		if tr.Parent(Root) != -1 {
+			t.Fatalf("n=%d K=%d: Parent(root)=%d", tc.n, tc.radix, tr.Parent(Root))
+		}
+		if got := tr.SubtreeSize(Root); got != tc.n {
+			t.Fatalf("n=%d K=%d: SubtreeSize(root)=%d", tc.n, tc.radix, got)
+		}
+	}
+}
+
+// Depth must grow logarithmically: for radix K, depth <= ceil(log_K N)
+// plus the heap's off-by-one, and in particular far below N.
+func TestDepthIsLogarithmic(t *testing.T) {
+	for _, tc := range []struct{ n, radix, want int }{
+		{1, 4, 0},
+		{2, 4, 1},
+		{5, 4, 1},
+		{6, 4, 2},
+		{8, 4, 2},
+		{64, 4, 3},
+		{256, 4, 4},
+		{1024, 4, 5},
+		{1024, 2, 10},
+	} {
+		tr := MustNew(tc.n, tc.radix)
+		if got := tr.Depth(); got != tc.want {
+			t.Errorf("Depth(n=%d, K=%d) = %d, want %d", tc.n, tc.radix, got, tc.want)
+		}
+	}
+}
+
+func TestClusterCoordinates(t *testing.T) {
+	tr := MustNew(10, 4) // clusters {0..3} {4..7} {8,9}
+	if got := tr.Clusters(); got != 3 {
+		t.Fatalf("Clusters() = %d, want 3", got)
+	}
+	if got := tr.ClusterSize(2); got != 2 {
+		t.Fatalf("ClusterSize(2) = %d, want 2", got)
+	}
+	if got := tr.ClusterBase(1); got != 4 {
+		t.Fatalf("ClusterBase(1) = %d, want 4", got)
+	}
+	for id := 0; id < 10; id++ {
+		c, err := tr.Coord(id)
+		if err != nil {
+			t.Fatalf("Coord(%d): %v", id, err)
+		}
+		if c.Cluster != id/4 || c.Leaf != id%4 {
+			t.Fatalf("Coord(%d) = %+v", id, c)
+		}
+		back, err := tr.NodeID(c)
+		if err != nil || back != id {
+			t.Fatalf("NodeID(Coord(%d)) = %d, %v", id, back, err)
+		}
+	}
+	for _, bad := range []Coord{
+		{Cluster: -1, Leaf: 0},
+		{Cluster: 0, Leaf: -1},
+		{Cluster: 0, Leaf: 4}, // leaf >= radix
+		{Cluster: 2, Leaf: 2}, // node 10: out of range
+		{Cluster: 3, Leaf: 0}, // cluster past the end
+		{Cluster: 1 << 40, Leaf: 0},
+	} {
+		if id, err := tr.NodeID(bad); err == nil {
+			t.Errorf("NodeID(%+v) = %d, want error", bad, id)
+		}
+	}
+	if _, err := tr.Coord(-1); err == nil {
+		t.Error("Coord(-1): want error")
+	}
+	if _, err := tr.Coord(10); err == nil {
+		t.Error("Coord(10): want error")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tr := MustNew(8, 4)
+	for _, fn := range []func(){
+		func() { tr.Parent(8) },
+		func() { tr.Parent(-1) },
+		func() { tr.Children(9, nil) },
+		func() { tr.ClusterOf(-3) },
+		func() { tr.LeafOf(8) },
+		func() { tr.ClusterBase(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access: want panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzTopoRoute round-trips node-id <-> (cluster, leaf) for arbitrary
+// tree shapes and checks that out-of-range ids and coordinates are
+// rejected rather than aliased onto a valid node.
+func FuzzTopoRoute(f *testing.F) {
+	f.Add(8, 4, 3)
+	f.Add(64, 4, 63)
+	f.Add(1024, 64, 1023)
+	f.Add(27, 3, 27) // id just out of range
+	f.Add(10, 4, -1) // negative id
+	f.Add(0, 0, 0)   // invalid shape
+	f.Fuzz(func(t *testing.T, n, radix, id int) {
+		tr, err := New(n, radix)
+		if err != nil {
+			return
+		}
+		c, err := tr.Coord(id)
+		if id < 0 || id >= n {
+			if err == nil {
+				t.Fatalf("Coord(%d) on n=%d: want error, got %+v", id, n, c)
+			}
+			// An invalid id must also be unreachable via NodeID.
+			if back, err := tr.NodeID(Coord{Cluster: id / radix, Leaf: id % radix}); err == nil && (back < 0 || back >= n) {
+				t.Fatalf("NodeID accepted out-of-range node %d", back)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Coord(%d) on n=%d K=%d: %v", id, n, radix, err)
+		}
+		if c.Leaf < 0 || c.Leaf >= radix || c.Cluster < 0 || c.Cluster >= tr.Clusters() {
+			t.Fatalf("Coord(%d) = %+v outside shape n=%d K=%d", id, c, n, radix)
+		}
+		back, err := tr.NodeID(c)
+		if err != nil {
+			t.Fatalf("NodeID(%+v): %v", c, err)
+		}
+		if back != id {
+			t.Fatalf("round trip %d -> %+v -> %d", id, c, back)
+		}
+		// The tree view must agree on range checking too.
+		if p := tr.Parent(id); id != Root && (p < 0 || p >= n) {
+			t.Fatalf("Parent(%d) = %d outside [0, %d)", id, p, n)
+		}
+	})
+}

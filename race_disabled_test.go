@@ -1,0 +1,5 @@
+//go:build !race
+
+package hpfdsm_test
+
+const raceDetectorEnabled = false
