@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, table1, table2, fig3, table3, fig4, pre, blocksize, prefetch, consistency, distribution, irregular, network, faults, agg, scale")
+	exp := flag.String("exp", "all", "experiment: all, fig1, table1, table2, fig3, table3, fig4, pre, blocksize, prefetch, consistency, distribution, irregular, network, faults, agg, scale, pdes")
 	size := flag.String("size", "bench", "problem sizes: bench, paper, scaled")
 	nodes := flag.Int("nodes", 8, "cluster size for suite experiments")
 	verbose := flag.Bool("v", false, "log each run")
@@ -195,6 +195,13 @@ func main() {
 				os.Exit(1)
 			}
 			show(name, out)
+		case "pdes":
+			out, err := bench.PDES(sizing)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			show(name, out)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -244,7 +251,11 @@ func runRegression(outFile, baseFile string) int {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return 1
 	}
-	if bad := bench.Compare(base, rep, 2.0); len(bad) > 0 {
+	bad, notes := bench.CompareWithNotes(base, rep, 2.0)
+	for _, n := range notes {
+		fmt.Fprintln(os.Stderr, "note: "+n)
+	}
+	if len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchmark regression vs %s:\n", baseFile)
 		for _, v := range bad {
 			fmt.Fprintln(os.Stderr, "  "+v)

@@ -120,13 +120,13 @@ func (c *Coalescer) Append(dst int, kind Kind, addr int, arg, arg2 int64, payloa
 	b := &c.bufs[dst]
 	need := SegHeader + len(payload)
 	if b.data == nil {
-		b.data = c.net.AllocVar(need)[:0]
+		b.data = c.net.AllocVar(c.src, need)[:0]
 	}
 	off := len(b.data)
 	if off+need > cap(b.data) {
-		grown := c.net.AllocVar(off + need)[:off]
+		grown := c.net.AllocVar(c.src, off+need)[:off]
 		copy(grown, b.data)
-		c.net.recycleVar(b.data)
+		c.net.recycleVar(c.src, b.data)
 		b.data = grown
 	}
 	b.data = b.data[:off+need]
@@ -204,7 +204,7 @@ func (c *Coalescer) Teardown() {
 	for d := range c.bufs {
 		b := &c.bufs[d]
 		if b.data != nil {
-			c.net.recycleVar(b.data)
+			c.net.recycleVar(c.src, b.data)
 		}
 		b.data, b.segs, b.burst, b.deadline = nil, 0, false, 0
 	}
@@ -249,27 +249,27 @@ func (c *Coalescer) FlushDst(dst int) {
 	if segs == 1 {
 		var m *Message
 		ForEachSegment(data, 1, func(kind Kind, addr int, arg, arg2 int64, payload []byte) {
-			m = c.net.NewMessage()
+			m = c.net.NewMessage(c.src)
 			m.Src, m.Dst, m.Kind, m.Addr, m.Arg, m.Arg2 = c.src, dst, kind, addr, arg, arg2
 			if m.Size = len(payload); m.Size < c.ctrl {
 				m.Size = c.ctrl
 			}
 			if len(payload) > 0 {
 				if len(payload) == c.net.mc.BlockSize {
-					m.Data = c.net.AllocBlock()
+					m.Data = c.net.AllocBlock(c.src)
 				} else {
-					m.Data = c.net.AllocVar(len(payload))[:len(payload)]
+					m.Data = c.net.AllocVar(c.src, len(payload))[:len(payload)]
 				}
 				copy(m.Data, payload)
 				m.DataPooled = true
 			}
 		})
-		c.net.recycleVar(data)
+		c.net.recycleVar(c.src, data)
 		c.st.SegsCoalesced-- // never traveled coalesced
 		c.send(m)
 		return
 	}
-	m := c.net.NewMessage()
+	m := c.net.NewMessage(c.src)
 	m.Src, m.Dst, m.Kind = c.src, dst, c.kind
 	m.Arg = int64(segs)
 	m.Data, m.DataPooled = data, true

@@ -91,15 +91,18 @@ type Network struct {
 	envs []*sim.Env
 	post PostFn
 
-	// Freelists for zero-steady-state-allocation messaging. A network
-	// belongs to exactly one single-threaded Env, so plain slices beat
-	// sync.Pool (no locking, no per-P shards). Pooling is disabled when
-	// the reliable layer is active: duplication and retransmission keep
-	// references past delivery.
-	pool    bool
-	free    []*Message
-	bufFree [][]byte     // BlockSize-sized payload buffers
-	varFree [32][][]byte // variable-size gather buffers, power-of-two buckets
+	// Freelists for zero-steady-state-allocation messaging: one msgPool
+	// per partition Env (a single pool in sequential mode), so every
+	// list stays single-threaded and plain slices beat sync.Pool (no
+	// locking, no per-P shards). Allocation draws from the sending
+	// node's partition pool; Recycle returns to the *destination*'s
+	// pool, because delivery — the only place pool-owned messages are
+	// recycled — runs on the destination's thread. Pooling is disabled
+	// when the reliable layer is active: duplication and retransmission
+	// keep references past delivery.
+	pool   bool
+	pools  []msgPool
+	partOf []int // node -> pools index; nil in sequential mode (all 0)
 
 	// coals holds each source node's coalescing scheduler (nil slice or
 	// nil entries when aggregation is off). Send consults it: any
@@ -129,6 +132,24 @@ type Network struct {
 	tr *trace.Tracer
 }
 
+// msgPool is one partition's message and payload-buffer freelists.
+// Each pool is written only by its partition's worker: allocation on
+// the sending node's thread, recycling on the destination node's
+// thread, with the epoch barrier ordering the hand-off of the message
+// itself. The trailing pad keeps two partitions' list headers off one
+// cache line. poolSoftCap bounds each list so asymmetric traffic (one
+// partition receiving far more than it sends) cannot grow a receive-
+// heavy pool without bound; beyond the cap, recycled values go back to
+// the GC.
+type msgPool struct {
+	free    []*Message
+	bufFree [][]byte     // BlockSize-sized payload buffers
+	varFree [32][][]byte // variable-size gather buffers, power-of-two buckets
+	_pad    [64]byte
+}
+
+const poolSoftCap = 1 << 14
+
 // SetTracer installs the causal event tracer (nil disables tracing).
 func (n *Network) SetTracer(t *trace.Tracer) { n.tr = t }
 
@@ -143,6 +164,7 @@ func New(env *sim.Env, mc config.Machine, st *stats.Cluster) *Network {
 		mseq:     make([]uint32, mc.Nodes),
 		st:       st,
 		pool:     !mc.Faults.Active(),
+		pools:    make([]msgPool, 1),
 		dead:     make([]bool, mc.Nodes),
 	}
 	if mc.Faults.Active() {
@@ -160,12 +182,14 @@ type PostFn func(src, dst int, sent, arrival sim.Time, seq uint32, fn func(any),
 
 // NewPartitioned creates a network in conservative-PDES mode: envs[i]
 // is node i's partition environment and post the cross-partition
-// mailbox hook. Message and buffer pooling is disabled — the freelists
-// are single-threaded by construction, and a message crossing a
-// partition boundary would be recycled on a different thread than it
-// was allocated on. Fault injection is rejected: the reliable-delivery
-// layer's retransmission timers are per-channel state that the window
-// scheduler does not partition.
+// mailbox hook. Pooling stays on, with one msgPool per partition:
+// allocation draws from the sending node's partition pool and Recycle
+// returns to the destination's, so every freelist is touched by
+// exactly one partition worker (delivery runs on the destination's
+// thread; a message that crossed partitions changed owners through the
+// epoch barrier, which orders the hand-off). Fault injection is
+// rejected: the reliable-delivery layer's retransmission timers are
+// per-channel state that the window scheduler does not partition.
 func NewPartitioned(envs []*sim.Env, post PostFn, mc config.Machine, st *stats.Cluster) *Network {
 	if mc.Faults.Active() {
 		panic("network: fault injection is not supported in partitioned (PDES) mode")
@@ -176,7 +200,19 @@ func NewPartitioned(envs []*sim.Env, post PostFn, mc config.Machine, st *stats.C
 	n := New(envs[0], mc, st)
 	n.envs = envs
 	n.post = post
-	n.pool = false
+	// Index the distinct partition Envs in first-appearance order; node
+	// contiguity is not assumed.
+	n.partOf = make([]int, len(envs))
+	index := map[*sim.Env]int{}
+	for i, e := range envs {
+		idx, ok := index[e]
+		if !ok {
+			idx = len(index)
+			index[e] = idx
+		}
+		n.partOf[i] = idx
+	}
+	n.pools = make([]msgPool, len(index))
 	return n
 }
 
@@ -191,17 +227,31 @@ func (n *Network) envOf(node int) *sim.Env {
 	return n.env
 }
 
-// NewMessage returns a zeroed message owned by this network, reusing a
-// recycled one when the pool is active. Callers fill the fields and
-// Send it; after the delivery handler returns, the message goes back
-// to the pool unless the handler Retained it.
+// poolOf returns the freelist pool node's partition owns: its
+// partition's pool in PDES mode, the single shared pool otherwise.
 //
 //simlint:hotpath
-func (n *Network) NewMessage() *Message {
+func (n *Network) poolOf(node int) *msgPool {
+	if n.partOf != nil {
+		return &n.pools[n.partOf[node]]
+	}
+	return &n.pools[0]
+}
+
+// NewMessage returns a zeroed message owned by this network, reusing a
+// recycled one from src's partition pool when the pool is active. src
+// must be the node on whose Env the caller is executing (the sender).
+// Callers fill the fields and Send it; after the delivery handler
+// returns, the message goes back to the destination's pool unless the
+// handler Retained it.
+//
+//simlint:hotpath
+func (n *Network) NewMessage(src int) *Message {
 	if n.pool {
-		if k := len(n.free); k > 0 {
-			m := n.free[k-1]
-			n.free = n.free[:k-1]
+		p := n.poolOf(src)
+		if k := len(p.free); k > 0 {
+			m := p.free[k-1]
+			p.free = p.free[:k-1]
 			m.pooled = true
 			return m
 		}
@@ -212,40 +262,36 @@ func (n *Network) NewMessage() *Message {
 	return &Message{}
 }
 
-// AllocBlock returns a coherence-block-sized payload buffer, reusing a
-// recycled one when possible. Senders attach it to a message with
-// DataPooled set so delivery can reclaim it.
+// AllocBlock returns a coherence-block-sized payload buffer from src's
+// partition pool, reusing a recycled one when possible. src must be
+// the node on whose Env the caller is executing. Senders attach it to
+// a message with DataPooled set so delivery can reclaim it.
 //
 //simlint:hotpath
-func (n *Network) AllocBlock() []byte {
-	if n.envs != nil {
-		// PDES mode: the freelist is not thread-safe and a buffer may be
-		// freed on another partition's thread. Fresh allocation, like
-		// the faults path.
-		return make([]byte, n.mc.BlockSize)
-	}
-	if k := len(n.bufFree); k > 0 {
-		b := n.bufFree[k-1]
-		n.bufFree = n.bufFree[:k-1]
+func (n *Network) AllocBlock(src int) []byte {
+	p := n.poolOf(src)
+	if k := len(p.bufFree); k > 0 {
+		b := p.bufFree[k-1]
+		p.bufFree = p.bufFree[:k-1]
 		return b
 	}
 	return make([]byte, n.mc.BlockSize)
 }
 
-// AllocVar returns a payload buffer with len == cap >= size from the
-// power-of-two-bucketed variable-size freelists (gather buffers for
-// coalesced carriers and multi-block bulk payloads). Attach it to a
-// message with DataPooled set so delivery reclaims it.
+// AllocVar returns a payload buffer with len == cap >= size from src's
+// partition pool's power-of-two-bucketed variable-size freelists
+// (gather buffers for coalesced carriers and multi-block bulk
+// payloads). src must be the node on whose Env the caller is
+// executing. Attach it to a message with DataPooled set so delivery
+// reclaims it.
 //
 //simlint:hotpath
-func (n *Network) AllocVar(size int) []byte {
+func (n *Network) AllocVar(src, size int) []byte {
 	idx := varBucket(size)
-	if n.envs != nil {
-		return make([]byte, 1<<idx) // PDES mode: see AllocBlock
-	}
-	if l := n.varFree[idx]; len(l) > 0 {
+	p := n.poolOf(src)
+	if l := p.varFree[idx]; len(l) > 0 {
 		b := l[len(l)-1]
-		n.varFree[idx] = l[:len(l)-1]
+		p.varFree[idx] = l[:len(l)-1]
 		return b
 	}
 	return make([]byte, 1<<idx)
@@ -260,38 +306,45 @@ func varBucket(size int) int {
 	return idx
 }
 
-func (n *Network) recycleVar(b []byte) {
-	if n.envs != nil {
-		return // PDES mode: see AllocBlock; the GC reclaims it
-	}
+// recycleVar returns a variable-size buffer to node's partition pool.
+// node must be the node on whose Env the caller is executing.
+func (n *Network) recycleVar(node int, b []byte) {
 	c := cap(b)
 	if c < 64 || c&(c-1) != 0 {
 		return // not one of ours; let the GC have it
 	}
 	idx := varBucket(c)
-	n.varFree[idx] = append(n.varFree[idx], b[:c])
+	p := n.poolOf(node)
+	if len(p.varFree[idx]) < poolSoftCap {
+		p.varFree[idx] = append(p.varFree[idx], b[:c])
+	}
 }
 
 // Recycle returns a delivered pool-owned message (and its pooled
-// payload buffer) to the freelists. Called by the delivery layer after
-// the handler returns; a no-op for literal-built or Retained messages.
+// payload buffer) to the destination's partition pool — delivery runs
+// on the destination's thread, so that is the only pool this call may
+// touch. Called by the delivery layer after the handler returns; a
+// no-op for literal-built or Retained messages.
 //
 //simlint:hotpath
 func (n *Network) Recycle(m *Message) {
 	if !m.pooled || m.retained {
 		return
 	}
+	p := n.poolOf(m.Dst)
 	if m.DataPooled {
-		if len(m.Data) == n.mc.BlockSize {
-			//simlint:ignore hotalloc -- returning a buffer to the freelist: the slice reuses capacity freed by the matching AllocBlock pop; net growth is bounded by the in-flight high-water mark
-			n.bufFree = append(n.bufFree, m.Data)
-		} else {
-			n.recycleVar(m.Data)
+		if len(m.Data) == n.mc.BlockSize && len(p.bufFree) < poolSoftCap {
+			//simlint:ignore hotalloc -- returning a buffer to the freelist: the slice reuses capacity freed by the matching AllocBlock pop; net growth is bounded by the in-flight high-water mark and the pool soft cap
+			p.bufFree = append(p.bufFree, m.Data)
+		} else if len(m.Data) != n.mc.BlockSize {
+			n.recycleVar(m.Dst, m.Data)
 		}
 	}
 	*m = Message{net: n}
-	//simlint:ignore hotalloc -- returning a message to the freelist: capacity was freed by the matching NewMessage pop; net growth is bounded by the in-flight high-water mark
-	n.free = append(n.free, m)
+	if len(p.free) < poolSoftCap {
+		//simlint:ignore hotalloc -- returning a message to the freelist: capacity was freed by the matching NewMessage pop; net growth is bounded by the in-flight high-water mark and the pool soft cap
+		p.free = append(p.free, m)
+	}
 }
 
 // Bind installs the delivery endpoint for node id.

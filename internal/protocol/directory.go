@@ -127,7 +127,7 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 		if invalidate {
 			arg = 1
 		}
-		m := np.n.Net.NewMessage()
+		m := np.n.Net.NewMessage(np.id)
 		m.Dst, m.Kind, m.Addr, m.Arg, m.Size = w, KPutDataReq, r.block, arg, ctrlSize
 		np.send(m)
 		need++
@@ -156,7 +156,7 @@ func (np *nodeProto) start(e *dirEntry, r *dirReq) {
 			need++
 			return
 		}
-		m := np.n.Net.NewMessage()
+		m := np.n.Net.NewMessage(np.id)
 		m.Dst, m.Kind, m.Addr, m.Size = s, KInval, r.block, ctrlSize
 		np.send(m)
 		need++
@@ -252,7 +252,7 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 	mc := np.n.MC
 
 	blockData := func() []byte {
-		d := np.n.Net.AllocBlock()
+		d := np.n.Net.AllocBlock(np.id)
 		copy(d, mem.BlockData(r.block))
 		return d
 	}
@@ -269,7 +269,7 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 			return
 		}
 		np.occupy(mc.BlockCopy)
-		rm := np.n.Net.NewMessage()
+		rm := np.n.Net.NewMessage(np.id)
 		rm.Dst, rm.Kind, rm.Addr, rm.Data, rm.DataPooled = r.src, KReadResp, r.block, blockData(), true
 		np.send(rm)
 
@@ -288,7 +288,7 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 			return
 		}
 		np.occupy(mc.BlockCopy)
-		rm := np.n.Net.NewMessage()
+		rm := np.n.Net.NewMessage(np.id)
 		rm.Dst, rm.Kind, rm.Addr, rm.Data, rm.DataPooled = r.src, KWriteResp, r.block, blockData(), true
 		np.send(rm)
 
@@ -327,7 +327,7 @@ func (np *nodeProto) finish(e *dirEntry, r *dirReq) {
 			np.occupy(mc.BlockCopy)
 			data = blockData()
 		}
-		rm := np.n.Net.NewMessage()
+		rm := np.n.Net.NewMessage(np.id)
 		rm.Dst, rm.Kind, rm.Addr = r.src, KWriteGrant, r.block
 		rm.Data, rm.DataPooled, rm.Size = data, data != nil, maxInt(len(data), ctrlSize)
 		np.send(rm)

@@ -121,7 +121,7 @@ func (x *Ext) MkWritable(p *sim.Proc, runs []BlockRun) {
 		// Remote home: one pipelined request. Upgrade-only blocks can
 		// take their tags now; the call blocks until all confirmed.
 		plen := 4 + 9*len(list)
-		payload := n.Net.AllocVar(plen)[:plen]
+		payload := n.Net.AllocVar(np.id, plen)[:plen]
 		binary.LittleEndian.PutUint32(payload, uint32(len(list)))
 		off := 4
 		for _, er := range list {
@@ -137,7 +137,7 @@ func (x *Ext) MkWritable(p *sim.Proc, runs []BlockRun) {
 			off += 9
 		}
 		p.Sleep(mc.SendOver)
-		m := n.Net.NewMessage()
+		m := n.Net.NewMessage(np.id)
 		m.Src, m.Dst, m.Kind, m.Data, m.DataPooled = np.id, home, KMkWritableReq, payload, true
 		n.Net.Send(m)
 	}
@@ -209,21 +209,21 @@ func (a *mkwAgg) blockDone(np *nodeProto, r *dirReq) {
 			var data []byte
 			pooled := false
 			if nb == 1 {
-				data = np.n.Net.AllocBlock()
+				data = np.n.Net.AllocBlock(np.id)
 				pooled = true
 			} else {
 				data = make([]byte, nb*bs)
 			}
 			copy(data, mem.Bytes(start*bs, nb*bs))
 			np.occupy(sim.Time(nb) * mc.BulkPerBlock)
-			dm := np.n.Net.NewMessage()
+			dm := np.n.Net.NewMessage(np.id)
 			dm.Dst, dm.Kind = a.src, KMkWritableData
 			dm.Addr, dm.Arg, dm.Data, dm.DataPooled = start*bs, int64(nb), data, pooled
 			np.send(dm)
 		}
 	}
 	if a.upgraded > 0 {
-		m := np.n.Net.NewMessage()
+		m := np.n.Net.NewMessage(np.id)
 		m.Dst, m.Kind, m.Arg, m.Size = a.src, KMkWritableAck, int64(a.upgraded), ctrlSize
 		np.send(m)
 	}
@@ -436,7 +436,7 @@ func (x *Ext) FlushBlocks(p *sim.Proc, owner int, runs []BlockRun, mode SendMode
 				continue
 			}
 			p.Sleep(n.MC.SendOver)
-			m := n.Net.NewMessage()
+			m := n.Net.NewMessage(np.id)
 			m.Src, m.Dst, m.Kind = np.id, h, KCCFlushDir
 			m.Addr, m.Arg, m.Arg2, m.Size = hr.start, int64(hr.n), int64(owner), ctrlSize
 			n.Net.Send(m)
@@ -528,14 +528,14 @@ func (x *Ext) sendTagged(p *sim.Proc, dst int, runs []BlockRun, mode SendMode, k
 			var data []byte
 			pooled := false
 			if nb == 1 {
-				data = n.Net.AllocBlock()
+				data = n.Net.AllocBlock(np.id)
 			} else {
-				data = n.Net.AllocVar(nb * bs)[:nb*bs]
+				data = n.Net.AllocVar(np.id, nb*bs)[:nb*bs]
 			}
 			pooled = true
 			copy(data, mem.Bytes(start*bs, nb*bs))
 			p.Sleep(mc.SendOver + sim.Time(nb)*mc.BulkPerBlock)
-			m := n.Net.NewMessage()
+			m := n.Net.NewMessage(np.id)
 			m.Src, m.Dst, m.Kind = np.id, dst, kind
 			m.Addr, m.Arg, m.Data, m.DataPooled = start*bs, int64(nb), data, pooled
 			n.Net.Send(m)
@@ -628,7 +628,7 @@ func (x *Ext) Prefetch(p *sim.Proc, runs []BlockRun) {
 				p.Sleep(mc.PageMapCost)
 				mem.SetMapped(pg)
 			}
-			m := n.Net.NewMessage()
+			m := n.Net.NewMessage(np.id)
 			m.Dst, m.Kind, m.Addr, m.Size = home, KReadReq, b, ctrlSize
 			np.send(m)
 		}

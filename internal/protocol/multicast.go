@@ -108,7 +108,7 @@ func (np *nodeProto) invalSharersTree(e *dirEntry, r *dirReq, invalOne func(s in
 			continue
 		}
 		relay := base + mbits.TrailingZeros64(live)
-		m := np.n.Net.NewMessage()
+		m := np.n.Net.NewMessage(np.id)
 		m.Dst, m.Kind, m.Addr, m.Arg, m.Size = relay, KInvalTree, r.block, int64(live), ctrlSize
 		np.send(m)
 		extra += mbits.OnesCount64(live)
@@ -152,11 +152,11 @@ func (np *nodeProto) hInvalTree(hc *tempest.HContext, m *network.Message) {
 		np.occupy(mc.TagChange)
 		if mask := mem.Dirty(b); mask != 0 {
 			np.occupy(mc.BlockCopy)
-			data := np.n.Net.AllocBlock()
+			data := np.n.Net.AllocBlock(np.id)
 			copy(data, mem.BlockData(b))
 			mem.SetTag(b, memory.Invalid)
 			mem.ClearDirty(b)
-			rm := np.n.Net.NewMessage()
+			rm := np.n.Net.NewMessage(np.id)
 			rm.Dst, rm.Kind, rm.Addr = rs.home, KPutDataResp, b
 			rm.Arg, rm.Arg2, rm.Data, rm.DataPooled = int64(mask), 0, data, true
 			np.send(rm)
@@ -169,7 +169,7 @@ func (np *nodeProto) hInvalTree(hc *tempest.HContext, m *network.Message) {
 	for rest := leaves &^ (1 << myLeaf); rest != 0; {
 		l := mbits.TrailingZeros64(rest)
 		rest &^= 1 << uint(l)
-		fm := np.n.Net.NewMessage()
+		fm := np.n.Net.NewMessage(np.id)
 		fm.Dst, fm.Kind, fm.Addr, fm.Arg2, fm.Size = base+l, KInvalFwd, b, int64(rs.home), ctrlSize
 		np.send(fm)
 	}
@@ -194,11 +194,11 @@ func (np *nodeProto) hInvalFwd(hc *tempest.HContext, m *network.Message) {
 	dirtyFlag := int64(0)
 	if mask := mem.Dirty(b); mask != 0 {
 		np.occupy(mc.BlockCopy)
-		data := np.n.Net.AllocBlock()
+		data := np.n.Net.AllocBlock(np.id)
 		copy(data, mem.BlockData(b))
 		mem.SetTag(b, memory.Invalid)
 		mem.ClearDirty(b)
-		rm := np.n.Net.NewMessage()
+		rm := np.n.Net.NewMessage(np.id)
 		rm.Dst, rm.Kind, rm.Addr = int(m.Arg2), KPutDataResp, b
 		rm.Arg, rm.Arg2, rm.Data, rm.DataPooled = int64(mask), 0, data, true
 		np.send(rm)
@@ -206,7 +206,7 @@ func (np *nodeProto) hInvalFwd(hc *tempest.HContext, m *network.Message) {
 	} else {
 		mem.SetTag(b, memory.Invalid)
 	}
-	am := np.n.Net.NewMessage()
+	am := np.n.Net.NewMessage(np.id)
 	am.Dst, am.Kind, am.Addr, am.Arg, am.Size = m.Src, KInvalAckFwd, b, dirtyFlag, ctrlSize
 	np.send(am)
 }
@@ -232,7 +232,7 @@ func (np *nodeProto) maybeCloseRelay(b int, rs *relayState) {
 		return
 	}
 	delete(np.relay, b)
-	am := np.n.Net.NewMessage()
+	am := np.n.Net.NewMessage(np.id)
 	am.Dst, am.Kind, am.Addr, am.Arg, am.Size = rs.home, KInvalAckTree, b, int64(rs.clean), ctrlSize
 	np.send(am)
 }

@@ -470,7 +470,7 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 					panic(fmt.Sprintf("protocol: node %d has two blocking misses on block %d", np.id, b))
 				}
 				np.fill[b] = sig
-				rq := n.Net.NewMessage()
+				rq := n.Net.NewMessage(np.id)
 				rq.Src, rq.Dst, rq.Kind, rq.Addr, rq.Size = np.id, home, kind, b, ctrlSize
 				n.Net.Send(rq)
 			}
@@ -510,7 +510,7 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 			np.coal.Append(home, kind, b, 0, 0, nil, true)
 		default:
 			p.Sleep(d + mc.SendOver)
-			rq := n.Net.NewMessage()
+			rq := n.Net.NewMessage(np.id)
 			rq.Src, rq.Dst, rq.Kind, rq.Addr, rq.Size = np.id, home, kind, b, ctrlSize
 			n.Net.Send(rq)
 		}
@@ -528,7 +528,7 @@ func (np *nodeProto) fault(p *sim.Proc, addr int, write bool) {
 			panic(fmt.Sprintf("protocol: node %d has two blocking misses on block %d (%v)", np.id, b, prev))
 		}
 		np.fill[b] = sig
-		rq := n.Net.NewMessage()
+		rq := n.Net.NewMessage(np.id)
 		rq.Src, rq.Dst, rq.Kind, rq.Addr, rq.Size = np.id, home, KReadReq, b, ctrlSize
 		n.Net.Send(rq)
 	}
@@ -633,10 +633,10 @@ func (np *nodeProto) hPutDataReq(hc *tempest.HContext, m *network.Message) {
 	} else {
 		mem.SetTag(b, memory.ReadOnly)
 	}
-	data := np.n.Net.AllocBlock()
+	data := np.n.Net.AllocBlock(np.id)
 	copy(data, mem.BlockData(b))
 	mem.ClearDirty(b)
-	rm := np.n.Net.NewMessage()
+	rm := np.n.Net.NewMessage(np.id)
 	rm.Dst, rm.Kind, rm.Addr = m.Src, KPutDataResp, b
 	rm.Arg, rm.Arg2, rm.Data, rm.DataPooled = int64(mask), keeps, data, true
 	np.send(rm)
@@ -656,11 +656,11 @@ func (np *nodeProto) hInval(hc *tempest.HContext, m *network.Message) {
 	np.occupy(mc.HandlerCost + mc.TagChange)
 	if mask := mem.Dirty(b); mask != 0 {
 		// We upgraded concurrently; flush our words with the ack.
-		data := np.n.Net.AllocBlock()
+		data := np.n.Net.AllocBlock(np.id)
 		copy(data, mem.BlockData(b))
 		mem.SetTag(b, memory.Invalid)
 		mem.ClearDirty(b)
-		rm := np.n.Net.NewMessage()
+		rm := np.n.Net.NewMessage(np.id)
 		rm.Dst, rm.Kind, rm.Addr = m.Src, KPutDataResp, b
 		rm.Arg, rm.Arg2, rm.Data, rm.DataPooled = int64(mask), 0, data, true
 		np.send(rm)
@@ -676,7 +676,7 @@ func (np *nodeProto) hInval(hc *tempest.HContext, m *network.Message) {
 		np.coal.Append(m.Src, KInvalAck, b, 0, 0, nil, true)
 		return
 	}
-	rm := np.n.Net.NewMessage()
+	rm := np.n.Net.NewMessage(np.id)
 	rm.Dst, rm.Kind, rm.Addr, rm.Size = m.Src, KInvalAck, b, ctrlSize
 	np.send(rm)
 }

@@ -90,7 +90,7 @@ func (e *exec) mpSend(p *sim.Proc, t compiler.Transfer) {
 			copy(data, e.n.Mem.Bytes(addr, nb))
 			e.n.Compute(mc.MPSendOver + sim.Time(nb)*mc.MPPackPerByte)
 			e.n.Sync(p)
-			m := e.n.Net.NewMessage()
+			m := e.n.Net.NewMessage(e.n.ID)
 			m.Src, m.Dst, m.Kind = e.n.ID, t.Receiver, KMPData
 			m.Addr, m.Arg2, m.Data = addr, e.mp.phase, data
 			e.n.Net.Send(m)

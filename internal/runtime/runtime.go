@@ -103,6 +103,12 @@ type Result struct {
 	CheckpointsTaken int64    // quiescent captures (incl. the initial state)
 	CheckpointBytes  int64    // total encoded bytes across captures
 
+	// PDES engine census (zero unless Options.Partitions > 1): window
+	// executions summed over partitions, and barrier releases actually
+	// paid (inline stretches and single-core inline mode cost none).
+	PDESWindows  uint64
+	PDESHandoffs uint64
+
 	cluster  *tempest.Cluster
 	analysis *compiler.Analysis
 	layouts  map[*ir.Array]sections.Layout
@@ -240,7 +246,7 @@ func Run(prog *ir.Program, opt Options) (*Result, error) {
 		case opt.Trace != nil:
 			return nil, fmt.Errorf("runtime: pdes (Partitions=%d) is incompatible with tracing — the tracer's buffers are single-threaded; rerun without -pdes (program %s)", opt.Partitions, prog.Name)
 		case opt.Profile:
-			return nil, fmt.Errorf("runtime: pdes (Partitions=%d) is incompatible with per-loop profiling — the profile accumulator is single-threaded; rerun without -pdes (program %s)", opt.Partitions, prog.Name)
+			return nil, fmt.Errorf("runtime: pdes (Partitions=%d) is incompatible with per-loop profiling — the profile accumulator is single-threaded; rerun without -pdes, or use the observer-only -cpuprofile/-memprofile, which work under -pdes (program %s)", opt.Partitions, prog.Name)
 		case mc.MsgTime(0) <= 0:
 			return nil, fmt.Errorf("runtime: pdes needs a positive minimum message latency for its lookahead window; this machine has MsgTime(0)=%d (program %s)", mc.MsgTime(0), prog.Name)
 		}
@@ -515,6 +521,8 @@ func runAttempt(prog *ir.Program, opt Options, rec *recovery, startAt sim.Time, 
 	}
 	if shards != nil {
 		res.Elapsed = shards.Now() - cluster.TimerStart
+		res.PDESWindows = shards.Windows()
+		res.PDESHandoffs = shards.Handoffs()
 	} else {
 		res.Elapsed = env.Now() - cluster.TimerStart
 	}

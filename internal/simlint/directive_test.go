@@ -154,6 +154,47 @@ func a() {}
 	}
 }
 
+func TestParseConcurrentDeclDirective(t *testing.T) {
+	src := `package d
+
+//simlint:concurrent -- this one function is the epoch barrier
+func barrier() {}
+
+// plain doc comment, no carve-out.
+func other() {}
+`
+	fset, f := parseSrc(t, src)
+	ds, malformed := ParseDirectives(fset, []*ast.File{f}, AnalyzerNames())
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", malformed)
+	}
+	if ds.ConcurrentFile("d.go") != nil {
+		t.Error("a decl-scoped concurrent directive must not admit the whole file")
+	}
+	byName := map[string]*ast.FuncDecl{}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			byName[fd.Name.Name] = fd
+		}
+	}
+	d := ds.ConcurrentDecl(fset, byName["barrier"].Doc)
+	if d == nil {
+		t.Fatal("ConcurrentDecl missed the annotated declaration")
+	}
+	if d.FileWide || d.Reason == "" {
+		t.Errorf("parsed decl-scoped concurrent directive = %+v, want non-file-wide with reason", d)
+	}
+	if d.used {
+		t.Error("ConcurrentDecl must not consume the directive; only an actual primitive does")
+	}
+	if ds.ConcurrentDecl(fset, byName["other"].Doc) != nil {
+		t.Error("ConcurrentDecl matched an ordinary doc comment")
+	}
+	if ds.ConcurrentDecl(fset, nil) != nil {
+		t.Error("ConcurrentDecl matched a nil doc comment")
+	}
+}
+
 func TestParseConcurrentDirectiveMalformed(t *testing.T) {
 	for _, tc := range []struct {
 		name, src, want string
@@ -167,11 +208,6 @@ func TestParseConcurrentDirectiveMalformed(t *testing.T) {
 			"trailing arguments",
 			"//simlint:concurrent goroutine -- reason\n\npackage d\n",
 			"unexpected arguments",
-		},
-		{
-			"not file-wide",
-			"package d\n\n//simlint:concurrent -- reason\nfunc a() {}\n",
-			"file-wide only",
 		},
 	} {
 		fset, f := parseSrc(t, tc.src)

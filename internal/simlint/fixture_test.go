@@ -104,11 +104,13 @@ func TestHotAllocFixture(t *testing.T) {
 func TestGoroutineFixture(t *testing.T) {
 	pkg, res := runFixture(t, "goroutine", Goroutine)
 	checkWants(t, pkg, res)
-	// concurrent.go's file-wide carve-out admits its primitives and is
-	// counted as in use; stale.go's carve-out guards no primitive and
-	// surfaces as an unused-annotation finding (matched by its marker).
-	if res.Concurrent != 1 {
-		t.Errorf("concurrent carve-outs in use = %d, want 1", res.Concurrent)
+	// concurrent.go's file-wide carve-out and decl.go's two
+	// declaration-scoped ones admit their primitives and are counted as
+	// in use; the stale carve-outs (file-wide in stale.go, decl-scoped
+	// in decl.go) guard no primitive and surface as unused-annotation
+	// findings (matched by their markers).
+	if res.Concurrent != 3 {
+		t.Errorf("concurrent carve-outs in use = %d, want 3", res.Concurrent)
 	}
 }
 

@@ -5,16 +5,19 @@ import (
 )
 
 // Goroutine enforces the one-runnable-goroutine discipline: inside the
-// deterministic set, only files carrying a file-wide
-// //simlint:concurrent annotation (the sim kernel's scheduler files)
-// may spawn goroutines, build channels, or use sync primitives. The
-// kernel hands control between process goroutines through unbuffered
-// channels with exactly one runnable at any instant; a second scheduler
-// anywhere else would reintroduce host-scheduler ordering into the
-// simulated machine. The parallel-sweep runner parallelizes across
-// whole runs, outside this set. An annotated file with no concurrency
-// primitive left in it surfaces as an unused-annotation finding, so
-// carve-outs cannot quietly outlive the code that justified them.
+// deterministic set, only scopes carrying a //simlint:concurrent
+// annotation may spawn goroutines, build channels, or use sync
+// primitives — file-wide before the package clause (the sim kernel's
+// scheduler files), or on one top-level declaration's doc comment (the
+// PDES epoch barrier's handful of functions, leaving the rest of the
+// engine under the single-threaded rule). The kernel hands control
+// between process goroutines through unbuffered channels with exactly
+// one runnable at any instant; a second scheduler anywhere else would
+// reintroduce host-scheduler ordering into the simulated machine. The
+// parallel-sweep runner parallelizes across whole runs, outside this
+// set. An annotated scope with no concurrency primitive left in it
+// surfaces as an unused-annotation finding, so carve-outs cannot
+// quietly outlive the code that justified them.
 var Goroutine = &Analyzer{
 	Name:    "goroutine",
 	Doc:     "goroutine, channel, or sync primitive outside the sim kernel",
@@ -36,26 +39,46 @@ func runGoroutine(pass *Pass) {
 			})
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "go statement outside the sim kernel; processes are spawned through sim.Env.Spawn only")
-			case *ast.ChanType:
-				pass.Reportf(n.Pos(), "channel type outside the sim kernel; cross-process signaling goes through sim.Signal and the event queue")
-			case *ast.SelectorExpr:
-				obj := pass.Info.Uses[n.Sel]
-				if obj == nil || obj.Pkg() == nil {
-					return true
-				}
-				switch obj.Pkg().Path() {
-				case "sync", "sync/atomic":
-					pass.Reportf(n.Pos(), "%s.%s introduces a sync primitive outside the sim kernel; the deterministic set is single-threaded by construction", obj.Pkg().Name(), obj.Name())
-				}
-			case *ast.SelectStmt:
-				pass.Reportf(n.Pos(), "select statement outside the sim kernel")
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				doc = decl.Doc
+			case *ast.GenDecl:
+				doc = decl.Doc
 			}
-			return true
-		})
+			if d := pass.Directives.ConcurrentDecl(pass.Fset, doc); d != nil {
+				// Admitted declaration: same deal as an admitted file,
+				// scoped to this one function or type.
+				ast.Inspect(decl, func(n ast.Node) bool {
+					if goroutinePrimitive(pass, n) {
+						d.used = true
+					}
+					return true
+				})
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(), "go statement outside the sim kernel; processes are spawned through sim.Env.Spawn only")
+				case *ast.ChanType:
+					pass.Reportf(n.Pos(), "channel type outside the sim kernel; cross-process signaling goes through sim.Signal and the event queue")
+				case *ast.SelectorExpr:
+					obj := pass.Info.Uses[n.Sel]
+					if obj == nil || obj.Pkg() == nil {
+						return true
+					}
+					switch obj.Pkg().Path() {
+					case "sync", "sync/atomic":
+						pass.Reportf(n.Pos(), "%s.%s introduces a sync primitive outside the sim kernel; the deterministic set is single-threaded by construction", obj.Pkg().Name(), obj.Name())
+					}
+				case *ast.SelectStmt:
+					pass.Reportf(n.Pos(), "select statement outside the sim kernel")
+				}
+				return true
+			})
+		}
 	}
 }
 

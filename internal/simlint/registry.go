@@ -33,12 +33,14 @@ var wallclockExempt = []string{
 	"hpfdsm/examples/",
 }
 
-// Files allowed to spawn goroutines, build channels, or touch sync
-// primitives inside the deterministic set carry a file-wide
-// //simlint:concurrent annotation with a mandatory reason (see the
-// goroutine analyzer). There is no central whitelist: the carve-out
-// lives next to the code it admits, and an annotation left on a file
-// with no concurrency primitive becomes an unused-annotation finding.
+// Code allowed to spawn goroutines, build channels, or touch sync
+// primitives inside the deterministic set carries a
+// //simlint:concurrent annotation with a mandatory reason — file-wide
+// before the package clause, or on the one declaration that needs it
+// (see the goroutine analyzer). There is no central whitelist: the
+// carve-out lives next to the code it admits, and an annotation left
+// on a scope with no concurrency primitive becomes an
+// unused-annotation finding.
 func isDeterministic(pkgPath string) bool { return deterministicPkgs[pkgPath] }
 
 func isWallclockExempt(pkgPath string) bool {

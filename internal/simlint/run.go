@@ -16,7 +16,7 @@ type Result struct {
 	Suppressions []*Directive // used ignore directives, with reasons
 	Commutative  int          // commutative annotations honored
 	Hotpath      int          // hotpath annotations honored
-	Concurrent   int          // file-wide concurrency carve-outs in use
+	Concurrent   int          // concurrency carve-outs in use (file-wide or per-declaration)
 	Packages     int
 }
 
@@ -93,7 +93,7 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) *Result {
 					res.Diags = append(res.Diags, Diagnostic{
 						Pos:      positionOf(d),
 						Analyzer: "simlint",
-						Message: fmt.Sprintf("unused concurrent carve-out (reason: %s); the file no longer uses goroutines, channels, or sync primitives — delete it",
+						Message: fmt.Sprintf("unused concurrent carve-out (reason: %s); the annotated scope no longer uses goroutines, channels, or sync primitives — delete it",
 							d.Reason),
 					})
 				}
@@ -148,7 +148,7 @@ func (r *Result) Format(w io.Writer, root string) {
 	for _, d := range findings {
 		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
-	fmt.Fprintf(w, "simlint: %d package(s): %d finding(s), %d suppressed, %d commutative annotation(s), %d hotpath function(s), %d concurrent file(s)\n",
+	fmt.Fprintf(w, "simlint: %d package(s): %d finding(s), %d suppressed, %d commutative annotation(s), %d hotpath function(s), %d concurrent carve-out(s)\n",
 		r.Packages, len(findings), len(r.Suppressions), r.Commutative, r.Hotpath, r.Concurrent)
 	if len(r.Suppressions) > 0 {
 		fmt.Fprintf(w, "tracked suppressions:\n")

@@ -64,7 +64,7 @@ func TestFormat(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"a.go:3:1: maporder: bad order",
-		"simlint: 2 package(s): 1 finding(s), 1 suppressed, 1 commutative annotation(s), 2 hotpath function(s), 1 concurrent file(s)",
+		"simlint: 2 package(s): 1 finding(s), 1 suppressed, 1 commutative annotation(s), 2 hotpath function(s), 1 concurrent carve-out(s)",
 		"tracked suppressions:",
 		"b.go:8: hotalloc -- ok",
 	} {

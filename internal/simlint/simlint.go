@@ -31,10 +31,14 @@
 // annotations feed specific analyzers: //simlint:commutative marks a
 // map-ranging loop whose body is order-independent,
 // //simlint:hotpath opts a function into the hotalloc discipline, and
-// //simlint:concurrent (file-wide only, mandatory reason) admits one
-// file into the goroutine analyzer's concurrency carve-out — the sim
-// kernel's scheduler files; anything else using goroutines, channels,
-// or sync primitives in the deterministic set still fails.
+// //simlint:concurrent (mandatory reason) admits a scope into the
+// goroutine analyzer's concurrency carve-out: placed before the
+// package clause it admits the whole file (the sim kernel's scheduler
+// files), placed on a single top-level declaration's doc comment it
+// admits just that function or type — the narrow form the PDES barrier
+// uses, so the rest of its file stays under the one-runnable-goroutine
+// discipline. Anything else using goroutines, channels, or sync
+// primitives in the deterministic set still fails.
 package simlint
 
 import (
@@ -102,7 +106,7 @@ const (
 	DirIgnore      = "ignore"      // suppress one analyzer's findings at a line (or file-wide)
 	DirCommutative = "commutative" // the annotated map range is order-independent
 	DirHotpath     = "hotpath"     // the annotated function must not allocate
-	DirConcurrent  = "concurrent"  // this file may use goroutines/channels/sync (file-wide, reason mandatory)
+	DirConcurrent  = "concurrent"  // this file or declaration may use goroutines/channels/sync (reason mandatory)
 )
 
 // Directive is one parsed //simlint: comment.
@@ -185,19 +189,16 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File, analyzerNames map[s
 						continue
 					}
 				case DirConcurrent:
-					// Admitting a whole file to the concurrency
-					// carve-out is a big hammer: it must sit before
-					// the package clause and must say why it is safe.
+					// A concurrency carve-out — whether for a whole
+					// file (before the package clause) or one
+					// declaration (in its doc comment) — must say why
+					// it is safe.
 					if strings.TrimSpace(args) != "" {
-						bad(c.Pos(), "malformed directive %q: unexpected arguments (use \"//simlint:concurrent -- why the file is safe\")", c.Text)
+						bad(c.Pos(), "malformed directive %q: unexpected arguments (use \"//simlint:concurrent -- why the scope is safe\")", c.Text)
 						continue
 					}
 					if !hasReason || reason == "" {
-						bad(c.Pos(), "malformed directive %q: a concurrency carve-out must carry a reason (\"//simlint:concurrent -- why the file is safe\")", c.Text)
-						continue
-					}
-					if !d.FileWide {
-						bad(c.Pos(), "malformed directive %q: concurrent is file-wide only; place it before the package clause", c.Text)
+						bad(c.Pos(), "malformed directive %q: a concurrency carve-out must carry a reason (\"//simlint:concurrent -- why the scope is safe\")", c.Text)
 						continue
 					}
 				default:
@@ -248,6 +249,25 @@ func (ds *DirectiveSet) CommutativeAt(file string, line int) bool {
 func (ds *DirectiveSet) ConcurrentFile(file string) *Directive {
 	for _, d := range ds.byFile[file] {
 		if d.Kind == DirConcurrent && d.FileWide {
+			return d
+		}
+	}
+	return nil
+}
+
+// ConcurrentDecl returns the //simlint:concurrent directive written in
+// the given declaration doc comment, or nil. Like ConcurrentFile, the
+// caller marks it used only when the declaration actually contains a
+// concurrency primitive, so a carve-out on a since-cleaned function or
+// type surfaces as an unused-annotation finding.
+func (ds *DirectiveSet) ConcurrentDecl(fset *token.FileSet, doc *ast.CommentGroup) *Directive {
+	if doc == nil {
+		return nil
+	}
+	pos := fset.Position(doc.Pos())
+	end := fset.Position(doc.End())
+	for _, d := range ds.byFile[pos.Filename] {
+		if d.Kind == DirConcurrent && !d.FileWide && d.Line >= pos.Line && d.Line <= end.Line {
 			return d
 		}
 	}

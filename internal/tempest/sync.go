@@ -182,7 +182,7 @@ func (c *Cluster) barrierArrived(src int) {
 			continue
 		}
 		master.OccupyProto(c.MC.SendOver)
-		m := c.Net.NewMessage()
+		m := c.Net.NewMessage(0)
 		m.Src, m.Dst, m.Kind, m.Size = 0, n.ID, KindBarrierRelease, 4
 		c.Net.Send(m)
 	}
@@ -205,7 +205,7 @@ func (c *Cluster) Barrier(p *sim.Proc, n *Node) {
 	case n.ID == 0:
 		c.barrierArrived(0)
 	default:
-		m := c.Net.NewMessage()
+		m := c.Net.NewMessage(n.ID)
 		m.Dst, m.Kind, m.Size = 0, KindBarrierArrive, 4
 		n.SendFromCompute(m)
 		n.Sync(p)
@@ -263,7 +263,7 @@ func (c *Cluster) reduceArrived(src int, gen int64, op ReduceOp, v float64) {
 			continue
 		}
 		master.OccupyProto(c.MC.SendOver)
-		m := c.Net.NewMessage()
+		m := c.Net.NewMessage(0)
 		m.Src, m.Dst, m.Kind, m.Arg, m.Size = 0, n.ID, KindReduceResult, bits, 12
 		c.Net.Send(m)
 	}
@@ -287,7 +287,7 @@ func (c *Cluster) AllReduce(p *sim.Proc, n *Node, op ReduceOp, v float64) float6
 	case n.ID == 0:
 		c.reduceArrived(0, c.reduce.gen, op, v)
 	default:
-		m := c.Net.NewMessage()
+		m := c.Net.NewMessage(n.ID)
 		m.Dst, m.Kind = 0, KindReduceContrib
 		m.Addr, m.Arg, m.Arg2, m.Size = int(op), int64(math.Float64bits(v)), c.reduce.gen, 12
 		n.SendFromCompute(m)

@@ -137,7 +137,7 @@ func (c *Cluster) treeFanDown(n *Node, kind network.Kind, arg int64, size int) {
 			continue
 		}
 		n.OccupyProto(c.MC.SendOver)
-		m := c.Net.NewMessage()
+		m := c.Net.NewMessage(n.ID)
 		m.Src, m.Dst, m.Kind, m.Arg, m.Size = n.ID, ch, kind, arg, size
 		c.Net.Send(m)
 	}
@@ -178,7 +178,7 @@ func (c *Cluster) treeBarrierArrive(n *Node, src int) {
 		return
 	}
 	n.OccupyProto(c.MC.SendOver)
-	m := c.Net.NewMessage()
+	m := c.Net.NewMessage(n.ID)
 	m.Src, m.Dst, m.Kind, m.Size = n.ID, n.treeParent, KindTreeBarrierUp, 4
 	c.Net.Send(m)
 }
@@ -220,7 +220,7 @@ func (c *Cluster) treeReduceArrive(n *Node, src int, op ReduceOp, gen int64, pai
 	tr.gen++
 	if n.ID != topo.Root {
 		n.OccupyProto(c.MC.SendOver)
-		m := c.Net.NewMessage()
+		m := c.Net.NewMessage(n.ID)
 		m.Src, m.Dst, m.Kind = n.ID, n.treeParent, KindTreeReduceUp
 		m.Addr, m.Arg2 = int(op), gen
 		m.Data, m.Size = encodePairs(gathered), redPairSize*len(gathered)

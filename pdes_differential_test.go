@@ -76,7 +76,7 @@ func diffNodeStats(t *testing.T, node int, seq, par *stats.Node) {
 // the reduction tree contributions in the same deterministic order.
 func TestPDESDifferential(t *testing.T) {
 	levels := []compiler.Level{compiler.OptNone, compiler.OptBulk, compiler.OptRTElim}
-	partCounts := []int{2, 4}
+	partCounts := []int{2, 4, 8}
 	for _, a := range apps.All() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {

@@ -1,0 +1,57 @@
+// Host-level profiling under PDES: -cpuprofile/-memprofile are
+// observer-only (they sample the Go process, never the simulated
+// machine), so they must work under -pdes and must not perturb the
+// simulated results — unlike the per-loop simulated-time profiler
+// (-profile), which keeps a single-threaded accumulator and stays
+// rejected in partitioned mode.
+package hpfdsm_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpfdsm/internal/apps"
+	"hpfdsm/internal/compiler"
+	"hpfdsm/internal/profiling"
+)
+
+// TestPDESCPUProfile runs one app at 4 partitions with the host CPU
+// profiler attached and demands (a) a non-empty profile file and (b)
+// statistics bit-identical to the unprofiled run.
+func TestPDESCPUProfile(t *testing.T) {
+	a, err := apps.ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := runPDES(t, a, compiler.OptRTElim, 4)
+
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "pdes.cpuprofile")
+	stop, err := profiling.Start(cpu, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled := runPDES(t, a, compiler.OptRTElim, 4)
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	fi, err := os.Stat(cpu)
+	if err != nil {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("cpu profile is empty")
+	}
+
+	if profiled.Elapsed != plain.Elapsed {
+		t.Errorf("elapsed %dns profiled, %dns unprofiled", profiled.Elapsed, plain.Elapsed)
+	}
+	if len(profiled.Stats.Nodes) != len(plain.Stats.Nodes) {
+		t.Fatalf("%d stat nodes profiled, %d unprofiled", len(profiled.Stats.Nodes), len(plain.Stats.Nodes))
+	}
+	for i := range plain.Stats.Nodes {
+		diffNodeStats(t, i, &plain.Stats.Nodes[i], &profiled.Stats.Nodes[i])
+	}
+}
